@@ -1,0 +1,88 @@
+//! Design-choice ablations (DESIGN.md §6): flow vs packet communication
+//! granularity, and unified vs per-core local queues.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use holdcsim::config::{ArrivalConfig, CommModel, NetworkConfig, SimConfig};
+use holdcsim::sim::Simulation;
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_server::server::LocalQueueMode;
+use holdcsim_workload::presets::WorkloadPreset;
+use holdcsim_workload::service::ServiceDist;
+use holdcsim_workload::templates::JobTemplate;
+
+/// Fat-tree DAG workload once with flows, once with packets. The flow
+/// model should be dramatically cheaper in events for the same traffic.
+fn comm_granularity(c: &mut Criterion) {
+    let template = JobTemplate::two_tier(
+        ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
+        ServiceDist::Exponential { mean: SimDuration::from_millis(10) },
+        300_000, // 300 kB per edge: 200 packets
+    );
+    let base = |comm: CommModel| {
+        let mut cfg =
+            SimConfig::server_farm(16, 4, 0.2, template.clone(), SimDuration::from_secs(2));
+        let mut rng = holdcsim_des::rng::SimRng::seed_from(5);
+        let mut t = SimTime::ZERO;
+        let times: Vec<SimTime> = (0..400)
+            .map(|_| {
+                t += SimDuration::from_secs_f64(rng.exp(400.0));
+                t
+            })
+            .collect();
+        cfg.arrivals = ArrivalConfig::Trace(times);
+        let mut net = NetworkConfig::fat_tree(4);
+        net.comm = comm;
+        cfg.network = Some(net);
+        cfg
+    };
+    let mut g = c.benchmark_group("comm_granularity");
+    g.sample_size(10);
+    g.bench_function("flow", |b| {
+        let cfg = base(CommModel::Flow);
+        b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
+    });
+    g.bench_function("packet", |b| {
+        let cfg = base(CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 });
+        b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
+    });
+    g.finish();
+}
+
+/// Unified vs per-core local queues ([37]'s tail-latency question); the
+/// bench reports runtime, the printed p99 shows the latency effect.
+fn local_queue(c: &mut Criterion) {
+    let base = |mode: LocalQueueMode| {
+        let mut cfg = SimConfig::server_farm(
+            8,
+            4,
+            0.7,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(3),
+        );
+        cfg.queue_mode = mode;
+        cfg
+    };
+    // Print the latency comparison once, outside measurement.
+    let uni = Simulation::new(base(LocalQueueMode::Unified)).run();
+    let per = Simulation::new(base(LocalQueueMode::PerCore)).run();
+    eprintln!(
+        "# local-queue ablation @ rho=0.7: unified p99 {:.2} ms, per-core p99 {:.2} ms",
+        uni.latency.p99 * 1e3,
+        per.latency.p99 * 1e3
+    );
+    let mut g = c.benchmark_group("local_queue");
+    g.sample_size(10);
+    g.bench_function("unified", |b| {
+        let cfg = base(LocalQueueMode::Unified);
+        b.iter(|| Simulation::new(cfg.clone()).run().jobs_completed);
+    });
+    g.bench_function("per_core", |b| {
+        let cfg = base(LocalQueueMode::PerCore);
+        b.iter(|| Simulation::new(cfg.clone()).run().jobs_completed);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, comm_granularity, local_queue);
+criterion_main!(benches);

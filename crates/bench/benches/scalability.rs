@@ -1,0 +1,37 @@
+//! End-to-end scalability: events/second for full farm simulations at
+//! increasing server counts (Table I's >20 K-server claim; the 20 480
+//! point runs in the `table1_scalability` binary to keep `cargo bench`
+//! fast).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use holdcsim::config::{PolicyKind, SimConfig};
+use holdcsim::sim::Simulation;
+use holdcsim_des::time::SimDuration;
+use holdcsim_workload::presets::WorkloadPreset;
+
+fn farm_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(10);
+    for servers in [100usize, 1_000, 4_000] {
+        // Fix the simulated horizon; jobs scale with the farm.
+        let cfg = SimConfig::server_farm(
+            servers,
+            4,
+            0.3,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_millis(100),
+        )
+        .with_policy(PolicyKind::RoundRobin);
+        // Measure throughput in processed events.
+        let events = Simulation::new(cfg.clone()).run().events_processed;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("farm_{servers}"), |b| {
+            b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, farm_bench);
+criterion_main!(benches);

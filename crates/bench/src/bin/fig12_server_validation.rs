@@ -1,0 +1,24 @@
+//! Fig. 12: server power validation — simulated 10-core Xeon E5-2680
+//! package power vs the reference model, replaying an NLANR-like trace.
+
+use holdcsim::validation::server_power_validation;
+use holdcsim_bench::scaled;
+use holdcsim_des::time::SimDuration;
+
+fn main() {
+    let duration = SimDuration::from_secs(scaled(1_000, 60));
+    eprintln!("# Fig. 12 — server power validation ({duration})");
+    let r = server_power_validation(duration, 42);
+
+    println!("time_s,simulated_W,reference_W");
+    let stride = (r.simulated_w.len() / 200).max(1);
+    for i in (0..r.simulated_w.len()).step_by(stride) {
+        println!("{i},{:.3},{:.3}", r.simulated_w[i], r.reference_w[i]);
+    }
+    eprintln!(
+        "# mean |diff| = {:.3} W ({:.2}% of mean power), diff sd = {:.3} W (paper: 0.22 W / ~1.3%)",
+        r.mean_abs_diff_w,
+        100.0 * r.mean_abs_diff_w / r.mean_reference_w,
+        r.diff_std_w
+    );
+}

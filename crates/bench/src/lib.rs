@@ -1,0 +1,36 @@
+//! # holdcsim-bench
+//!
+//! Figure/table regeneration binaries (`src/bin/`) and Criterion
+//! benchmarks (`benches/`) for HolDCSim-RS. Each binary prints the rows or
+//! series of one table/figure from the paper; see DESIGN.md §5 for the
+//! index and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//!
+//! Binaries accept `--quick` to run a reduced-scale version (useful in CI).
+
+/// `true` if the process arguments request a reduced-scale run.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Scales a full-size parameter down in quick mode.
+pub fn scaled(full: u64, quick: u64) -> u64 {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_picks_full_without_flag() {
+        // Test binaries carry extra args, but never `--quick`.
+        assert_eq!(super::scaled(10, 1), 10);
+    }
+}

@@ -1,0 +1,359 @@
+//! Simulation configuration: the "user script" of Fig. 1.
+//!
+//! Configuration structs have public fields by design — they are plain
+//! inputs, constructed once and handed to [`crate::sim::Simulation`].
+
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::topologies::LinkSpec;
+use holdcsim_power::server_profile::ServerPowerProfile;
+use holdcsim_power::switch_profile::SwitchPowerProfile;
+use holdcsim_server::policy::SleepPolicy;
+use holdcsim_server::server::LocalQueueMode;
+use holdcsim_workload::templates::JobTemplate;
+
+/// Arrival-process choice for the workload generator (§III-D).
+#[derive(Debug, Clone)]
+pub enum ArrivalConfig {
+    /// Poisson arrivals at `rate` jobs/second.
+    Poisson {
+        /// Arrival rate λ in jobs/second.
+        rate: f64,
+    },
+    /// 2-state MMPP bursty arrivals.
+    Mmpp2 {
+        /// Long-run mean rate in jobs/second.
+        base_rate: f64,
+        /// λ_h/λ_l ratio (≥ 1).
+        burst_ratio: f64,
+        /// Long-run fraction of time in the bursty state (0, 1).
+        bursty_fraction: f64,
+        /// Mean dwell in the bursty state, seconds.
+        mean_bursty_dwell: f64,
+    },
+    /// Replay of explicit arrival instants (trace-based simulation).
+    Trace(Vec<SimTime>),
+}
+
+/// How dependent tasks communicate (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommModel {
+    /// One max-min-fair flow per DAG edge.
+    Flow,
+    /// The edge's data packetized at `mtu` and forwarded store-and-forward
+    /// through per-port queues of `buffer_bytes`.
+    Packet {
+        /// Payload per packet.
+        mtu: u64,
+        /// Egress buffering per port.
+        buffer_bytes: u64,
+    },
+}
+
+/// Named topology selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `k`-ary fat tree (hosts = k³/4).
+    FatTree {
+        /// Pod/port parameter (even).
+        k: usize,
+    },
+    /// 2-D flattened butterfly of `k × k` switches.
+    FlattenedButterfly {
+        /// Grid dimension.
+        k: usize,
+        /// Servers per switch.
+        hosts_per_switch: usize,
+    },
+    /// BCube(n, levels).
+    BCube {
+        /// Switch port count.
+        n: usize,
+        /// Recursion level.
+        levels: usize,
+    },
+    /// CamCube 3-D torus of servers.
+    CamCube {
+        /// X dimension.
+        x: usize,
+        /// Y dimension.
+        y: usize,
+        /// Z dimension.
+        z: usize,
+    },
+    /// All servers on one switch (§V-B validation).
+    Star,
+}
+
+/// Network module configuration; absent = server-only simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Which topology to build. The host count must cover
+    /// [`SimConfig::server_count`]; builders are sized by the spec itself.
+    pub topology: TopologySpec,
+    /// Link rate/latency.
+    pub link: LinkSpec,
+    /// Switch power profile.
+    pub switch_profile: SwitchPowerProfile,
+    /// Communication granularity.
+    pub comm: CommModel,
+    /// Port LPI hold time: a port enters Low Power Idle after being idle
+    /// this long (`None` disables idle power management entirely).
+    pub lpi_hold: Option<SimDuration>,
+    /// Use Adaptive Link Rate instead of LPI for idle ports: rather than
+    /// entering Low Power Idle, an idle port negotiates down to the lowest
+    /// ALR ladder rate (Gunaratne et al. [25]).
+    pub use_alr: bool,
+    /// Model front-end ingress traffic: every task dispatch sends a
+    /// request of `.0` bytes down the server's access link and every
+    /// completion returns `.1` bytes, keeping access-port activity in step
+    /// with serving activity (the §V-B port-state log). `None` models only
+    /// inter-task traffic.
+    pub ingress_bytes: Option<(u64, u64)>,
+}
+
+impl NetworkConfig {
+    /// Flow-model fat tree with LPI enabled — the §IV-D setup.
+    pub fn fat_tree(k: usize) -> Self {
+        NetworkConfig {
+            topology: TopologySpec::FatTree { k },
+            link: LinkSpec::gigabit(),
+            switch_profile: SwitchPowerProfile::datacenter_48port(),
+            comm: CommModel::Flow,
+            lpi_hold: Some(SimDuration::from_millis(10)),
+            use_alr: false,
+            ingress_bytes: None,
+        }
+    }
+
+    /// Star of `§V-B`'s Cisco switch, packet model.
+    pub fn validation_star() -> Self {
+        NetworkConfig {
+            topology: TopologySpec::Star,
+            link: LinkSpec::gigabit(),
+            switch_profile: SwitchPowerProfile::cisco_ws_c2960_24s(),
+            comm: CommModel::Packet { mtu: 1_500, buffer_bytes: 512 * 1024 },
+            lpi_hold: Some(SimDuration::from_millis(50)),
+            use_alr: false,
+            ingress_bytes: Some((1_500, 8_000)),
+        }
+    }
+}
+
+/// Global placement policy selection (§III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Cycle over eligible servers.
+    RoundRobin,
+    /// Fewest pending tasks (the paper's load-balanced dispatch).
+    LeastLoaded,
+    /// Consolidate onto low-indexed servers; spill only when saturated.
+    PackFirst,
+    /// Uniform random.
+    Random,
+    /// §IV-D Server-Network-Aware placement.
+    NetworkAware,
+}
+
+/// A per-server on-demand DVFS governor (Table I's per-core DVFS knob,
+/// applied at server granularity): raise the P-state when pending load per
+/// core exceeds `high`, lower it when below `low`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsConfig {
+    /// Pending-per-core threshold above which frequency steps up.
+    pub high: f64,
+    /// Pending-per-core threshold below which frequency steps down.
+    pub low: f64,
+}
+
+impl DvfsConfig {
+    /// A conventional on-demand governor: speed up beyond 0.8 pending per
+    /// core, slow down below 0.2.
+    pub fn ondemand() -> Self {
+        DvfsConfig { high: 0.8, low: 0.2 }
+    }
+}
+
+/// Cluster-level controller selection (§IV-A / §IV-C).
+#[derive(Debug, Clone)]
+pub enum ControllerConfig {
+    /// Fig. 4 provisioning: keep pending-per-active-server within
+    /// `[min_load, max_load]`.
+    Provisioning {
+        /// Lower per-server load threshold.
+        min_load: f64,
+        /// Upper per-server load threshold.
+        max_load: f64,
+    },
+    /// WASP two-pool manager (Fig. 7): promote above `t_wakeup` pending per
+    /// active server, demote below `t_sleep`; sleep-pool members descend to
+    /// deep sleep after `sleep_pool_tau`.
+    Pools {
+        /// Promotion threshold.
+        t_wakeup: f64,
+        /// Demotion threshold.
+        t_sleep: f64,
+        /// Sleep-pool delay timer.
+        sleep_pool_tau: SimDuration,
+        /// Servers initially in the active pool.
+        initial_active: usize,
+    },
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed: same seed ⇒ identical run.
+    pub seed: u64,
+    /// Simulated horizon; arrivals stop and statistics close here.
+    pub duration: SimDuration,
+    /// Warm-up period: jobs *arriving* before this instant are executed
+    /// but excluded from latency statistics (standard steady-state
+    /// practice; energy and residency still cover the whole run).
+    pub warmup: SimDuration,
+    /// Number of servers.
+    pub server_count: usize,
+    /// Cores per server.
+    pub cores_per_server: u32,
+    /// Processor sockets per server (cores split evenly).
+    pub sockets_per_server: u32,
+    /// Server power profile.
+    pub server_profile: ServerPowerProfile,
+    /// Local queueing discipline.
+    pub queue_mode: LocalQueueMode,
+    /// Per-server sleep policies; one entry per server, or a single entry
+    /// applied to all.
+    pub sleep_policies: Vec<SleepPolicy>,
+    /// Per-core heterogeneity factors applied to every server (empty =
+    /// homogeneous); length must equal `cores_per_server` when set.
+    pub core_speeds: Vec<f64>,
+    /// Server-class assignment (§III-C: "servers ... configured to perform
+    /// different tasks"): `server_classes[i]` is server `i`'s class; tasks
+    /// whose spec names a class may only run there. Empty = classless.
+    pub server_classes: Vec<u32>,
+    /// Optional on-demand DVFS governor, evaluated every controller tick.
+    pub dvfs: Option<DvfsConfig>,
+    /// Job arrival process.
+    pub arrivals: ArrivalConfig,
+    /// Job structure generator.
+    pub template: JobTemplate,
+    /// Placement policy.
+    pub policy: PolicyKind,
+    /// Hold unplaceable tasks in a global queue (vs queueing at a server).
+    pub use_global_queue: bool,
+    /// Optional network module.
+    pub network: Option<NetworkConfig>,
+    /// Optional cluster controller.
+    pub controller: Option<ControllerConfig>,
+    /// Controller sampling period.
+    pub controller_period: SimDuration,
+    /// Statistics sampling period (time series).
+    pub sample_period: SimDuration,
+}
+
+impl SimConfig {
+    /// A server-only baseline: `servers × cores`, Poisson arrivals at
+    /// utilization `rho` of the given single-task `template`, least-loaded
+    /// dispatch, Active-Idle servers.
+    pub fn server_farm(
+        servers: usize,
+        cores: u32,
+        rho: f64,
+        template: JobTemplate,
+        duration: SimDuration,
+    ) -> Self {
+        let mean = template.mean_total_work();
+        let rate = holdcsim_workload::arrivals::PoissonArrivals::rate_for_utilization(
+            rho,
+            servers,
+            cores as usize,
+            mean,
+        );
+        SimConfig {
+            seed: 42,
+            duration,
+            warmup: SimDuration::ZERO,
+            server_count: servers,
+            cores_per_server: cores,
+            sockets_per_server: 1,
+            server_profile: ServerPowerProfile::xeon_e5_2680(),
+            queue_mode: LocalQueueMode::Unified,
+            sleep_policies: vec![SleepPolicy::active_idle()],
+            core_speeds: Vec::new(),
+            server_classes: Vec::new(),
+            dvfs: None,
+            arrivals: ArrivalConfig::Poisson { rate },
+            template,
+            policy: PolicyKind::LeastLoaded,
+            use_global_queue: false,
+            network: None,
+            controller: None,
+            controller_period: SimDuration::from_millis(100),
+            sample_period: SimDuration::from_secs(1),
+        }
+    }
+
+    /// The sleep policy of server `i` (single-entry lists broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sleep_policies` is empty.
+    pub fn policy_for(&self, i: usize) -> SleepPolicy {
+        if self.sleep_policies.len() == 1 {
+            self.sleep_policies[0]
+        } else {
+            self.sleep_policies[i]
+        }
+    }
+
+    /// Sets one policy for all servers.
+    pub fn with_sleep_policy(mut self, policy: SleepPolicy) -> Self {
+        self.sleep_policies = vec![policy];
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim_workload::presets::WorkloadPreset;
+
+    #[test]
+    fn server_farm_derives_rate_from_rho() {
+        let cfg = SimConfig::server_farm(
+            50,
+            4,
+            0.3,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(10),
+        );
+        let ArrivalConfig::Poisson { rate } = cfg.arrivals else { panic!() };
+        // mu = 200/s, 200 cores, rho 0.3 => 12_000 jobs/s.
+        assert!((rate - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn policy_broadcast() {
+        let cfg = SimConfig::server_farm(
+            3,
+            1,
+            0.1,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(1),
+        )
+        .with_sleep_policy(SleepPolicy::shallow_only());
+        assert_eq!(cfg.policy_for(0), SleepPolicy::shallow_only());
+        assert_eq!(cfg.policy_for(2), SleepPolicy::shallow_only());
+    }
+}

@@ -1,0 +1,257 @@
+//! Job lifecycle tracking: DAG readiness counting, placement, transfer
+//! barriers, and completion detection (§III-C).
+
+use std::collections::HashMap;
+
+use holdcsim_des::time::SimTime;
+use holdcsim_server::server::ServerId;
+use holdcsim_workload::dag::JobDag;
+use holdcsim_workload::ids::{JobId, TaskId};
+
+/// One in-flight job.
+#[derive(Debug)]
+pub struct JobState {
+    /// The job's DAG.
+    pub dag: JobDag,
+    /// When the job arrived at the front end.
+    pub arrived: SimTime,
+    /// Unfinished-predecessor counts per task.
+    remaining_preds: Vec<u32>,
+    /// Placement of each task once decided.
+    assigned: Vec<Option<ServerId>>,
+    /// Outstanding inbound transfers per task (task may not start until 0).
+    pending_transfers: Vec<u32>,
+    /// Tasks not yet finished.
+    unfinished: u32,
+}
+
+impl JobState {
+    /// Creates tracking state for a job arriving at `arrived`.
+    pub fn new(dag: JobDag, arrived: SimTime) -> Self {
+        let remaining_preds = dag.in_degrees();
+        let n = dag.len();
+        JobState {
+            remaining_preds,
+            assigned: vec![None; n],
+            pending_transfers: vec![0; n],
+            unfinished: n as u32,
+            dag,
+            arrived,
+        }
+    }
+
+    /// Task indices ready at arrival (no predecessors).
+    pub fn initial_ready(&self) -> Vec<u32> {
+        self.dag.roots().to_vec()
+    }
+
+    /// Records that `task` finished; returns successors that became ready.
+    pub fn finish_task(&mut self, task: u32) -> Vec<u32> {
+        debug_assert!(self.unfinished > 0);
+        self.unfinished -= 1;
+        let mut ready = Vec::new();
+        for &s in self.dag.successors(task) {
+            let r = &mut self.remaining_preds[s as usize];
+            debug_assert!(*r > 0);
+            *r -= 1;
+            if *r == 0 {
+                ready.push(s);
+            }
+        }
+        ready
+    }
+
+    /// `true` once every task has finished.
+    pub fn is_complete(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Records the placement decision for `task`.
+    pub fn assign(&mut self, task: u32, server: ServerId) {
+        self.assigned[task as usize] = Some(server);
+    }
+
+    /// Where `task` was placed, if yet.
+    pub fn assignment(&self, task: u32) -> Option<ServerId> {
+        self.assigned[task as usize]
+    }
+
+    /// Registers `n` inbound transfers that must land before `task` starts.
+    pub fn add_transfers(&mut self, task: u32, n: u32) {
+        self.pending_transfers[task as usize] += n;
+    }
+
+    /// One inbound transfer for `task` landed; `true` when none remain.
+    pub fn transfer_done(&mut self, task: u32) -> bool {
+        let p = &mut self.pending_transfers[task as usize];
+        debug_assert!(*p > 0, "transfer_done without pending transfer");
+        *p -= 1;
+        *p == 0
+    }
+
+    /// Outstanding inbound transfers for `task`.
+    pub fn pending_transfers(&self, task: u32) -> u32 {
+        self.pending_transfers[task as usize]
+    }
+}
+
+/// The table of in-flight jobs.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: HashMap<JobId, JobState>,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+}
+
+impl JobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next job id.
+    pub fn alloc_id(&mut self) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a new job.
+    pub fn insert(&mut self, id: JobId, state: JobState) {
+        self.submitted += 1;
+        self.jobs.insert(id, state);
+    }
+
+    /// The job with this id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not in flight.
+    pub fn get_mut(&mut self, id: JobId) -> &mut JobState {
+        self.jobs.get_mut(&id).expect("job not in flight")
+    }
+
+    /// Shared access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not in flight.
+    pub fn get(&self, id: JobId) -> &JobState {
+        self.jobs.get(&id).expect("job not in flight")
+    }
+
+    /// Removes a completed job, returning its state.
+    pub fn remove_completed(&mut self, id: JobId) -> JobState {
+        self.completed += 1;
+        self.jobs.remove(&id).expect("job not in flight")
+    }
+
+    /// Jobs currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Jobs completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Tasks pending across all in-flight jobs (running + queued + waiting
+    /// transfers) — the global load signal.
+    pub fn total_unfinished_tasks(&self) -> u64 {
+        self.jobs.values().map(|j| j.unfinished as u64).sum()
+    }
+}
+
+/// A helper for mapping `(server, task)` completion events back to jobs:
+/// the `TaskId` carries the `JobId`, so the table is keyed directly.
+pub fn task_index(id: TaskId) -> u32 {
+    id.index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim_des::time::SimDuration;
+    use holdcsim_workload::dag::TaskSpec;
+
+    fn chain3() -> JobDag {
+        JobDag::builder()
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .edge(0, 1, 100)
+            .edge(1, 2, 100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn readiness_flows_down_the_chain() {
+        let mut js = JobState::new(chain3(), SimTime::ZERO);
+        assert_eq!(js.initial_ready(), vec![0]);
+        assert_eq!(js.finish_task(0), vec![1]);
+        assert!(!js.is_complete());
+        assert_eq!(js.finish_task(1), vec![2]);
+        assert_eq!(js.finish_task(2), Vec::<u32>::new());
+        assert!(js.is_complete());
+    }
+
+    #[test]
+    fn fan_in_waits_for_all_preds() {
+        let dag = JobDag::builder()
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .edge(0, 2, 0)
+            .edge(1, 2, 0)
+            .build()
+            .unwrap();
+        let mut js = JobState::new(dag, SimTime::ZERO);
+        assert_eq!(js.initial_ready(), vec![0, 1]);
+        assert_eq!(js.finish_task(0), Vec::<u32>::new());
+        assert_eq!(js.finish_task(1), vec![2]);
+    }
+
+    #[test]
+    fn transfer_barrier() {
+        let mut js = JobState::new(chain3(), SimTime::ZERO);
+        js.add_transfers(1, 2);
+        assert!(!js.transfer_done(1));
+        assert_eq!(js.pending_transfers(1), 1);
+        assert!(js.transfer_done(1));
+    }
+
+    #[test]
+    fn assignment_bookkeeping() {
+        let mut js = JobState::new(chain3(), SimTime::ZERO);
+        assert_eq!(js.assignment(0), None);
+        js.assign(0, ServerId(3));
+        assert_eq!(js.assignment(0), Some(ServerId(3)));
+    }
+
+    #[test]
+    fn table_counts() {
+        let mut t = JobTable::new();
+        let id = t.alloc_id();
+        assert_eq!(id, JobId(0));
+        t.insert(id, JobState::new(chain3(), SimTime::ZERO));
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.submitted(), 1);
+        assert_eq!(t.total_unfinished_tasks(), 3);
+        let js = t.get_mut(id);
+        js.finish_task(0);
+        js.finish_task(1);
+        js.finish_task(2);
+        assert!(t.get(id).is_complete());
+        t.remove_completed(id);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.in_flight(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # holdcsim
+//!
+//! HolDCSim-RS: a holistic, event-driven data-center simulator that jointly
+//! models servers and networks, reproducing *HolDCSim: A Holistic Simulator
+//! for Data Centers* (Yao et al., IISWC 2019) in Rust.
+//!
+//! The crate wires the substrates together:
+//!
+//! * [`config`] — the experiment description (Fig. 1's inputs).
+//! * [`sim`] — the [`sim::Datacenter`] event model and [`sim::Simulation`]
+//!   driver.
+//! * [`report`] — run outcomes: latency percentiles, energy breakdowns,
+//!   residency, power/time series.
+//! * [`experiments`] — ready-made harnesses for every figure and table of
+//!   the paper's evaluation.
+//! * [`validation`] — the §V server/switch power validation methodology.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use holdcsim::prelude::*;
+//!
+//! let cfg = SimConfig::server_farm(
+//!     10, 4, 0.3,
+//!     WorkloadPreset::WebSearch.template(),
+//!     SimDuration::from_secs(10),
+//! );
+//! let report = Simulation::new(cfg).run();
+//! println!("{}", report.summary());
+//! assert!(report.jobs_completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod export;
+pub mod job;
+pub mod netstate;
+pub mod report;
+pub mod sim;
+pub mod validation;
+
+pub use config::{
+    ArrivalConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind, SimConfig, TopologySpec,
+};
+pub use report::{LatencyStats, NetworkReport, SeriesReport, ServerReport, SimReport};
+pub use sim::{Datacenter, DcEvent, Simulation};
+
+/// Convenience re-exports covering the whole stack.
+pub mod prelude {
+    pub use crate::config::{
+        ArrivalConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind, SimConfig,
+        TopologySpec,
+    };
+    pub use crate::report::{LatencyStats, SimReport};
+    pub use crate::sim::{Datacenter, Simulation};
+    pub use holdcsim_des::time::{SimDuration, SimTime};
+    pub use holdcsim_server::policy::{DeepState, SleepPolicy};
+    pub use holdcsim_server::server::{LocalQueueMode, ServerId};
+    pub use holdcsim_workload::presets::WorkloadPreset;
+    pub use holdcsim_workload::service::ServiceDist;
+    pub use holdcsim_workload::templates::JobTemplate;
+}

@@ -1,0 +1,283 @@
+//! The driver's network bundle: topology + router + flow/packet models +
+//! switch power devices, with the index structures the event loop needs.
+
+use std::collections::HashMap;
+
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::flow::FlowNet;
+use holdcsim_network::ids::{LinkId, NodeId};
+use holdcsim_network::packet::PacketNet;
+use holdcsim_network::routing::{Route, Router};
+use holdcsim_network::switch::SwitchDevice;
+use holdcsim_network::topologies::{
+    bcube, camcube, fat_tree, flattened_butterfly, star, BuiltTopology,
+};
+use holdcsim_network::topology::{NodeKind, Topology};
+use holdcsim_server::server::ServerId;
+
+use crate::config::{CommModel, NetworkConfig, TopologySpec};
+
+/// Everything network-side, owned by the simulation driver.
+#[derive(Debug)]
+pub struct NetState {
+    /// The graph.
+    pub topology: Topology,
+    /// Host NIC of each server (`hosts[i]` serves `ServerId(i)`).
+    pub hosts: Vec<NodeId>,
+    /// Shortest-path router with distance cache.
+    pub router: Router,
+    /// Flow-level model (present in both comm modes; only used in Flow).
+    pub flows: FlowNet,
+    /// Packet-level model.
+    pub packets: PacketNet,
+    /// Switch power devices, parallel to `topology.switches()`.
+    pub switches: Vec<SwitchDevice>,
+    /// Map from switch node to index into `switches`.
+    pub switch_index: HashMap<NodeId, usize>,
+    /// Communication granularity.
+    pub comm: CommModel,
+    /// LPI hold time, if enabled.
+    pub lpi_hold: Option<SimDuration>,
+    /// Idle ports use ALR rate reduction instead of LPI.
+    pub use_alr: bool,
+    /// Ingress request/response sizes, if front-end traffic is modeled.
+    pub ingress_bytes: Option<(u64, u64)>,
+    /// Topology display name.
+    pub name: String,
+    /// Reverse map: `(switch index, port)` → the link on that port.
+    pub port_link: HashMap<(usize, u32), LinkId>,
+}
+
+impl NetState {
+    /// Builds the network per `cfg`, sized to cover `server_count` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested topology yields fewer hosts than servers.
+    pub fn build(now: SimTime, cfg: &NetworkConfig, server_count: usize) -> Self {
+        let built: BuiltTopology = match cfg.topology {
+            TopologySpec::FatTree { k } => fat_tree(k, cfg.link),
+            TopologySpec::FlattenedButterfly { k, hosts_per_switch } => {
+                flattened_butterfly(k, hosts_per_switch, cfg.link)
+            }
+            TopologySpec::BCube { n, levels } => bcube(n, levels, cfg.link),
+            TopologySpec::CamCube { x, y, z } => camcube(x, y, z, cfg.link),
+            TopologySpec::Star => star(server_count.max(1), cfg.link),
+        };
+        assert!(
+            built.hosts.len() >= server_count,
+            "topology {} provides {} hosts for {} servers",
+            built.name,
+            built.hosts.len(),
+            server_count
+        );
+        let topology = built.topology;
+        let mut switches = Vec::new();
+        let mut switch_index = HashMap::new();
+        for &sw in topology.switches() {
+            let NodeKind::Switch { linecards, ports_per_card } = topology.kind(sw) else {
+                unreachable!("switch list contains only switches")
+            };
+            switch_index.insert(sw, switches.len());
+            switches.push(SwitchDevice::new(
+                now,
+                sw,
+                linecards,
+                ports_per_card,
+                cfg.switch_profile.clone(),
+            ));
+        }
+        let mut port_link = HashMap::new();
+        for (i, l) in topology.links().iter().enumerate() {
+            for p in [l.a, l.b] {
+                if let Some(&sw) = switch_index.get(&p.node) {
+                    port_link.insert((sw, p.port), LinkId(i as u32));
+                }
+            }
+        }
+        let router = Router::new();
+        let flows = FlowNet::new(&topology);
+        let buffer = match cfg.comm {
+            CommModel::Packet { buffer_bytes, .. } => buffer_bytes,
+            CommModel::Flow => 1 << 20,
+        };
+        let packets = PacketNet::new(&topology, buffer);
+        NetState {
+            hosts: built.hosts,
+            router,
+            flows,
+            packets,
+            switches,
+            switch_index,
+            comm: cfg.comm,
+            lpi_hold: cfg.lpi_hold,
+            use_alr: cfg.use_alr,
+            ingress_bytes: cfg.ingress_bytes,
+            name: built.name,
+            port_link,
+            topology,
+        }
+    }
+
+    /// The host NIC of `server`.
+    pub fn host_of(&self, server: ServerId) -> NodeId {
+        self.hosts[server.0 as usize]
+    }
+
+    /// Routes between two servers' hosts (ECMP-seeded by `seed`).
+    pub fn route_between(&mut self, a: ServerId, b: ServerId, seed: u64) -> Option<Route> {
+        let (ha, hb) = (self.host_of(a), self.host_of(b));
+        self.router.route(&self.topology, ha, hb, seed)
+    }
+
+    /// Switch-side `(switch index, port)` endpoints of `link`.
+    pub fn switch_ports_of_link(&self, link: LinkId) -> Vec<(usize, u32)> {
+        let l = self.topology.link(link);
+        [l.a, l.b]
+            .into_iter()
+            .filter_map(|p| self.switch_index.get(&p.node).map(|&i| (i, p.port)))
+            .collect()
+    }
+
+    /// Wakes the switch ports at both ends of `link` for transmission,
+    /// returning the largest wake latency among them.
+    pub fn wake_link(&mut self, now: SimTime, link: LinkId) -> SimDuration {
+        let mut worst = SimDuration::ZERO;
+        for (sw, port) in self.switch_ports_of_link(link) {
+            let d = self.switches[sw].wake_for_tx(now, port);
+            worst = worst.max(d);
+        }
+        worst
+    }
+
+    /// Network wake cost of placing work on `dst` given data sources
+    /// `srcs`: the number of sleeping switches (no active port), plus a
+    /// small charge per LPI port along the routes, plus a tiny distance
+    /// term so nearer servers win ties (§IV-D's cost).
+    pub fn wake_cost(&mut self, srcs: &[ServerId], dst: ServerId, seed: u64) -> f64 {
+        let mut cost = 0.0;
+        for &src in srcs {
+            if src == dst {
+                continue;
+            }
+            let Some(route) = self.route_between(src, dst, seed) else {
+                continue;
+            };
+            cost += 0.02 * route.hops() as f64;
+            for node in &route.nodes {
+                if let Some(&sw) = self.switch_index.get(node) {
+                    if !self.switches[sw].any_port_active() {
+                        cost += 1.0;
+                    }
+                }
+            }
+            for link in &route.links {
+                for (sw, port) in self.switch_ports_of_link(*link) {
+                    if self.switches[sw].wake_cost(port) > SimDuration::ZERO {
+                        cost += 0.01;
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// The switch-side `(switch index, port, link)` of `server`'s access
+    /// link, if its first-hop neighbor is a switch.
+    pub fn access_port(&self, server: ServerId) -> Option<(usize, u32, LinkId)> {
+        let host = self.host_of(server);
+        let (_, link) = self.topology.neighbors(host).next()?;
+        let (swi, port) = self.switch_ports_of_link(link).first().copied()?;
+        Some((swi, port, link))
+    }
+
+    /// Instantaneous total switch power.
+    pub fn switch_power_w(&self) -> f64 {
+        self.switches.iter().map(|s| s.power_w()).sum()
+    }
+
+    /// Total switch energy through `now`.
+    pub fn switch_energy_j(&self, now: SimTime) -> f64 {
+        self.switches.iter().map(|s| s.energy_j(now)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim_power::switch_profile::SwitchPowerProfile;
+
+    fn fat_tree_cfg() -> NetworkConfig {
+        NetworkConfig::fat_tree(4)
+    }
+
+    #[test]
+    fn builds_fat_tree_with_devices() {
+        let net = NetState::build(SimTime::ZERO, &fat_tree_cfg(), 16);
+        assert_eq!(net.hosts.len(), 16);
+        assert_eq!(net.switches.len(), 20);
+        assert!(net.switch_power_w() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "provides")]
+    fn too_many_servers_rejected() {
+        let _ = NetState::build(SimTime::ZERO, &fat_tree_cfg(), 17);
+    }
+
+    #[test]
+    fn star_sizes_to_server_count() {
+        let cfg = NetworkConfig::validation_star();
+        let net = NetState::build(SimTime::ZERO, &cfg, 24);
+        assert_eq!(net.hosts.len(), 24);
+        assert_eq!(net.switches.len(), 1);
+        let p = net.switch_power_w();
+        assert!((p - 20.22).abs() < 1e-9, "power {p}");
+    }
+
+    #[test]
+    fn link_ports_map_to_switch_side() {
+        let net = NetState::build(SimTime::ZERO, &NetworkConfig::validation_star(), 4);
+        // Host links touch exactly one switch.
+        for l in 0..net.topology.links().len() {
+            let ports = net.switch_ports_of_link(LinkId(l as u32));
+            assert_eq!(ports.len(), 1);
+        }
+    }
+
+    #[test]
+    fn wake_cost_counts_sleeping_switches() {
+        let mut net = NetState::build(SimTime::ZERO, &fat_tree_cfg(), 16);
+        let srcs = [ServerId(0)];
+        let base = net.wake_cost(&srcs, ServerId(15), 1);
+        // All switches awake: only the small distance term remains
+        // (cross-pod route: 6 hops x 0.02).
+        assert!(base < 0.2, "all awake, cost {base}");
+        // Put every port of every switch into LPI: switches count as asleep.
+        let t = SimTime::from_secs(1);
+        for sw in &mut net.switches {
+            for p in 0..sw.port_count() as u32 {
+                sw.enter_lpi(t, p);
+            }
+        }
+        let asleep = net.wake_cost(&srcs, ServerId(15), 1);
+        assert!(asleep >= 3.0, "cross-pod route wakes several switches: {asleep}");
+    }
+
+    #[test]
+    fn wake_link_returns_worst_latency() {
+        let cfg = NetworkConfig {
+            switch_profile: SwitchPowerProfile::datacenter_48port(),
+            ..NetworkConfig::validation_star()
+        };
+        let mut net = NetState::build(SimTime::ZERO, &cfg, 4);
+        let t = SimTime::from_secs(1);
+        for p in 0..4 {
+            net.switches[0].enter_lpi(t, p);
+        }
+        let d = net.wake_link(SimTime::from_secs(2), LinkId(0));
+        assert_eq!(d, SimDuration::from_micros(5));
+        // Idempotent: second wake is free.
+        assert_eq!(net.wake_link(SimTime::from_secs(2), LinkId(0)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,1164 @@
+//! The simulation driver: the [`Datacenter`] event model tying workload,
+//! servers, scheduling, controllers, and the network together, and the
+//! [`Simulation`] front end that runs it and produces a [`SimReport`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use holdcsim_des::engine::{Context, Engine, Model};
+use holdcsim_des::rng::SimRng;
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::ids::{FlowId, LinkId, PacketId};
+use holdcsim_network::packet::{segment, Packet, TxOutcome};
+use holdcsim_sched::policy::{
+    ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst, Random,
+    RoundRobin,
+};
+use holdcsim_sched::pools::{PoolAction, PoolManager};
+use holdcsim_sched::provisioning::{ProvisionAction, ProvisioningController};
+use holdcsim_sched::queue::GlobalQueue;
+use holdcsim_server::policy::SleepPolicy;
+use holdcsim_server::server::{Effect, Server, ServerConfig, ServerId};
+use holdcsim_server::task::TaskHandle;
+use holdcsim_workload::arrivals::{ArrivalProcess, Mmpp2Arrivals, PoissonArrivals, TraceArrivals};
+use holdcsim_workload::ids::{JobId, TaskId};
+
+use crate::config::{ArrivalConfig, CommModel, ControllerConfig, PolicyKind, SimConfig};
+use crate::job::{JobState, JobTable};
+use crate::netstate::NetState;
+use crate::report::{latency_report, Metrics, NetworkReport, ServerReport, SimReport};
+
+/// Packet retransmission backoff after a tail-drop.
+const RETRY_DELAY: SimDuration = SimDuration::from_millis(1);
+
+/// The event alphabet of the data-center model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DcEvent {
+    /// One-time setup (arms initial timers, LPI checks).
+    Init,
+    /// The next job arrives from the front end.
+    JobArrival,
+    /// A task finished on a server core.
+    TaskComplete {
+        /// The server.
+        server: ServerId,
+        /// The core index.
+        core: u32,
+        /// The task expected to be there (sanity check).
+        task: TaskId,
+    },
+    /// A server's idle delay timer fired.
+    ServerTimer {
+        /// The server.
+        server: ServerId,
+        /// Timer generation (stale generations are ignored).
+        gen: u64,
+    },
+    /// A server suspend/resume transition completed.
+    ServerTransition {
+        /// The server.
+        server: ServerId,
+    },
+    /// The flow network's earliest projected completion is due.
+    FlowsAdvance {
+        /// Flow-table generation this event was scheduled against.
+        gen: u64,
+    },
+    /// A packet arrived at its next node.
+    PacketArrive {
+        /// Slot in the packet table.
+        slot: usize,
+    },
+    /// Retransmit a dropped packet from its current node.
+    PacketRetry {
+        /// Slot in the packet table.
+        slot: usize,
+    },
+    /// A switch port's LPI hold expired; try to idle it.
+    LpiCheck {
+        /// Switch index.
+        switch: usize,
+        /// Port on that switch.
+        port: u32,
+    },
+    /// Cluster controller sampling tick.
+    ControllerTick,
+    /// Statistics sampling tick.
+    StatsSample,
+}
+
+#[derive(Debug)]
+struct PacketSt {
+    packet: Packet,
+    job: JobId,
+    task: u32,
+    /// Producer task index: packet counters are per DAG edge.
+    src_task: u32,
+}
+
+#[derive(Debug)]
+enum Controller {
+    Provisioning { ctl: ProvisioningController, parked: BTreeSet<ServerId> },
+    Pools { mgr: PoolManager },
+}
+
+/// The complete data-center model driven by the DES engine.
+#[derive(Debug)]
+pub struct Datacenter {
+    cfg: SimConfig,
+    rng_workload: SimRng,
+    arrivals: Arrivals,
+    servers: Vec<Server>,
+    jobs: JobTable,
+    policy: Box<dyn GlobalPolicy>,
+    global_queue: GlobalQueue,
+    eligible: Vec<ServerId>,
+    controller: Option<Controller>,
+    net: Option<NetState>,
+    next_flow_id: u64,
+    next_packet_id: u64,
+    flow_meta: HashMap<FlowId, (JobId, u32, Vec<LinkId>)>,
+    packet_slots: Vec<Option<PacketSt>>,
+    free_slots: Vec<usize>,
+    /// Outstanding packets per `(job, consumer task, producer task)` edge.
+    transfer_packets: HashMap<(u64, u32, u32), u64>,
+    pending_dispatch: HashMap<(u64, u32), (ServerId, TaskHandle)>,
+    /// Per-server tasks committed but still waiting on inbound transfers.
+    committed: Vec<u32>,
+    metrics: Metrics,
+}
+
+#[derive(Debug)]
+enum Arrivals {
+    Poisson(PoissonArrivals),
+    Mmpp(Mmpp2Arrivals),
+    Trace(TraceArrivals),
+}
+
+impl Arrivals {
+    fn next_gap(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        match self {
+            Arrivals::Poisson(p) => p.next_gap(rng),
+            Arrivals::Mmpp(p) => p.next_gap(rng),
+            Arrivals::Trace(p) => p.next_gap(rng),
+        }
+    }
+}
+
+impl Datacenter {
+    fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.server_count > 0, "need at least one server");
+        assert!(!cfg.sleep_policies.is_empty(), "need at least one sleep policy");
+        let root_rng = SimRng::seed_from(cfg.seed);
+        let rng_workload = root_rng.substream(1);
+        let now = SimTime::ZERO;
+        let servers: Vec<Server> = (0..cfg.server_count)
+            .map(|i| {
+                let sc = ServerConfig {
+                    cores: cfg.cores_per_server,
+                    profile: cfg.server_profile.clone(),
+                    queue_mode: cfg.queue_mode,
+                    policy: cfg.policy_for(i),
+                    pstate: cfg.server_profile.pstates.len() - 1,
+                    core_speeds: cfg.core_speeds.clone(),
+                    sockets: cfg.sockets_per_server,
+                };
+                Server::new(now, ServerId(i as u32), sc)
+            })
+            .collect();
+        let policy: Box<dyn GlobalPolicy> = match cfg.policy {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded::new()),
+            PolicyKind::PackFirst => Box::new(PackFirst::new()),
+            PolicyKind::Random => Box::new(Random::new(cfg.seed ^ 0xD15C0)),
+            PolicyKind::NetworkAware => Box::new(NetworkAware::new()),
+        };
+        let arrivals = match &cfg.arrivals {
+            ArrivalConfig::Poisson { rate } => Arrivals::Poisson(PoissonArrivals::new(*rate)),
+            ArrivalConfig::Mmpp2 { base_rate, burst_ratio, bursty_fraction, mean_bursty_dwell } => {
+                Arrivals::Mmpp(Mmpp2Arrivals::with_burstiness(
+                    *base_rate,
+                    *burst_ratio,
+                    *bursty_fraction,
+                    *mean_bursty_dwell,
+                ))
+            }
+            ArrivalConfig::Trace(times) => Arrivals::Trace(TraceArrivals::new(times.clone())),
+        };
+        let net = cfg.network.as_ref().map(|nc| NetState::build(now, nc, cfg.server_count));
+        let controller = cfg.controller.as_ref().map(|cc| match cc {
+            ControllerConfig::Provisioning { min_load, max_load } => Controller::Provisioning {
+                ctl: ProvisioningController::new(*min_load, *max_load, cfg.server_count),
+                parked: BTreeSet::new(),
+            },
+            ControllerConfig::Pools { t_wakeup, t_sleep, sleep_pool_tau, initial_active } => {
+                let ids: Vec<ServerId> = (0..cfg.server_count as u32).map(ServerId).collect();
+                Controller::Pools {
+                    mgr: PoolManager::new(&ids, *initial_active, *t_wakeup, *t_sleep, *sleep_pool_tau),
+                }
+            }
+        });
+        let metrics = Metrics::new(cfg.sample_period);
+        let mut dc = Datacenter {
+            rng_workload,
+            arrivals,
+            servers,
+            jobs: JobTable::new(),
+            policy,
+            global_queue: GlobalQueue::new(),
+            eligible: Vec::new(),
+            controller,
+            net,
+            next_flow_id: 0,
+            next_packet_id: 0,
+            flow_meta: HashMap::new(),
+            packet_slots: Vec::new(),
+            free_slots: Vec::new(),
+            transfer_packets: HashMap::new(),
+            pending_dispatch: HashMap::new(),
+            committed: vec![0; cfg.server_count],
+            metrics,
+            cfg,
+        };
+        dc.refresh_eligible();
+        dc
+    }
+
+    // ------------------------------------------------------------------
+    // Observers (used by reports, tests, and experiment harnesses)
+    // ------------------------------------------------------------------
+
+    /// The servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Jobs submitted so far.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs.submitted()
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs.completed()
+    }
+
+    /// Network state, if simulated.
+    pub fn net(&self) -> Option<&NetState> {
+        self.net.as_ref()
+    }
+
+    /// Servers currently awake (not deep-sleeping or transitioning).
+    pub fn awake_servers(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_awake()).count()
+    }
+
+    /// Total pending (queued + running) tasks plus the global queue.
+    pub fn total_pending(&self) -> usize {
+        self.servers.iter().map(|s| s.pending()).sum::<usize>() + self.global_queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    fn refresh_eligible(&mut self) {
+        self.eligible = match &self.controller {
+            Some(Controller::Provisioning { parked, .. }) => (0..self.servers.len() as u32)
+                .map(ServerId)
+                .filter(|id| !parked.contains(id))
+                .collect(),
+            Some(Controller::Pools { mgr }) => mgr.active(),
+            None => (0..self.servers.len() as u32).map(ServerId).collect(),
+        };
+    }
+
+    fn is_eligible(&self, id: ServerId) -> bool {
+        self.eligible.contains(&id)
+    }
+
+    /// Chooses a server for a task whose data sources are `srcs`, honoring
+    /// a server-class constraint if the task names one.
+    fn select_server(
+        &mut self,
+        srcs: &[ServerId],
+        class: Option<u32>,
+        seed: u64,
+    ) -> Option<ServerId> {
+        let use_gq = self.cfg.use_global_queue;
+        let class_ok = |id: ServerId| -> bool {
+            match (class, self.cfg.server_classes.is_empty()) {
+                (Some(c), false) => self.cfg.server_classes[id.0 as usize] == c,
+                _ => true,
+            }
+        };
+        // Network-aware placement needs per-candidate wake costs.
+        let costs: Option<HashMap<ServerId, f64>> = match (&self.cfg.policy, self.net.as_mut()) {
+            (PolicyKind::NetworkAware, Some(net)) => Some(
+                self.eligible
+                    .iter()
+                    .map(|&id| (id, net.wake_cost(srcs, id, seed)))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        // Fast path: no class constraint and no free-core filter means the
+        // eligible list can be borrowed as-is (O(1) placement for O(1)
+        // policies — the Table I scalability path).
+        let needs_filter = use_gq || (class.is_some() && !self.cfg.server_classes.is_empty());
+        let filtered: Vec<ServerId>;
+        let candidates: &[ServerId] = if needs_filter {
+            filtered = self
+                .eligible
+                .iter()
+                .copied()
+                .filter(|&id| class_ok(id))
+                .filter(|&id| {
+                    if !use_gq {
+                        return true;
+                    }
+                    let s = &self.servers[id.0 as usize];
+                    s.is_awake() && s.busy_cores() < s.core_count()
+                })
+                .collect();
+            &filtered
+        } else {
+            &self.eligible
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        let view = ClusterView::with_committed(&self.servers, &self.committed);
+        match costs {
+            Some(table) => {
+                let probe = CostTable(&table);
+                self.policy.select(&view, candidates, &probe)
+            }
+            None => self.policy.select(&view, candidates, &NoNetworkCost),
+        }
+    }
+
+    /// Places (or queues) task `t` of `job`, which just became ready.
+    fn place_or_queue(&mut self, ctx: &mut Context<'_, DcEvent>, job: JobId, t: u32) {
+        let (handle, srcs, class) = {
+            let js = self.jobs.get(job);
+            let spec = js.dag.task(t);
+            let handle = TaskHandle {
+                id: TaskId::new(job, t),
+                service: spec.service,
+                intensity: spec.intensity,
+            };
+            let srcs: Vec<ServerId> = js
+                .dag
+                .predecessors(t)
+                .iter()
+                .filter_map(|&p| js.assignment(p))
+                .collect();
+            (handle, srcs, spec.server_class)
+        };
+        match self.select_server(&srcs, class, job.0 ^ u64::from(t) << 48) {
+            Some(sid) => self.assign_and_transfer(ctx, job, t, handle, sid),
+            None => self.global_queue.push(ctx.now(), handle),
+        }
+    }
+
+    /// Binds task `t` to `sid`, launches inbound transfers, and dispatches
+    /// once (or if) no transfers are needed.
+    fn assign_and_transfer(
+        &mut self,
+        ctx: &mut Context<'_, DcEvent>,
+        job: JobId,
+        t: u32,
+        handle: TaskHandle,
+        sid: ServerId,
+    ) {
+        self.jobs.get_mut(job).assign(t, sid);
+        // Inbound edges that actually cross the network.
+        let inbound: Vec<(u32, u64, ServerId)> = if self.net.is_some() {
+            let js = self.jobs.get(job);
+            js.dag
+                .predecessors(t)
+                .iter()
+                .filter_map(|&p| {
+                    let bytes = js.dag.edge_bytes(p, t)?;
+                    let src = js.assignment(p)?;
+                    (bytes > 0 && src != sid).then_some((p, bytes, src))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if inbound.is_empty() {
+            self.dispatch(ctx, sid, handle);
+            return;
+        }
+        self.jobs.get_mut(job).add_transfers(t, inbound.len() as u32);
+        self.pending_dispatch.insert((job.0, t), (sid, handle));
+        self.committed[sid.0 as usize] += 1;
+        for (p, bytes, src) in inbound {
+            self.start_transfer(ctx, job, t, p, src, sid, bytes);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_transfer(
+        &mut self,
+        ctx: &mut Context<'_, DcEvent>,
+        job: JobId,
+        t: u32,
+        src_task: u32,
+        src: ServerId,
+        dst: ServerId,
+        bytes: u64,
+    ) {
+        let now = ctx.now();
+        let comm = self.net.as_ref().expect("transfer without network").comm;
+        match comm {
+            CommModel::Flow => {
+                let fid = FlowId(self.next_flow_id);
+                self.next_flow_id += 1;
+                let net = self.net.as_mut().expect("checked above");
+                let route = net
+                    .route_between(src, dst, fid.0)
+                    .expect("topology is connected");
+                for &l in &route.links {
+                    net.wake_link(now, l);
+                }
+                let (hs, hd) = (net.host_of(src), net.host_of(dst));
+                net.flows.add_flow(now, fid, hs, hd, &route.links, bytes);
+                self.flow_meta.insert(fid, (job, t, route.links.clone()));
+                self.resched_flows(ctx);
+            }
+            CommModel::Packet { mtu, .. } => {
+                let net = self.net.as_mut().expect("checked above");
+                let route = net
+                    .route_between(src, dst, job.0 ^ u64::from(t))
+                    .expect("topology is connected");
+                let segs = segment(bytes, mtu);
+                let n = segs.len() as u64;
+                if n == 0 {
+                    // Zero-byte edge over the network: instant.
+                    if self.jobs.get_mut(job).transfer_done(t) {
+                        let (sid, handle) = self
+                            .pending_dispatch
+                            .remove(&(job.0, t))
+                            .expect("pending dispatch");
+                        self.committed[sid.0 as usize] -= 1;
+                        self.dispatch(ctx, sid, handle);
+                    }
+                    return;
+                }
+                *self.transfer_packets.entry((job.0, t, src_task)).or_insert(0) += n;
+                for b in segs {
+                    let pid = PacketId(self.next_packet_id);
+                    self.next_packet_id += 1;
+                    let st = PacketSt {
+                        packet: Packet::new(pid, b, route.clone()),
+                        job,
+                        task: t,
+                        src_task,
+                    };
+                    let slot = match self.free_slots.pop() {
+                        Some(s) => {
+                            self.packet_slots[s] = Some(st);
+                            s
+                        }
+                        None => {
+                            self.packet_slots.push(Some(st));
+                            self.packet_slots.len() - 1
+                        }
+                    };
+                    self.send_packet(ctx, slot);
+                }
+            }
+        }
+    }
+
+    /// Transmits the packet in `slot` over its next hop.
+    fn send_packet(&mut self, ctx: &mut Context<'_, DcEvent>, slot: usize) {
+        let now = ctx.now();
+        let (node, link, bytes) = {
+            let st = self.packet_slots[slot].as_ref().expect("live packet slot");
+            let link = st.packet.next_link().expect("packet not at destination");
+            (st.packet.current_node(), link, st.packet.bytes)
+        };
+        let net = self.net.as_mut().expect("packet without network");
+        // Wake the egress port if this node is a switch; the wake latency
+        // delays the transmission start.
+        let mut start = now;
+        let sw_port = net.switch_index.get(&node).copied().map(|swi| {
+            let l = net.topology.link(link);
+            let port = l.endpoint_on(node).expect("link touches node").port;
+            (swi, port)
+        });
+        if let Some((swi, port)) = sw_port {
+            let wake = net.switches[swi].wake_for_tx(now, port);
+            start = now + wake;
+        }
+        match net.packets.transmit(start, &net.topology, link, node, bytes) {
+            TxOutcome::Forwarded { arrives_at } => {
+                if let Some((swi, port)) = sw_port {
+                    let tx_end = arrives_at - net.topology.link(link).latency;
+                    net.switches[swi].note_tx_end(port, tx_end);
+                    if let Some(hold) = net.lpi_hold {
+                        ctx.schedule_at(
+                            (tx_end + hold).max(now),
+                            DcEvent::LpiCheck { switch: swi, port },
+                        );
+                    }
+                }
+                ctx.schedule_at(arrives_at, DcEvent::PacketArrive { slot });
+            }
+            TxOutcome::Dropped => {
+                ctx.schedule_in(RETRY_DELAY, DcEvent::PacketRetry { slot });
+            }
+        }
+    }
+
+    fn on_packet_arrive(&mut self, ctx: &mut Context<'_, DcEvent>, slot: usize) {
+        let finished = {
+            let st = self.packet_slots[slot].as_mut().expect("live packet slot");
+            st.packet.hop += 1;
+            st.packet.at_destination()
+        };
+        if !finished {
+            self.send_packet(ctx, slot);
+            return;
+        }
+        let st = self.packet_slots[slot].take().expect("live packet slot");
+        self.free_slots.push(slot);
+        let key = (st.job.0, st.task, st.src_task);
+        let remaining = self
+            .transfer_packets
+            .get_mut(&key)
+            .expect("transfer accounting");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.transfer_packets.remove(&key);
+            // This *edge* is fully delivered; the task starts once all its
+            // inbound edges have landed.
+            if self.jobs.get_mut(st.job).transfer_done(st.task) {
+                let (sid, handle) = self
+                    .pending_dispatch
+                    .remove(&(st.job.0, st.task))
+                    .expect("pending dispatch");
+                self.committed[sid.0 as usize] -= 1;
+                self.dispatch(ctx, sid, handle);
+            }
+        }
+    }
+
+    fn resched_flows(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let net = self.net.as_ref().expect("flows without network");
+        if let Some((gen, at)) = net.flows.next_completion(ctx.now()) {
+            ctx.schedule_at(at, DcEvent::FlowsAdvance { gen });
+        }
+    }
+
+    fn on_flows_advance(&mut self, ctx: &mut Context<'_, DcEvent>, gen: u64) {
+        let now = ctx.now();
+        let Some(net) = self.net.as_mut() else { return };
+        if gen != net.flows.generation() {
+            return;
+        }
+        net.flows.advance(now);
+        let done = net.flows.take_completed();
+        let hold = net.lpi_hold;
+        for c in &done {
+            let (job, task, links) = self
+                .flow_meta
+                .remove(&c.id)
+                .expect("completed flow has metadata");
+            // Freed links may now idle their ports.
+            if let Some(hold) = hold {
+                let net = self.net.as_ref().expect("still here");
+                for &l in &links {
+                    if net.flows.flows_on_link(l) == 0 {
+                        for (swi, port) in net.switch_ports_of_link(l) {
+                            ctx.schedule_in(hold, DcEvent::LpiCheck { switch: swi, port });
+                        }
+                    }
+                }
+            }
+            if self.jobs.get_mut(job).transfer_done(task) {
+                let (sid, handle) = self
+                    .pending_dispatch
+                    .remove(&(job.0, task))
+                    .expect("pending dispatch");
+                self.committed[sid.0 as usize] -= 1;
+                self.dispatch(ctx, sid, handle);
+            }
+        }
+        if self.net.is_some() {
+            self.resched_flows(ctx);
+        }
+    }
+
+    fn on_lpi_check(&mut self, ctx: &mut Context<'_, DcEvent>, switch: usize, port: u32) {
+        let now = ctx.now();
+        let Some(net) = self.net.as_mut() else { return };
+        let Some(hold) = net.lpi_hold else { return };
+        let link = net.port_link[&(switch, port)];
+        let busy = match net.comm {
+            CommModel::Flow => net.flows.flows_on_link(link) > 0,
+            CommModel::Packet { .. } => {
+                let sw_node = net.switches[switch].node();
+                net.packets.egress_idle_at(&net.topology, link, sw_node, now) > now
+            }
+        };
+        if busy {
+            return;
+        }
+        let use_alr = net.use_alr;
+        let sw = &mut net.switches[switch];
+        if sw.last_tx_end(port).saturating_add(hold) > now {
+            return; // traffic since this check was scheduled
+        }
+        if use_alr {
+            // ALR mode: negotiate the idle port down the ladder instead of
+            // entering LPI (zero exit latency, smaller savings).
+            let lowest = sw.profile().port.alr_ladder.first().map(|&(rate, _)| rate);
+            if let Some(rate) = lowest {
+                sw.set_port_rate(now, port, Some(rate));
+            }
+        } else if sw.enter_lpi(now, port) {
+            let card = sw.card_of(port);
+            sw.sleep_card(now, card);
+        }
+        let _ = ctx;
+    }
+
+    // ------------------------------------------------------------------
+    // Server-side events
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, handle: TaskHandle) {
+        // Front-end request traffic down the access link, if modeled.
+        if let Some((req, _)) = self.net.as_ref().and_then(|n| n.ingress_bytes) {
+            self.touch_access_port(ctx, sid, req);
+        }
+        let fx = self.servers[sid.0 as usize].submit(ctx.now(), handle);
+        self.apply_effects(ctx, sid, &fx);
+    }
+
+    /// Marks `sid`'s access-link switch port active for a transmission of
+    /// `bytes`, charging LPI wake-ups and scheduling the idle re-check —
+    /// the mechanism behind the §V-B port-state log.
+    fn touch_access_port(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, bytes: u64) {
+        let now = ctx.now();
+        let Some(net) = self.net.as_mut() else { return };
+        let Some((swi, port, link)) = net.access_port(sid) else { return };
+        let wake = net.switches[swi].wake_for_tx(now, port);
+        let rate = net.topology.link(link).rate_bps;
+        let tx_end = now + wake + SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate as f64);
+        net.switches[swi].note_tx_end(port, tx_end);
+        if let Some(hold) = net.lpi_hold {
+            ctx.schedule_at(tx_end + hold, DcEvent::LpiCheck { switch: swi, port });
+        }
+    }
+
+    fn apply_effects(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &[Effect]) {
+        for &e in fx {
+            match e {
+                Effect::TaskStarted { core, id, completes_in } => {
+                    ctx.schedule_in(
+                        completes_in,
+                        DcEvent::TaskComplete { server: sid, core, task: id },
+                    );
+                }
+                Effect::ArmTimer { after, gen } => {
+                    ctx.schedule_in(after, DcEvent::ServerTimer { server: sid, gen });
+                }
+                Effect::TransitionDoneIn { after } => {
+                    ctx.schedule_in(after, DcEvent::ServerTransition { server: sid });
+                }
+            }
+        }
+    }
+
+    fn on_task_complete(
+        &mut self,
+        ctx: &mut Context<'_, DcEvent>,
+        sid: ServerId,
+        core: u32,
+        expected: TaskId,
+    ) {
+        let now = ctx.now();
+        let (tid, fx) = self.servers[sid.0 as usize].complete(now, core);
+        debug_assert_eq!(tid, expected, "completion event routed to wrong core");
+        self.apply_effects(ctx, sid, &fx);
+        // Response traffic back up the access link, if modeled.
+        if let Some((_, resp)) = self.net.as_ref().and_then(|n| n.ingress_bytes) {
+            self.touch_access_port(ctx, sid, resp);
+        }
+        // DAG bookkeeping.
+        let ready = self.jobs.get_mut(tid.job).finish_task(tid.index);
+        for t in ready {
+            self.place_or_queue(ctx, tid.job, t);
+        }
+        if self.jobs.get(tid.job).is_complete() {
+            let js = self.jobs.remove_completed(tid.job);
+            // Steady-state statistics: skip jobs that arrived in warm-up.
+            if js.arrived.saturating_duration_since(SimTime::ZERO) >= self.cfg.warmup {
+                self.metrics
+                    .latency
+                    .record(now.saturating_duration_since(js.arrived).as_secs_f64());
+            }
+        }
+        self.pull_global_queue(ctx, sid);
+    }
+
+    fn pull_global_queue(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId) {
+        if !self.cfg.use_global_queue || !self.is_eligible(sid) {
+            return;
+        }
+        loop {
+            let s = &self.servers[sid.0 as usize];
+            if !(s.is_awake() && s.busy_cores() < s.core_count()) {
+                return;
+            }
+            // Only pull tasks this server's class may run.
+            let popped = {
+                let jobs = &self.jobs;
+                let classes = &self.cfg.server_classes;
+                self.global_queue.pop_matching(ctx.now(), |t| {
+                    match (jobs.get(t.id.job).dag.task(t.id.index).server_class, classes.is_empty())
+                    {
+                        (Some(c), false) => classes[sid.0 as usize] == c,
+                        _ => true,
+                    }
+                })
+            };
+            let Some((handle, _waited)) = popped else {
+                return;
+            };
+            let (job, t) = (handle.id.job, handle.id.index);
+            self.assign_and_transfer(ctx, job, t, handle, sid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload
+    // ------------------------------------------------------------------
+
+    fn on_job_arrival(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        let dag = self.cfg.template.generate(&mut self.rng_workload);
+        let id = self.jobs.alloc_id();
+        let state = JobState::new(dag, now);
+        let ready = state.initial_ready();
+        self.jobs.insert(id, state);
+        for t in ready {
+            self.place_or_queue(ctx, id, t);
+        }
+        self.schedule_next_arrival(ctx);
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        if let Some(gap) = self.arrivals.next_gap(&mut self.rng_workload) {
+            let at = ctx.now() + gap;
+            if at <= SimTime::ZERO + self.cfg.duration {
+                ctx.schedule_at(at, DcEvent::JobArrival);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Controllers & sampling
+    // ------------------------------------------------------------------
+
+    fn on_controller_tick(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        // Act repeatedly within one tick so deep load swings are matched by
+        // batch activations/parkings rather than one server per period.
+        for _ in 0..8 {
+            if !self.controller_step(ctx) {
+                break;
+            }
+        }
+        // On-demand DVFS governor: step server frequencies toward the load.
+        if let Some(dvfs) = self.cfg.dvfs {
+            for s in &mut self.servers {
+                let load = s.pending() as f64 / s.core_count() as f64;
+                let p = s.pstate();
+                if load > dvfs.high && p + 1 < s.pstate_count() {
+                    s.set_pstate(now, p + 1);
+                } else if load < dvfs.low && p > 0 {
+                    s.set_pstate(now, p - 1);
+                }
+            }
+        }
+        // Keep ticking within the horizon.
+        if now + self.cfg.controller_period <= SimTime::ZERO + self.cfg.duration {
+            ctx.schedule_in(self.cfg.controller_period, DcEvent::ControllerTick);
+        }
+    }
+
+    /// One controller decision; returns `true` if it acted.
+    fn controller_step(&mut self, ctx: &mut Context<'_, DcEvent>) -> bool {
+        let now = ctx.now();
+        let total_pending = self.total_pending() as f64;
+        // Controller decisions (extracted first to satisfy the borrow
+        // checker: acting on servers needs &mut self).
+        enum Decision {
+            Park(ServerId),
+            Unpark(ServerId),
+            Promote(ServerId),
+            Demote(ServerId),
+            None,
+        }
+        let decision = match &mut self.controller {
+            Some(Controller::Provisioning { ctl, parked }) => {
+                let active = self.servers.len() - parked.len();
+                match ctl.decide(total_pending, active) {
+                    ProvisionAction::ActivateOne => match parked.iter().next().copied() {
+                        Some(id) => {
+                            parked.remove(&id);
+                            Decision::Unpark(id)
+                        }
+                        None => Decision::None,
+                    },
+                    ProvisionAction::DeactivateOne => {
+                        // Park the highest-id non-parked server.
+                        let candidate = (0..self.servers.len() as u32)
+                            .rev()
+                            .map(ServerId)
+                            .find(|id| !parked.contains(id));
+                        match candidate {
+                            Some(id) if self.servers.len() - parked.len() > 1 => {
+                                parked.insert(id);
+                                Decision::Park(id)
+                            }
+                            _ => Decision::None,
+                        }
+                    }
+                    ProvisionAction::Hold => Decision::None,
+                }
+            }
+            Some(Controller::Pools { mgr }) => {
+                // Pool load counts only the active pool's pending work.
+                let active_pending: usize = mgr
+                    .active()
+                    .iter()
+                    .map(|id| self.servers[id.0 as usize].pending())
+                    .sum();
+                match mgr.decide(active_pending as f64 + self.global_queue.len() as f64) {
+                    PoolAction::Promote(id) => {
+                        mgr.apply_promote(id);
+                        Decision::Promote(id)
+                    }
+                    PoolAction::Demote(id) => {
+                        mgr.apply_demote(id);
+                        Decision::Demote(id)
+                    }
+                    PoolAction::Hold => Decision::None,
+                }
+            }
+            None => Decision::None,
+        };
+        match decision {
+            Decision::Park(id) => {
+                // Parked servers simply stop receiving work; their own
+                // sleep policy (delay timer) decides when they descend.
+                self.refresh_eligible();
+                let _ = id;
+            }
+            Decision::Unpark(id) => {
+                let fx = self.servers[id.0 as usize].set_policy(now, self.cfg.policy_for(id.0 as usize));
+                self.apply_effects(ctx, id, &fx);
+                let fx = self.servers[id.0 as usize].request_wake(now);
+                self.apply_effects(ctx, id, &fx);
+                self.refresh_eligible();
+            }
+            Decision::Promote(id) => {
+                let pool_policy = match &self.controller {
+                    Some(Controller::Pools { mgr }) => mgr.active_pool_policy(),
+                    _ => unreachable!("promotion without pools"),
+                };
+                let fx = self.servers[id.0 as usize].set_policy(now, pool_policy);
+                self.apply_effects(ctx, id, &fx);
+                let fx = self.servers[id.0 as usize].request_wake(now);
+                self.apply_effects(ctx, id, &fx);
+                self.refresh_eligible();
+            }
+            Decision::Demote(id) => {
+                let pool_policy = match &self.controller {
+                    Some(Controller::Pools { mgr }) => mgr.sleep_pool_policy(),
+                    _ => unreachable!("demotion without pools"),
+                };
+                let fx = self.servers[id.0 as usize].set_policy(now, pool_policy);
+                self.apply_effects(ctx, id, &fx);
+                self.refresh_eligible();
+            }
+            Decision::None => return false,
+        }
+        true
+    }
+
+    fn on_stats_sample(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        self.metrics.active_servers.observe(now, self.awake_servers() as f64);
+        self.metrics.active_jobs.observe(now, self.jobs.in_flight() as f64);
+        let server_power: f64 = self.servers.iter().map(|s| s.power_w()).sum();
+        self.metrics.server_power.observe(now, server_power);
+        if let Some(net) = &self.net {
+            self.metrics.switch_power.observe(now, net.switch_power_w());
+        }
+        self.metrics.cpu0_power.observe(now, self.servers[0].cpu_power_w());
+        if now + self.cfg.sample_period <= SimTime::ZERO + self.cfg.duration {
+            ctx.schedule_in(self.cfg.sample_period, DcEvent::StatsSample);
+        }
+    }
+
+    fn on_init(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        // Pool members adopt their pool policies (arms sleep-pool timers).
+        if let Some(Controller::Pools { mgr }) = &self.controller {
+            let actions: Vec<(ServerId, SleepPolicy)> = mgr
+                .active()
+                .into_iter()
+                .map(|id| (id, mgr.active_pool_policy()))
+                .chain(mgr.sleeping().into_iter().map(|id| (id, mgr.sleep_pool_policy())))
+                .collect();
+            for (id, pol) in actions {
+                let fx = self.servers[id.0 as usize].set_policy(now, pol);
+                self.apply_effects(ctx, id, &fx);
+            }
+            self.refresh_eligible();
+        } else {
+            // Arm any configured delay timers for servers that start idle.
+            let policies: Vec<SleepPolicy> = (0..self.servers.len())
+                .map(|i| self.cfg.policy_for(i))
+                .collect();
+            for (i, pol) in policies.into_iter().enumerate() {
+                if pol.deep_after.is_some() {
+                    let fx = self.servers[i].set_policy(now, pol);
+                    self.apply_effects(ctx, ServerId(i as u32), &fx);
+                }
+            }
+        }
+        // Idle switch ports may enter LPI after the initial hold.
+        if let Some(net) = &self.net {
+            if let Some(hold) = net.lpi_hold {
+                for (swi, sw) in net.switches.iter().enumerate() {
+                    for port in 0..sw.port_count() as u32 {
+                        ctx.schedule_in(hold, DcEvent::LpiCheck { switch: swi, port });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Model for Datacenter {
+    type Event = DcEvent;
+
+    fn handle(&mut self, ctx: &mut Context<'_, DcEvent>, event: DcEvent) {
+        match event {
+            DcEvent::Init => self.on_init(ctx),
+            DcEvent::JobArrival => self.on_job_arrival(ctx),
+            DcEvent::TaskComplete { server, core, task } => {
+                self.on_task_complete(ctx, server, core, task)
+            }
+            DcEvent::ServerTimer { server, gen } => {
+                let fx = self.servers[server.0 as usize].timer_fired(ctx.now(), gen);
+                self.apply_effects(ctx, server, &fx);
+            }
+            DcEvent::ServerTransition { server } => {
+                let fx = self.servers[server.0 as usize].transition_done(ctx.now());
+                self.apply_effects(ctx, server, &fx);
+                self.pull_global_queue(ctx, server);
+            }
+            DcEvent::FlowsAdvance { gen } => self.on_flows_advance(ctx, gen),
+            DcEvent::PacketArrive { slot } => self.on_packet_arrive(ctx, slot),
+            DcEvent::PacketRetry { slot } => self.send_packet(ctx, slot),
+            DcEvent::LpiCheck { switch, port } => self.on_lpi_check(ctx, switch, port),
+            DcEvent::ControllerTick => self.on_controller_tick(ctx),
+            DcEvent::StatsSample => self.on_stats_sample(ctx),
+        }
+    }
+}
+
+struct CostTable<'a>(&'a HashMap<ServerId, f64>);
+
+impl NetworkCost for CostTable<'_> {
+    fn wake_cost(&self, server: ServerId) -> f64 {
+        self.0.get(&server).copied().unwrap_or(0.0)
+    }
+}
+
+/// A configured simulation, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim::config::SimConfig;
+/// use holdcsim::sim::Simulation;
+/// use holdcsim_des::time::SimDuration;
+/// use holdcsim_workload::presets::WorkloadPreset;
+///
+/// let cfg = SimConfig::server_farm(
+///     4, 2, 0.3,
+///     WorkloadPreset::WebSearch.template(),
+///     SimDuration::from_secs(5),
+/// );
+/// let report = Simulation::new(cfg).run();
+/// assert!(report.jobs_completed > 0);
+/// assert!(report.latency.mean >= 0.005 * 0.9);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    engine: Engine<Datacenter>,
+}
+
+impl Simulation {
+    /// Builds the simulation from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let duration = cfg.duration;
+        let dc = Datacenter::new(cfg);
+        let mut engine = Engine::new(dc);
+        engine.schedule_at(SimTime::ZERO, DcEvent::Init);
+        engine.schedule_at(SimTime::ZERO, DcEvent::StatsSample);
+        engine.schedule_at(SimTime::ZERO, DcEvent::ControllerTick);
+        // First arrival.
+        let first = {
+            let dc = engine.model_mut();
+            dc.arrivals.next_gap(&mut dc.rng_workload)
+        };
+        if let Some(gap) = first {
+            if gap <= duration {
+                engine.schedule_at(SimTime::ZERO + gap, DcEvent::JobArrival);
+            }
+        }
+        Simulation { engine }
+    }
+
+    /// Read access to the model (for tests and custom harnesses).
+    pub fn datacenter(&self) -> &Datacenter {
+        self.engine.model()
+    }
+
+    /// Runs to the configured horizon and produces the report.
+    pub fn run(mut self) -> SimReport {
+        let end = SimTime::ZERO + self.engine.model().cfg.duration;
+        self.engine.run_until(end);
+        let events = self.engine.events_processed();
+        let dc = self.engine.into_model();
+        let servers: Vec<ServerReport> =
+            dc.servers.iter().map(|s| ServerReport::snapshot(s, end)).collect();
+        let network = dc.net.as_ref().map(|n| NetworkReport {
+            switch_energy_j: n.switch_energy_j(end),
+            mean_switch_power_w: n.switch_energy_j(end) / dc.cfg.duration.as_secs_f64(),
+            flows: n.flows.total_admitted(),
+            packets_forwarded: n.packets.forwarded(),
+            packets_dropped: n.packets.dropped(),
+            topology: n.name.clone(),
+        });
+        let jobs_submitted = dc.jobs.submitted();
+        let jobs_completed = dc.jobs.completed();
+        let gq = dc.global_queue.total_enqueued();
+        let (latency_samples, series) = dc.metrics.finish(end);
+        let (latency, latency_cdf) = latency_report(&latency_samples);
+        SimReport {
+            duration: dc.cfg.duration,
+            jobs_submitted,
+            jobs_completed,
+            latency,
+            latency_cdf,
+            servers,
+            network,
+            series,
+            events_processed: events,
+            global_queue_tasks: gq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim_server::policy::SleepPolicy;
+    use holdcsim_workload::presets::WorkloadPreset;
+
+    fn quick_cfg(rho: f64, secs: u64) -> SimConfig {
+        SimConfig::server_farm(
+            4,
+            2,
+            rho,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn farm_completes_jobs_with_sane_latency() {
+        let report = Simulation::new(quick_cfg(0.3, 20)).run();
+        assert!(report.jobs_completed > 1_000);
+        // M/M/c-ish: latency at rho=0.3 should be near the 5 ms service time.
+        assert!(report.latency.mean > 0.004 && report.latency.mean < 0.02,
+            "mean latency {}", report.latency.mean);
+        assert!(report.latency.p99 >= report.latency.p90);
+        assert!(report.server_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = Simulation::new(quick_cfg(0.3, 5)).run();
+        let b = Simulation::new(quick_cfg(0.3, 5)).run();
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.latency.p95, b.latency.p95);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!((a.server_energy_j() - b.server_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(quick_cfg(0.3, 5)).run();
+        let b = Simulation::new(quick_cfg(0.3, 5).with_seed(7)).run();
+        assert_ne!(a.jobs_completed, b.jobs_completed);
+    }
+
+    #[test]
+    fn higher_utilization_more_jobs_and_energy() {
+        let lo = Simulation::new(quick_cfg(0.1, 10)).run();
+        let hi = Simulation::new(quick_cfg(0.6, 10)).run();
+        assert!(hi.jobs_completed > 3 * lo.jobs_completed);
+        assert!(hi.server_energy_j() > lo.server_energy_j());
+        assert!(hi.mean_utilization() > lo.mean_utilization());
+    }
+
+    #[test]
+    fn delay_timer_saves_energy_at_low_load() {
+        let base = quick_cfg(0.1, 60);
+        let active_idle = Simulation::new(base.clone()).run();
+        let with_timer = Simulation::new(
+            base.with_sleep_policy(SleepPolicy::delay_timer(SimDuration::from_millis(200)))
+                .with_policy(PolicyKind::PackFirst),
+        )
+        .run();
+        assert!(
+            with_timer.server_energy_j() < active_idle.server_energy_j() * 0.8,
+            "timer {} vs active-idle {}",
+            with_timer.server_energy_j(),
+            active_idle.server_energy_j()
+        );
+        // Jobs still complete.
+        assert!(with_timer.jobs_completed as f64 > active_idle.jobs_completed as f64 * 0.9);
+    }
+
+    #[test]
+    fn series_lengths_match_duration() {
+        let report = Simulation::new(quick_cfg(0.3, 10)).run();
+        // Sampled every second from 0 through 10 inclusive.
+        assert_eq!(report.series.active_jobs.len(), 11);
+        assert_eq!(report.series.server_power_w.len(), 11);
+        assert!(report.series.server_power_w.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn json_and_summary_render() {
+        let report = Simulation::new(quick_cfg(0.3, 2)).run();
+        let json = report.to_json();
+        assert!(json.contains("\"jobs_completed\""));
+        assert!(report.summary().contains("jobs:"));
+    }
+}

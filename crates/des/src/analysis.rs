@@ -1,0 +1,203 @@
+//! Closed-form queueing-theory references for validating the simulator.
+//!
+//! A discrete-event simulator earns trust by reproducing the systems whose
+//! answers are known exactly. This module provides M/M/1 and M/M/c
+//! formulas (Erlang C) that the integration tests compare simulation
+//! output against.
+
+/// Exact M/M/1 results for arrival rate λ and service rate µ.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_des::analysis::MM1;
+///
+/// let q = MM1::new(0.5, 1.0);
+/// assert_eq!(q.utilization(), 0.5);
+/// assert_eq!(q.mean_time_in_system(), 2.0); // 1/(mu - lambda)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MM1 {
+    /// Creates the queue model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lambda < mu` (the queue must be stable).
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > lambda, "M/M/1 requires 0 < lambda < mu");
+        MM1 { lambda, mu }
+    }
+
+    /// Server utilization ρ = λ/µ.
+    pub fn utilization(self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean number in system, L = ρ/(1−ρ).
+    pub fn mean_in_system(self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean time in system, W = 1/(µ−λ).
+    pub fn mean_time_in_system(self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time (excluding service), W_q = ρ/(µ−λ).
+    pub fn mean_wait(self) -> f64 {
+        self.utilization() / (self.mu - self.lambda)
+    }
+
+    /// The `q`-quantile of time in system (exponential with rate µ−λ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1)`.
+    pub fn time_in_system_quantile(self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile out of [0,1)");
+        -(1.0 - q).ln() / (self.mu - self.lambda)
+    }
+}
+
+/// Exact M/M/c results (Erlang C) for arrival rate λ, per-server service
+/// rate µ, and `c` servers.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_des::analysis::MMc;
+///
+/// let q = MMc::new(2.0, 1.0, 4);
+/// assert_eq!(q.utilization(), 0.5);
+/// // Waiting probability is small with this much headroom.
+/// assert!(q.wait_probability() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMc {
+    lambda: f64,
+    mu: f64,
+    c: u32,
+}
+
+impl MMc {
+    /// Creates the queue model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c > 0` and `lambda < c·mu` (stability).
+    pub fn new(lambda: f64, mu: f64, c: u32) -> Self {
+        assert!(c > 0, "need at least one server");
+        assert!(
+            lambda > 0.0 && lambda < c as f64 * mu,
+            "M/M/c requires 0 < lambda < c*mu"
+        );
+        MMc { lambda, mu, c }
+    }
+
+    /// Per-server utilization ρ = λ/(cµ).
+    pub fn utilization(self) -> f64 {
+        self.lambda / (self.c as f64 * self.mu)
+    }
+
+    /// Offered load in Erlangs, a = λ/µ.
+    pub fn offered_load(self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Erlang C: the probability an arrival must wait.
+    pub fn wait_probability(self) -> f64 {
+        let a = self.offered_load();
+        let c = self.c as f64;
+        // sum_{k=0}^{c-1} a^k/k!  computed iteratively for stability.
+        let mut term = 1.0; // a^0/0!
+        let mut sum = 1.0;
+        for k in 1..self.c {
+            term *= a / k as f64;
+            sum += term;
+        }
+        let tail = term * a / c; // a^c/c!
+        let tail = tail / (1.0 - self.utilization());
+        tail / (sum + tail)
+    }
+
+    /// Mean waiting time W_q = C(c, a)/(cµ − λ).
+    pub fn mean_wait(self) -> f64 {
+        self.wait_probability() / (self.c as f64 * self.mu - self.lambda)
+    }
+
+    /// Mean time in system W = W_q + 1/µ.
+    pub fn mean_time_in_system(self) -> f64 {
+        self.mean_wait() + 1.0 / self.mu
+    }
+
+    /// Mean number in system L = λW (Little's law).
+    pub fn mean_in_system(self) -> f64 {
+        self.lambda * self.mean_time_in_system()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        let q = MM1::new(2.0, 3.0);
+        assert!((q.utilization() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_in_system() - 2.0).abs() < 1e-12);
+        assert!((q.mean_time_in_system() - 1.0).abs() < 1e-12);
+        assert!((q.mean_wait() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_little_law_consistency() {
+        let q = MM1::new(0.7, 1.0);
+        assert!((q.mean_in_system() - 0.7 * q.mean_time_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_quantiles_are_exponential() {
+        let q = MM1::new(0.5, 1.0);
+        // median = ln(2)/(mu-lambda)
+        assert!((q.time_in_system_quantile(0.5) - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(q.time_in_system_quantile(0.99) > q.time_in_system_quantile(0.9));
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1_at_c1() {
+        let mmc = MMc::new(0.6, 1.0, 1);
+        let mm1 = MM1::new(0.6, 1.0);
+        assert!((mmc.mean_time_in_system() - mm1.mean_time_in_system()).abs() < 1e-9);
+        // For M/M/1 the waiting probability is rho.
+        assert!((mmc.wait_probability() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmc_erlang_c_known_value() {
+        // Classic call-center example: a = 8 Erlang, c = 10 servers:
+        // Erlang C ≈ 0.409.
+        let q = MMc::new(8.0, 1.0, 10);
+        let pc = q.wait_probability();
+        assert!((pc - 0.409).abs() < 0.005, "Erlang C {pc}");
+    }
+
+    #[test]
+    fn mmc_pooling_beats_mm1() {
+        // Four pooled servers at the same utilization wait far less.
+        let pooled = MMc::new(2.8, 1.0, 4);
+        let single = MM1::new(0.7, 1.0);
+        assert!(pooled.mean_wait() < single.mean_wait() / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 < lambda < c*mu")]
+    fn unstable_mmc_rejected() {
+        let _ = MMc::new(5.0, 1.0, 4);
+    }
+}

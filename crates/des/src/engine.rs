@@ -1,0 +1,323 @@
+//! The simulation engine: drives a [`Model`] by popping events off the
+//! calendar and handing them to the model's handler together with a
+//! [`Context`] through which the handler schedules follow-up events.
+
+use crate::queue::{EventQueue, EventToken};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: owns all domain state and interprets events.
+///
+/// The engine owns the clock and the calendar; the model owns everything
+/// else. Handlers receive a [`Context`] for reading the clock and scheduling
+/// or cancelling future events.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_des::engine::{Context, Engine, Model};
+/// use holdcsim_des::time::SimDuration;
+///
+/// struct Counter {
+///     fired: u32,
+/// }
+///
+/// impl Model for Counter {
+///     type Event = ();
+///     fn handle(&mut self, ctx: &mut Context<'_, ()>, _ev: ()) {
+///         self.fired += 1;
+///         if self.fired < 3 {
+///             ctx.schedule_in(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Counter { fired: 0 });
+/// engine.schedule_in(SimDuration::ZERO, ());
+/// engine.run();
+/// assert_eq!(engine.model().fired, 3);
+/// ```
+pub trait Model: Sized {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event occurring at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// The handler-side view of the engine: the current clock plus scheduling.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before `self.now()`): scheduling into
+    /// the past would corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Cancels a previously scheduled event. No-op if it already fired.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.queue.cancel(token)
+    }
+
+    /// Requests the engine stop after this handler returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The discrete-event engine: event calendar + clock + a [`Model`].
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+    stopped: bool,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty calendar.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event before or between runs.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventToken {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event)
+    }
+
+    /// Schedules an event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) -> EventToken {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Processes a single event. Returns `false` when the calendar is empty
+    /// or a handler called [`Context::stop`].
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event calendar went backwards");
+        self.now = at;
+        self.processed += 1;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop: &mut self.stopped,
+        };
+        self.model.handle(&mut ctx, event);
+        !self.stopped
+    }
+
+    /// Runs until the calendar drains or a handler stops the engine.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock would pass `deadline` (events at exactly
+    /// `deadline` are processed), the calendar drains, or a handler stops
+    /// the engine. The clock is advanced to `deadline` if the calendar
+    /// outlives it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            if self.stopped {
+                return;
+            }
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                Some(_) => {
+                    self.now = deadline;
+                    return;
+                }
+                None => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `true` once a handler has called [`Context::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Number of live events still scheduled.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        stop_at: Option<u32>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, ev: u32) {
+            self.seen.push((ctx.now(), ev));
+            if Some(ev) == self.stop_at {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn recorder() -> Engine<Recorder> {
+        Engine::new(Recorder { seen: Vec::new(), stop_at: None })
+    }
+
+    #[test]
+    fn processes_in_order_and_advances_clock() {
+        let mut e = recorder();
+        e.schedule_at(SimTime::from_secs(2), 2);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.run();
+        assert_eq!(
+            e.model().seen,
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(2), 2)]
+        );
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut e = recorder();
+        e.model_mut().stop_at = Some(1);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(2), 2);
+        e.run();
+        assert_eq!(e.model().seen.len(), 1);
+        assert!(e.is_stopped());
+        assert_eq!(e.pending_events(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut e = recorder();
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(5), 5);
+        e.run_until(SimTime::from_secs(3));
+        assert_eq!(e.model().seen, vec![(SimTime::from_secs(1), 1)]);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+        // The remaining event still fires on the next run.
+        e.run();
+        assert_eq!(e.model().seen.len(), 2);
+    }
+
+    #[test]
+    fn run_until_processes_events_at_deadline() {
+        let mut e = recorder();
+        e.schedule_at(SimTime::from_secs(3), 3);
+        e.run_until(SimTime::from_secs(3));
+        assert_eq!(e.model().seen.len(), 1);
+    }
+
+    #[test]
+    fn handler_scheduled_events_fire() {
+        struct Chain {
+            hops: u32,
+        }
+        impl Model for Chain {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                self.hops += 1;
+                if self.hops < 10 {
+                    ctx.schedule_in(SimDuration::from_millis(10), ());
+                }
+            }
+        }
+        let mut e = Engine::new(Chain { hops: 0 });
+        e.schedule_in(SimDuration::ZERO, ());
+        e.run();
+        assert_eq!(e.model().hops, 10);
+        assert_eq!(e.now(), SimTime::from_nanos(90 * 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.schedule_at(SimTime::from_secs(1), ());
+        e.run();
+    }
+
+    #[test]
+    fn run_until_with_empty_calendar_advances_clock() {
+        let mut e = recorder();
+        e.run_until(SimTime::from_secs(9));
+        assert_eq!(e.now(), SimTime::from_secs(9));
+    }
+}

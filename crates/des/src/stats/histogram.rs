@@ -1,0 +1,240 @@
+//! A streaming log-linear histogram: bounded memory, ~2 % relative error
+//! quantiles, no per-sample allocation. Complements [`super::SampleSet`]
+//! for very long runs where reservoir sampling blurs the extreme tail.
+
+/// Log-linear histogram over positive values: each power-of-two range is
+/// split into 64 linear sub-buckets (≈ 1.6 % relative resolution).
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_des::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for i in 1..=10_000u64 {
+///     h.record(i as f64);
+/// }
+/// let p99 = h.quantile(0.99).unwrap();
+/// assert!((p99 / 9_900.0 - 1.0).abs() < 0.05, "p99 {p99}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Bucket counts keyed by (exponent, sub-bucket).
+    counts: std::collections::BTreeMap<(i16, u8), u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    zeros: u64,
+}
+
+const SUBBUCKETS: u8 = 64;
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: std::collections::BTreeMap::new(),
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            zeros: 0,
+        }
+    }
+
+    /// Records one sample. Non-positive and non-finite samples count into a
+    /// dedicated zero bucket (they have no logarithm) but still contribute
+    /// to `count`.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x <= 0.0 {
+            self.zeros += 1;
+            self.min = self.min.min(0.0);
+            self.max = self.max.max(0.0);
+            return;
+        }
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let exp = x.log2().floor() as i16;
+        // Position within [2^exp, 2^(exp+1)): fraction in [1, 2).
+        let frac = x / (2f64).powi(exp as i32);
+        let sub = (((frac - 1.0) * SUBBUCKETS as f64) as u8).min(SUBBUCKETS - 1);
+        *self.counts.entry((exp, sub)).or_insert(0) += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the positive samples (0 if none).
+    pub fn mean(&self) -> f64 {
+        let positives = self.total - self.zeros;
+        if positives == 0 {
+            0.0
+        } else {
+            self.sum / positives as f64
+        }
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (nearest rank over buckets; bucket midpoint
+    /// returned). `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return Some(0.0);
+        }
+        for (&(exp, sub), &c) in &self.counts {
+            seen += c;
+            if rank <= seen {
+                let lo = (2f64).powi(exp as i32) * (1.0 + sub as f64 / SUBBUCKETS as f64);
+                let hi = (2f64).powi(exp as i32) * (1.0 + (sub as f64 + 1.0) / SUBBUCKETS as f64);
+                return Some((lo + hi) / 2.0);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.zeros += other.zeros;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Number of occupied buckets (memory proxy).
+    pub fn bucket_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100_000u64 {
+            h.record(i as f64 / 1000.0);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q).unwrap();
+            let exact = q * 100.0;
+            assert!(
+                (est / exact - 1.0).abs() < 0.02,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_tail_matches_sampleset() {
+        let mut rng = SimRng::seed_from(5);
+        let mut h = LogHistogram::new();
+        let mut exact = crate::stats::SampleSet::unbounded();
+        for _ in 0..50_000 {
+            let x = rng.exp(1.0);
+            h.record(x);
+            exact.record(x);
+        }
+        let (hq, eq) = (h.quantile(0.99).unwrap(), exact.quantile(0.99).unwrap());
+        assert!((hq / eq - 1.0).abs() < 0.03, "hist {hq} vs exact {eq}");
+        assert!((h.mean() - exact.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn zeros_and_negatives_go_to_zero_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(10.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.5).unwrap(), 0.0);
+        assert!(h.quantile(1.0).unwrap() > 9.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for i in 1..=1000u64 {
+            let x = i as f64;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.9), whole.quantile(0.9));
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut h = LogHistogram::new();
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..1_000_000 {
+            h.record(rng.exp(0.001)); // spans ~6 decades
+        }
+        assert!(h.bucket_count() < 2_000, "buckets {}", h.bucket_count());
+    }
+
+    #[test]
+    fn span_many_orders_of_magnitude() {
+        let mut h = LogHistogram::new();
+        for x in [1e-9, 1e-3, 1.0, 1e3, 1e9] {
+            h.record(x);
+        }
+        assert!((h.quantile(0.0).unwrap() / 1e-9 - 1.0).abs() < 0.02);
+        assert_eq!(h.max(), Some(1e9));
+    }
+}

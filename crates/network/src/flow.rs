@@ -1,0 +1,476 @@
+//! Flow-level communication: max-min fair bandwidth sharing (§III-B:
+//! "Multiple flows ... can simultaneously travel along a link if it has not
+//! yet been saturated").
+//!
+//! [`FlowNet`] tracks active flows and assigns each the max-min fair rate
+//! over its route via progressive filling. Rates are recomputed on every
+//! flow arrival/departure; the driving simulation keeps a single pending
+//! completion event guarded by [`FlowNet::generation`] (stale events are
+//! ignored, the standard lazy-cancellation pattern).
+
+use std::collections::HashMap;
+
+use holdcsim_des::time::{SimDuration, SimTime};
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::topology::Topology;
+
+/// One active flow's state.
+#[derive(Debug, Clone)]
+struct FlowState {
+    links: Vec<LinkId>,
+    remaining_bits: f64,
+    rate_bps: f64,
+    last_update: SimTime,
+    src: NodeId,
+    dst: NodeId,
+    started: SimTime,
+    total_bits: f64,
+}
+
+/// A completed flow, as reported by [`FlowNet::take_completed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedFlow {
+    /// The flow that finished.
+    pub id: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// When the flow was admitted.
+    pub started: SimTime,
+}
+
+/// Max-min fair flow-level network model.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_network::flow::FlowNet;
+/// use holdcsim_network::ids::FlowId;
+/// use holdcsim_network::routing::Router;
+/// use holdcsim_network::topologies::{star, LinkSpec};
+/// use holdcsim_des::time::SimTime;
+///
+/// let built = star(4, LinkSpec::gigabit());
+/// let mut router = Router::new();
+/// let mut net = FlowNet::new(&built.topology);
+/// let route = router
+///     .route(&built.topology, built.hosts[0], built.hosts[1], 0)
+///     .unwrap();
+/// let t0 = SimTime::ZERO;
+/// net.add_flow(t0, FlowId(1), built.hosts[0], built.hosts[1], &route.links, 125_000_000);
+/// // Alone on 1 GbE: 1 Gbit = 125 MB takes 1 s (+1 ns scheduling guard).
+/// let (_, finish) = net.next_completion(t0).unwrap();
+/// assert!((finish.as_secs_f64() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct FlowNet {
+    capacity_bps: Vec<f64>,
+    flows: HashMap<FlowId, FlowState>,
+    flows_per_link: Vec<Vec<FlowId>>,
+    generation: u64,
+    completed: Vec<CompletedFlow>,
+    total_admitted: u64,
+}
+
+impl FlowNet {
+    /// Creates a flow network over `topo`'s links.
+    pub fn new(topo: &Topology) -> Self {
+        let capacity_bps = topo.links().iter().map(|l| l.rate_bps as f64).collect::<Vec<_>>();
+        let n = capacity_bps.len();
+        FlowNet {
+            capacity_bps,
+            flows: HashMap::new(),
+            flows_per_link: vec![Vec::new(); n],
+            generation: 0,
+            completed: Vec::new(),
+            total_admitted: 0,
+        }
+    }
+
+    /// Admits a flow of `bytes` over `links` at `now` and recomputes rates.
+    ///
+    /// Returns the new generation; any previously scheduled completion event
+    /// is now stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is already active, the route is empty (same-
+    /// host transfers never reach the network), or `bytes == 0`.
+    pub fn add_flow(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        links: &[LinkId],
+        bytes: u64,
+    ) -> u64 {
+        assert!(!links.is_empty(), "flow with empty route");
+        assert!(bytes > 0, "flow with no data");
+        self.settle(now);
+        let prev = self.flows.insert(
+            id,
+            FlowState {
+                links: links.to_vec(),
+                remaining_bits: bytes as f64 * 8.0,
+                rate_bps: 0.0,
+                last_update: now,
+                src,
+                dst,
+                started: now,
+                total_bits: bytes as f64 * 8.0,
+            },
+        );
+        assert!(prev.is_none(), "flow id {id} reused while active");
+        for &l in links {
+            self.flows_per_link[l.0 as usize].push(id);
+        }
+        self.total_admitted += 1;
+        self.recompute();
+        self.generation
+    }
+
+    /// Advances all flows to `now`, moving any that finished into the
+    /// completed list, and recomputes rates if anything completed.
+    ///
+    /// Returns the current generation.
+    pub fn advance(&mut self, now: SimTime) -> u64 {
+        self.settle(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bits <= 0.5)
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            for id in done {
+                let f = self.flows.remove(&id).expect("flow disappeared");
+                for &l in &f.links {
+                    let v = &mut self.flows_per_link[l.0 as usize];
+                    v.retain(|&x| x != id);
+                }
+                self.completed.push(CompletedFlow {
+                    id,
+                    src: f.src,
+                    dst: f.dst,
+                    started: f.started,
+                });
+            }
+            self.recompute();
+        }
+        self.generation
+    }
+
+    /// Drains the flows that have completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<CompletedFlow> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The earliest projected completion among active flows, as
+    /// `(generation, completion time)`. Schedule one event at that time and
+    /// discard it if the generation has moved on.
+    pub fn next_completion(&self, now: SimTime) -> Option<(u64, SimTime)> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate_bps <= 0.0 {
+                continue;
+            }
+            let secs = f.remaining_bits / f.rate_bps;
+            best = Some(match best {
+                Some(b) => b.min(secs),
+                None => secs,
+            });
+        }
+        best.map(|secs| {
+            // Round up a nanosecond so the event lands at-or-after the
+            // true completion (progress is settled exactly at event time).
+            let d = SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1);
+            (self.generation, now + d)
+        })
+    }
+
+    /// Current generation: bumped on every rate recomputation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total flows ever admitted.
+    pub fn total_admitted(&self) -> u64 {
+        self.total_admitted
+    }
+
+    /// The current fair rate of `id` in bits/second, if active.
+    pub fn flow_rate_bps(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate_bps)
+    }
+
+    /// Fraction of `id`'s bytes already delivered (in `[0, 1]`), if active.
+    pub fn flow_progress(&self, id: FlowId) -> Option<f64> {
+        self.flows
+            .get(&id)
+            .map(|f| 1.0 - (f.remaining_bits / f.total_bits).clamp(0.0, 1.0))
+    }
+
+    /// Fraction of `link`'s capacity currently allocated.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let cap = self.capacity_bps[link.0 as usize];
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        let used: f64 = self.flows_per_link[link.0 as usize]
+            .iter()
+            .filter_map(|id| self.flows.get(id))
+            .map(|f| f.rate_bps)
+            .sum();
+        used / cap
+    }
+
+    /// Number of active flows crossing `link`.
+    pub fn flows_on_link(&self, link: LinkId) -> usize {
+        self.flows_per_link[link.0 as usize].len()
+    }
+
+    /// Advances progress of all flows to `now` without completing them.
+    fn settle(&mut self, now: SimTime) {
+        for f in self.flows.values_mut() {
+            let dt = now.saturating_duration_since(f.last_update).as_secs_f64();
+            if dt > 0.0 {
+                f.remaining_bits = (f.remaining_bits - f.rate_bps * dt).max(0.0);
+            }
+            f.last_update = now;
+        }
+    }
+
+    /// Progressive-filling max-min fair allocation.
+    fn recompute(&mut self) {
+        self.generation += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        let mut unfixed: HashMap<FlowId, ()> = self.flows.keys().map(|&k| (k, ())).collect();
+        let mut cap: Vec<f64> = self.capacity_bps.clone();
+        let mut cnt: Vec<usize> = self
+            .flows_per_link
+            .iter()
+            .map(|v| v.iter().filter(|id| unfixed.contains_key(id)).count())
+            .collect();
+        // Links actually in use (small subset in sparse traffic).
+        let used_links: Vec<usize> = (0..cnt.len()).filter(|&i| cnt[i] > 0).collect();
+
+        while !unfixed.is_empty() {
+            // Bottleneck link: minimal fair share among loaded links.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for &li in &used_links {
+                if cnt[li] == 0 {
+                    continue;
+                }
+                let share = (cap[li] / cnt[li] as f64).max(0.0);
+                if bottleneck.is_none_or(|(_, s)| share < s) {
+                    bottleneck = Some((li, share));
+                }
+            }
+            let Some((bl, share)) = bottleneck else {
+                // No loaded links left: remaining flows are route-less (cannot
+                // happen given add_flow's assertion) — fix them at 0.
+                for (id, _) in unfixed.drain() {
+                    self.flows.get_mut(&id).expect("unfixed flow exists").rate_bps = 0.0;
+                }
+                break;
+            };
+            // Fix every unfixed flow crossing the bottleneck at the share.
+            let fixed: Vec<FlowId> = self.flows_per_link[bl]
+                .iter()
+                .copied()
+                .filter(|id| unfixed.contains_key(id))
+                .collect();
+            debug_assert!(!fixed.is_empty());
+            for id in fixed {
+                unfixed.remove(&id);
+                let f = self.flows.get_mut(&id).expect("flow exists");
+                f.rate_bps = share;
+                for &l in &f.links {
+                    cap[l.0 as usize] = (cap[l.0 as usize] - share).max(0.0);
+                    cnt[l.0 as usize] -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Router;
+    use crate::topologies::{star, LinkSpec};
+    use crate::topology::Topology;
+
+    const GBE: u64 = 1_000_000_000;
+
+    /// Two hosts joined by a single link through a switch.
+    fn two_host_net() -> (Topology, Vec<NodeId>, Router) {
+        let built = star(2, LinkSpec::gigabit());
+        (built.topology, built.hosts, Router::new())
+    }
+
+    fn route_links(
+        topo: &Topology,
+        router: &mut Router,
+        a: NodeId,
+        b: NodeId,
+        seed: u64,
+    ) -> Vec<LinkId> {
+        router.route(topo, a, b, seed).unwrap().links
+    }
+
+    #[test]
+    fn single_flow_gets_full_rate() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        assert_eq!(net.flow_rate_bps(FlowId(1)), Some(1e9));
+        let (_, t) = net.next_completion(SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "finish {t}");
+    }
+
+    #[test]
+    fn two_flows_share_the_bottleneck_evenly() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        net.add_flow(SimTime::ZERO, FlowId(2), hosts[0], hosts[1], &links, 125_000_000);
+        assert_eq!(net.flow_rate_bps(FlowId(1)), Some(5e8));
+        assert_eq!(net.flow_rate_bps(FlowId(2)), Some(5e8));
+        assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departure_releases_bandwidth() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        // Flow 1: 125 MB, flow 2: 250 MB, admitted together.
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        net.add_flow(SimTime::ZERO, FlowId(2), hosts[0], hosts[1], &links, 250_000_000);
+        // At 0.5 Gb/s each, flow 1 finishes at t=2 s.
+        let (gen, t1) = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(gen, net.generation());
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-6, "t1 {t1}");
+        net.advance(t1);
+        let done = net.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, FlowId(1));
+        // Flow 2 now gets the full link: 1 Gb of its 2 Gb remain.
+        let rate = net.flow_rate_bps(FlowId(2)).unwrap();
+        assert!((rate - 1e9).abs() < 1.0, "rate {rate}");
+        let (_, t2) = net.next_completion(t1).unwrap();
+        assert!((t2.as_secs_f64() - 3.0).abs() < 1e-6, "t2 {t2}");
+    }
+
+    #[test]
+    fn max_min_gives_unbottlenecked_flow_the_slack() {
+        // Star with 3 hosts: flows A->C and B->C share C's link; flow A->B
+        // only contends with A's portion.
+        let built = star(3, LinkSpec::gigabit());
+        let topo = built.topology;
+        let h = built.hosts;
+        let mut router = Router::new();
+        let mut net = FlowNet::new(&topo);
+        let ac = route_links(&topo, &mut router, h[0], h[2], 0);
+        let bc = route_links(&topo, &mut router, h[1], h[2], 0);
+        let ab = route_links(&topo, &mut router, h[0], h[1], 0);
+        net.add_flow(SimTime::ZERO, FlowId(1), h[0], h[2], &ac, 1_000_000);
+        net.add_flow(SimTime::ZERO, FlowId(2), h[1], h[2], &bc, 1_000_000);
+        net.add_flow(SimTime::ZERO, FlowId(3), h[0], h[1], &ab, 1_000_000);
+        // C's downlink is the bottleneck: flows 1 and 2 get 0.5 Gb/s.
+        assert!((net.flow_rate_bps(FlowId(1)).unwrap() - 5e8).abs() < 1.0);
+        assert!((net.flow_rate_bps(FlowId(2)).unwrap() - 5e8).abs() < 1.0);
+        // Flow 3 then fills A's uplink to capacity: 0.5 Gb/s used by flow 1,
+        // so it gets the remaining 0.5 Gb/s of A's uplink... but B's uplink
+        // also carries flow 2 at 0.5, leaving 0.5 for flow 3's second hop;
+        // max-min gives flow 3 min(0.5, 0.5) = 0.5 Gb/s.
+        assert!((net.flow_rate_bps(FlowId(3)).unwrap() - 5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn generation_bumps_on_changes() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        let g0 = net.generation();
+        let g1 = net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 1000);
+        assert!(g1 > g0);
+        let (gen, t) = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(gen, g1);
+        let g2 = net.advance(t);
+        assert!(g2 > g1);
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.total_admitted(), 1);
+    }
+
+    #[test]
+    fn advance_without_completions_keeps_generation() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        let g1 = net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        let g = net.advance(SimTime::from_millis(100));
+        assert_eq!(g, g1);
+        assert_eq!(net.active_flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_route_rejected() {
+        let (topo, hosts, _) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &[], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused while active")]
+    fn duplicate_flow_id_rejected() {
+        let (topo, hosts, mut router) = two_host_net();
+        let mut net = FlowNet::new(&topo);
+        let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 10);
+        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 10);
+    }
+
+    #[test]
+    fn many_flows_conserve_capacity() {
+        let built = star(8, LinkSpec::gigabit());
+        let topo = built.topology;
+        let h = built.hosts;
+        let mut router = Router::new();
+        let mut net = FlowNet::new(&topo);
+        let mut id = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    let links = route_links(&topo, &mut router, h[i], h[j], id);
+                    net.add_flow(SimTime::ZERO, FlowId(id), h[i], h[j], &links, 1_000_000);
+                    id += 1;
+                }
+            }
+        }
+        // No link may be allocated beyond capacity.
+        for l in 0..topo.links().len() {
+            let u = net.link_utilization(LinkId(l as u32));
+            assert!(u <= 1.0 + 1e-9, "link {l} over-allocated: {u}");
+        }
+        // Total goodput is positive and bounded by 8 links' capacity.
+        let total: f64 = (0..id)
+            .filter_map(|k| net.flow_rate_bps(FlowId(k)))
+            .sum();
+        assert!(total > 0.0 && total <= 8.0 * GBE as f64 + 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Shortest-path routing with ECMP tie-breaking and a per-destination
+//! distance cache (§III-B: "statically generated or dynamically computed"
+//! routes).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::ids::{LinkId, NodeId};
+use crate::topology::Topology;
+
+/// A route: the traversed links in order, plus the visited nodes
+/// (`nodes.len() == links.len() + 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Visited nodes from source to destination inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Traversed links, `links[i]` joining `nodes[i]` and `nodes[i+1]`.
+    pub links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Switches along the route (excludes host endpoints).
+    pub fn switches(&self, topo: &Topology) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| topo.kind(n).is_switch())
+            .collect()
+    }
+}
+
+/// Hop-count router with equal-cost multi-path support.
+///
+/// Distances are computed by BFS from each destination on first use and
+/// cached (the "static routes" mode of the paper); [`Router::clear_cache`]
+/// supports dynamic recomputation after topology-state changes.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_network::routing::Router;
+/// use holdcsim_network::topologies::{star, LinkSpec};
+///
+/// let built = star(4, LinkSpec::gigabit());
+/// let mut router = Router::new();
+/// let r = router
+///     .route(&built.topology, built.hosts[0], built.hosts[3], 0)
+///     .expect("hosts are connected");
+/// assert_eq!(r.hops(), 2); // host -> switch -> host
+/// ```
+#[derive(Debug, Default)]
+pub struct Router {
+    /// Per-destination distance maps: `dist[dst][node]` = hops to dst.
+    dist_cache: HashMap<NodeId, Vec<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Router {
+    /// Creates a router with an empty cache.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Computes a shortest route from `src` to `dst`. Among equal-cost next
+    /// hops the choice is a deterministic hash of `(node, ecmp_seed)`, so
+    /// different flows (different seeds) spread over parallel paths while
+    /// any given flow routes stably.
+    ///
+    /// Returns `None` if `dst` is unreachable from `src`.
+    pub fn route(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        ecmp_seed: u64,
+    ) -> Option<Route> {
+        if src == dst {
+            return Some(Route { nodes: vec![src], links: Vec::new() });
+        }
+        let dist = self.distances(topo, dst);
+        if dist[src.0 as usize] == u32::MAX {
+            return None;
+        }
+        let mut nodes = vec![src];
+        let mut links = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let d = dist[cur.0 as usize];
+            // Candidates one hop closer to dst.
+            let mut candidates: Vec<(NodeId, LinkId)> = topo
+                .neighbors(cur)
+                .filter(|(n, _)| dist[n.0 as usize] == d - 1)
+                .collect();
+            debug_assert!(!candidates.is_empty(), "distance field is inconsistent");
+            candidates.sort_by_key(|(n, l)| (n.0, l.0));
+            let pick = (hash64(cur.0 as u64 ^ ecmp_seed.rotate_left(17))
+                % candidates.len() as u64) as usize;
+            let (next, link) = candidates[pick];
+            nodes.push(next);
+            links.push(link);
+            cur = next;
+        }
+        Some(Route { nodes, links })
+    }
+
+    /// Hop distance from `src` to `dst` (`None` if unreachable).
+    pub fn distance(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<u32> {
+        let d = self.distances(topo, dst)[src.0 as usize];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Drops all cached distance fields (call after links change state in
+    /// dynamic-routing studies).
+    pub fn clear_cache(&mut self) {
+        self.dist_cache.clear();
+    }
+
+    /// `(cache hits, cache misses)` since creation — the path-cache
+    /// ablation metric.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn distances(&mut self, topo: &Topology, dst: NodeId) -> &Vec<u32> {
+        if self.dist_cache.contains_key(&dst) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let mut dist = vec![u32::MAX; topo.node_count()];
+            dist[dst.0 as usize] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(n) = q.pop_front() {
+                let d = dist[n.0 as usize];
+                for (next, _) in topo.neighbors(n) {
+                    if dist[next.0 as usize] == u32::MAX {
+                        dist[next.0 as usize] = d + 1;
+                        q.push_back(next);
+                    }
+                }
+            }
+            self.dist_cache.insert(dst, dist);
+        }
+        &self.dist_cache[&dst]
+    }
+}
+
+#[inline]
+fn hash64(mut x: u64) -> u64 {
+    // SplitMix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::{bcube, camcube, fat_tree, star, LinkSpec};
+
+    #[test]
+    fn star_routes_via_switch() {
+        let built = star(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        let route = r
+            .route(&built.topology, built.hosts[0], built.hosts[1], 7)
+            .unwrap();
+        assert_eq!(route.hops(), 2);
+        assert_eq!(route.nodes.len(), 3);
+        assert_eq!(route.switches(&built.topology).len(), 1);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let built = star(2, LinkSpec::gigabit());
+        let mut r = Router::new();
+        let route = r
+            .route(&built.topology, built.hosts[0], built.hosts[0], 0)
+            .unwrap();
+        assert_eq!(route.hops(), 0);
+        assert_eq!(route.nodes, vec![built.hosts[0]]);
+    }
+
+    #[test]
+    fn fat_tree_same_pod_distance() {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        // Hosts 0 and 1 share an edge switch: 2 hops.
+        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[1]), Some(2));
+        // Hosts 0 and 2 are in the same pod, different edge switch: 4 hops.
+        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[2]), Some(4));
+        // Hosts in different pods traverse the core: 6 hops.
+        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[15]), Some(6));
+    }
+
+    #[test]
+    fn ecmp_spreads_across_paths() {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        // Cross-pod routes have 4 equal-cost core choices; different seeds
+        // should exercise more than one.
+        let mut first_links = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let route = r
+                .route(&built.topology, built.hosts[0], built.hosts[15], seed)
+                .unwrap();
+            assert_eq!(route.hops(), 6);
+            first_links.insert(route.links[1]);
+        }
+        assert!(first_links.len() > 1, "ECMP never spread");
+    }
+
+    #[test]
+    fn same_seed_routes_stably() {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        let a = r.route(&built.topology, built.hosts[0], built.hosts[12], 5).unwrap();
+        let b = r.route(&built.topology, built.hosts[0], built.hosts[12], 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn routes_are_consistent_paths() {
+        let built = bcube(2, 1, LinkSpec::gigabit());
+        let mut r = Router::new();
+        for (i, &a) in built.hosts.iter().enumerate() {
+            for &b in &built.hosts[i + 1..] {
+                let route = r.route(&built.topology, a, b, 3).unwrap();
+                assert_eq!(route.nodes.len(), route.links.len() + 1);
+                for (j, &l) in route.links.iter().enumerate() {
+                    let link = built.topology.link(l);
+                    assert_eq!(link.opposite(route.nodes[j]), route.nodes[j + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn camcube_routes_without_switches() {
+        let built = camcube(3, 3, 3, LinkSpec::gigabit());
+        let mut r = Router::new();
+        let route = r
+            .route(&built.topology, built.hosts[0], built.hosts[26], 0)
+            .unwrap();
+        // Opposite corner of a 3x3x3 torus: 1 hop per dimension via wraparound.
+        assert_eq!(route.hops(), 3);
+        assert!(route.switches(&built.topology).is_empty());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = crate::topology::Topology::builder();
+        let a = b.add_host();
+        let c = b.add_host();
+        let t = b.build();
+        let mut r = Router::new();
+        assert_eq!(r.route(&t, a, c, 0), None);
+        assert_eq!(r.distance(&t, a, c), None);
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let built = star(8, LinkSpec::gigabit());
+        let mut r = Router::new();
+        r.route(&built.topology, built.hosts[0], built.hosts[1], 0);
+        r.route(&built.topology, built.hosts[2], built.hosts[1], 0);
+        let (hits, misses) = r.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        r.clear_cache();
+        r.route(&built.topology, built.hosts[2], built.hosts[1], 0);
+        assert_eq!(r.cache_stats().1, 2);
+    }
+}

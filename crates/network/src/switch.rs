@@ -1,0 +1,457 @@
+//! Switch devices: per-port and per-line-card power-state machines with
+//! LPI and ALR mechanisms (§III-B), built on `holdcsim-power`.
+
+use holdcsim_des::stats::TimeWeighted;
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_power::machine::PowerStateMachine;
+use holdcsim_power::states::{LineCardPowerState, PortPowerState};
+use holdcsim_power::switch_profile::SwitchPowerProfile;
+
+use crate::ids::NodeId;
+
+/// One switch's power model: chassis + line cards + ports.
+///
+/// Wake/sleep timing model: port LPI exit and line-card wake latencies are
+/// *charged to the traffic* (returned from [`SwitchDevice::wake_for_tx`] so
+/// the caller delays the packet/flow) while the state flips immediately for
+/// power accounting. At microsecond/millisecond scales this misattributes a
+/// negligible sliver of energy and keeps every transition single-event.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_network::switch::SwitchDevice;
+/// use holdcsim_network::ids::NodeId;
+/// use holdcsim_power::switch_profile::SwitchPowerProfile;
+/// use holdcsim_des::time::SimTime;
+///
+/// let profile = SwitchPowerProfile::cisco_ws_c2960_24s();
+/// let sw = SwitchDevice::new(SimTime::ZERO, NodeId(0), 1, 24, profile);
+/// // All ports active: 14.7 + 24 * 0.23.
+/// assert!((sw.power_w() - 20.22).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct SwitchDevice {
+    node: NodeId,
+    profile: SwitchPowerProfile,
+    ports_per_card: u32,
+    chassis: TimeWeighted,
+    cards: Vec<PowerStateMachine<LineCardPowerState>>,
+    ports: Vec<PowerStateMachine<PortPowerState>>,
+    /// Per-port negotiated rate (None = full rate) for ALR.
+    port_rates: Vec<Option<u64>>,
+    /// Last time each port finished transmitting (LPI-policy input).
+    last_tx_end: Vec<SimTime>,
+    lpi_entries: u64,
+    card_sleeps: u64,
+}
+
+impl SwitchDevice {
+    /// Creates a switch with all cards and ports active.
+    pub fn new(
+        now: SimTime,
+        node: NodeId,
+        linecards: u32,
+        ports_per_card: u32,
+        profile: SwitchPowerProfile,
+    ) -> Self {
+        let n_ports = (linecards * ports_per_card) as usize;
+        let cards = (0..linecards)
+            .map(|_| {
+                PowerStateMachine::new(now, LineCardPowerState::Active, profile.linecard.active_w)
+            })
+            .collect();
+        let ports = (0..n_ports)
+            .map(|_| PowerStateMachine::new(now, PortPowerState::Active, profile.port.active_w))
+            .collect();
+        SwitchDevice {
+            node,
+            chassis: TimeWeighted::new(now, profile.chassis_w),
+            profile,
+            ports_per_card,
+            cards,
+            ports,
+            port_rates: vec![None; n_ports],
+            last_tx_end: vec![now; n_ports],
+            lpi_entries: 0,
+            card_sleeps: 0,
+        }
+    }
+
+    /// The topology node this switch occupies.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The power profile this device was built with.
+    pub fn profile(&self) -> &SwitchPowerProfile {
+        &self.profile
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of line cards.
+    pub fn card_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// The line card carrying `port`.
+    pub fn card_of(&self, port: u32) -> usize {
+        (port / self.ports_per_card) as usize
+    }
+
+    /// Current state of `port`.
+    pub fn port_state(&self, port: u32) -> PortPowerState {
+        self.ports[port as usize]
+            .steady()
+            .expect("port transitions are instantaneous")
+    }
+
+    /// Current state of line card `card`.
+    pub fn card_state(&self, card: usize) -> LineCardPowerState {
+        self.cards[card]
+            .steady()
+            .expect("card transitions are instantaneous")
+    }
+
+    /// Ensures `port` (and its line card) can transmit at `now`, flipping
+    /// them active and returning the wake latency to charge the traffic
+    /// (zero when already active).
+    pub fn wake_for_tx(&mut self, now: SimTime, port: u32) -> SimDuration {
+        let mut delay = SimDuration::ZERO;
+        let card = self.card_of(port);
+        match self.card_state(card) {
+            LineCardPowerState::Active => {}
+            LineCardPowerState::Sleep | LineCardPowerState::Off => {
+                delay += self.profile.linecard.wake_latency;
+                self.cards[card].set_state(
+                    now,
+                    LineCardPowerState::Active,
+                    self.profile.linecard.active_w,
+                );
+                self.refresh_chassis(now);
+            }
+        }
+        // A port parked at a reduced ALR rate renegotiates back to full
+        // speed; the switching time is approximated by the LPI exit latency
+        // (both are PHY resynchronizations of the same order).
+        if self.port_rates[port as usize].is_some() {
+            delay += self.profile.port.lpi_exit;
+            self.port_rates[port as usize] = None;
+        }
+        let active_w = self.active_port_power(port);
+        match self.port_state(port) {
+            PortPowerState::Active => {
+                // Power may have changed if only the rate was restored.
+                self.ports[port as usize].set_power(now, active_w);
+            }
+            PortPowerState::Lpi => {
+                delay += self.profile.port.lpi_exit;
+                self.ports[port as usize].set_state(now, PortPowerState::Active, active_w);
+            }
+            PortPowerState::Off => {
+                // Re-enabling a disabled port: modeled like a card wake.
+                delay += self.profile.linecard.wake_latency;
+                self.ports[port as usize].set_state(now, PortPowerState::Active, active_w);
+            }
+        }
+        delay
+    }
+
+    /// The wake latency [`wake_for_tx`](Self::wake_for_tx) *would* charge,
+    /// without changing any state (the network-aware scheduler's cost probe).
+    pub fn wake_cost(&self, port: u32) -> SimDuration {
+        let mut delay = SimDuration::ZERO;
+        match self.card_state(self.card_of(port)) {
+            LineCardPowerState::Active => {}
+            _ => delay += self.profile.linecard.wake_latency,
+        }
+        match self.port_state(port) {
+            PortPowerState::Active => {}
+            PortPowerState::Lpi => delay += self.profile.port.lpi_exit,
+            PortPowerState::Off => delay += self.profile.linecard.wake_latency,
+        }
+        delay
+    }
+
+    /// Records that `port` finished a transmission at `tx_end` (the LPI
+    /// controller's idle-clock input).
+    pub fn note_tx_end(&mut self, port: u32, tx_end: SimTime) {
+        let slot = &mut self.last_tx_end[port as usize];
+        *slot = (*slot).max(tx_end);
+    }
+
+    /// When `port` last finished transmitting.
+    pub fn last_tx_end(&self, port: u32) -> SimTime {
+        self.last_tx_end[port as usize]
+    }
+
+    /// Puts `port` into LPI at `now` if it is active and has been idle since
+    /// before `now` (callers check their hold-time policy first).
+    /// Returns `true` if the port entered LPI.
+    pub fn enter_lpi(&mut self, now: SimTime, port: u32) -> bool {
+        if self.port_state(port) == PortPowerState::Active && self.last_tx_end[port as usize] <= now
+        {
+            self.ports[port as usize].set_state(now, PortPowerState::Lpi, self.profile.port.lpi_w);
+            self.lpi_entries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Puts line card `card` to sleep at `now` if all its ports are in LPI
+    /// or off. Returns `true` on success.
+    pub fn sleep_card(&mut self, now: SimTime, card: usize) -> bool {
+        let lo = card as u32 * self.ports_per_card;
+        let hi = lo + self.ports_per_card;
+        let all_idle = (lo..hi).all(|p| self.port_state(p) != PortPowerState::Active);
+        if all_idle && self.card_state(card) == LineCardPowerState::Active {
+            self.cards[card].set_state(now, LineCardPowerState::Sleep, self.profile.linecard.sleep_w);
+            self.card_sleeps += 1;
+            self.refresh_chassis(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops the chassis to its sleep draw once every card sleeps (and
+    /// restores it on the first card wake).
+    fn refresh_chassis(&mut self, now: SimTime) {
+        let any_active = self
+            .cards
+            .iter()
+            .any(|c| c.steady() == Some(LineCardPowerState::Active));
+        let w = if any_active { self.profile.chassis_w } else { self.profile.chassis_sleep_w };
+        self.chassis.set(now, w);
+    }
+
+    /// Administratively disables `port` (state Off, zero power).
+    pub fn port_off(&mut self, now: SimTime, port: u32) {
+        self.ports[port as usize].set_state(now, PortPowerState::Off, 0.0);
+    }
+
+    /// Negotiates `port` down/up to `rate_bps` (ALR), adjusting active
+    /// power. Pass `None` to restore the full rate.
+    pub fn set_port_rate(&mut self, now: SimTime, port: u32, rate_bps: Option<u64>) {
+        self.port_rates[port as usize] = rate_bps;
+        if self.port_state(port) == PortPowerState::Active {
+            let w = self.active_port_power(port);
+            self.ports[port as usize].set_power(now, w);
+        }
+    }
+
+    /// The negotiated ALR rate of `port`, if reduced.
+    pub fn port_rate(&self, port: u32) -> Option<u64> {
+        self.port_rates[port as usize]
+    }
+
+    /// Instantaneous switch power (chassis + cards + ports).
+    pub fn power_w(&self) -> f64 {
+        self.chassis.value()
+            + self.cards.iter().map(|c| c.power_w()).sum::<f64>()
+            + self.ports.iter().map(|p| p.power_w()).sum::<f64>()
+    }
+
+    /// Total energy consumed through `now`, in joules (chassis included).
+    pub fn energy_j(&self, now: SimTime) -> f64 {
+        self.chassis.integral(now)
+            + self.cards.iter().map(|c| c.energy_j(now)).sum::<f64>()
+            + self.ports.iter().map(|p| p.energy_j(now)).sum::<f64>()
+    }
+
+    /// `(LPI entries, card sleeps)` counters.
+    pub fn power_event_counts(&self) -> (u64, u64) {
+        (self.lpi_entries, self.card_sleeps)
+    }
+
+    /// `true` if any port is active (the "switch is awake" predicate the
+    /// network-aware policy uses).
+    pub fn any_port_active(&self) -> bool {
+        self.ports
+            .iter()
+            .any(|p| p.steady() == Some(PortPowerState::Active))
+    }
+
+    fn active_port_power(&self, port: u32) -> f64 {
+        match self.port_rates[port as usize] {
+            Some(rate) => self.profile.port.active_power_at_rate_w(rate),
+            None => self.profile.port.active_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cisco(now: SimTime) -> SwitchDevice {
+        SwitchDevice::new(now, NodeId(0), 1, 24, SwitchPowerProfile::cisco_ws_c2960_24s())
+    }
+
+    #[test]
+    fn initial_power_matches_all_active() {
+        let sw = cisco(SimTime::ZERO);
+        assert!((sw.power_w() - 20.22).abs() < 1e-9);
+        assert_eq!(sw.port_count(), 24);
+        assert_eq!(sw.card_count(), 1);
+    }
+
+    #[test]
+    fn lpi_entry_reduces_power_and_counts() {
+        let mut sw = cisco(SimTime::ZERO);
+        assert!(sw.enter_lpi(SimTime::from_secs(1), 0));
+        let expected = 14.7 + 23.0 * 0.23 + 0.023;
+        assert!((sw.power_w() - expected).abs() < 1e-9);
+        assert_eq!(sw.power_event_counts().0, 1);
+        assert_eq!(sw.port_state(0), PortPowerState::Lpi);
+    }
+
+    #[test]
+    fn lpi_entry_refused_while_recently_active() {
+        let mut sw = cisco(SimTime::ZERO);
+        sw.note_tx_end(0, SimTime::from_secs(5));
+        // A check firing earlier than the tx end must not idle the port.
+        assert!(!sw.enter_lpi(SimTime::from_secs(2), 0));
+        assert_eq!(sw.port_state(0), PortPowerState::Active);
+    }
+
+    #[test]
+    fn wake_from_lpi_charges_exit_latency() {
+        let mut sw = cisco(SimTime::ZERO);
+        sw.enter_lpi(SimTime::from_secs(1), 3);
+        let d = sw.wake_for_tx(SimTime::from_secs(2), 3);
+        assert_eq!(d, SimDuration::from_micros(5));
+        assert_eq!(sw.port_state(3), PortPowerState::Active);
+        // Already active: no charge.
+        assert_eq!(sw.wake_for_tx(SimTime::from_secs(2), 3), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wake_cost_probe_is_side_effect_free() {
+        let mut sw = cisco(SimTime::ZERO);
+        sw.enter_lpi(SimTime::from_secs(1), 3);
+        let cost = sw.wake_cost(3);
+        assert_eq!(cost, SimDuration::from_micros(5));
+        assert_eq!(sw.port_state(3), PortPowerState::Lpi);
+    }
+
+    #[test]
+    fn card_sleep_requires_all_ports_idle() {
+        let mut sw = SwitchDevice::new(
+            SimTime::ZERO,
+            NodeId(1),
+            2,
+            2,
+            SwitchPowerProfile::datacenter_48port(),
+        );
+        let t = SimTime::from_secs(1);
+        assert!(!sw.sleep_card(t, 0), "ports still active");
+        sw.enter_lpi(t, 0);
+        sw.enter_lpi(t, 1);
+        assert!(sw.sleep_card(t, 0));
+        assert_eq!(sw.card_state(0), LineCardPowerState::Sleep);
+        // Waking port 0 also wakes the card, charging both latencies.
+        let d = sw.wake_for_tx(SimTime::from_secs(2), 0);
+        assert_eq!(d, SimDuration::from_millis(10) + SimDuration::from_micros(5));
+        assert_eq!(sw.card_state(0), LineCardPowerState::Active);
+    }
+
+    #[test]
+    fn card_mapping() {
+        let sw = SwitchDevice::new(
+            SimTime::ZERO,
+            NodeId(1),
+            4,
+            12,
+            SwitchPowerProfile::datacenter_48port(),
+        );
+        assert_eq!(sw.card_of(0), 0);
+        assert_eq!(sw.card_of(11), 0);
+        assert_eq!(sw.card_of(12), 1);
+        assert_eq!(sw.card_of(47), 3);
+    }
+
+    #[test]
+    fn alr_scales_active_power() {
+        let mut sw = SwitchDevice::new(
+            SimTime::ZERO,
+            NodeId(1),
+            1,
+            2,
+            SwitchPowerProfile::datacenter_48port(),
+        );
+        let p_full = sw.power_w();
+        sw.set_port_rate(SimTime::from_secs(1), 0, Some(1_000_000_000));
+        assert!(sw.power_w() < p_full);
+        assert_eq!(sw.port_rate(0), Some(1_000_000_000));
+        sw.set_port_rate(SimTime::from_secs(2), 0, None);
+        assert!((sw.power_w() - p_full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chassis_sleeps_when_all_cards_sleep() {
+        let mut sw = SwitchDevice::new(
+            SimTime::ZERO,
+            NodeId(1),
+            2,
+            2,
+            SwitchPowerProfile::datacenter_48port(),
+        );
+        let t = SimTime::from_secs(1);
+        for p in 0..4 {
+            sw.enter_lpi(t, p);
+        }
+        assert!(sw.sleep_card(t, 0));
+        let one_card = sw.power_w();
+        assert!(sw.sleep_card(t, 1));
+        let all_sleep = sw.power_w();
+        // Chassis dropped from 52 W to 6.5 W on the last card sleep.
+        assert!(one_card - all_sleep > 45.0, "one {one_card} all {all_sleep}");
+        // First wake restores the chassis.
+        sw.wake_for_tx(SimTime::from_secs(2), 0);
+        assert!(sw.power_w() > all_sleep + 45.0);
+    }
+
+    #[test]
+    fn alr_restore_charges_renegotiation() {
+        let mut sw = SwitchDevice::new(
+            SimTime::ZERO,
+            NodeId(1),
+            1,
+            2,
+            SwitchPowerProfile::datacenter_48port(),
+        );
+        sw.set_port_rate(SimTime::from_secs(1), 0, Some(100_000_000));
+        let d = sw.wake_for_tx(SimTime::from_secs(2), 0);
+        assert_eq!(d, SimDuration::from_micros(5));
+        assert_eq!(sw.port_rate(0), None, "rate restored to full");
+    }
+
+    #[test]
+    fn energy_integrates_states() {
+        let mut sw = cisco(SimTime::ZERO);
+        // 24 ports active for 10 s, then all in LPI for 10 s.
+        let t1 = SimTime::from_secs(10);
+        for p in 0..24 {
+            sw.enter_lpi(t1, p);
+        }
+        let t2 = SimTime::from_secs(20);
+        let expected = 14.7 * 20.0 + 24.0 * (0.23 * 10.0 + 0.023 * 10.0);
+        assert!((sw.energy_j(t2) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn any_port_active_predicate() {
+        let mut sw = cisco(SimTime::ZERO);
+        assert!(sw.any_port_active());
+        for p in 0..24 {
+            sw.enter_lpi(SimTime::from_secs(1), p);
+        }
+        assert!(!sw.any_port_active());
+    }
+}

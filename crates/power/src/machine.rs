@@ -1,0 +1,315 @@
+//! A generic power-state machine with transition latencies, per-state power
+//! draw, residency accounting, and energy integration.
+//!
+//! Every power-managed component in the simulator — cores, packages, whole
+//! servers, switch ports, line cards — is an instance of
+//! [`PowerStateMachine`] over its own state enum. The paper's hierarchical
+//! power model (§III-F) composes several of these.
+
+use std::hash::Hash;
+
+use holdcsim_des::stats::{Residency, TimeWeighted};
+use holdcsim_des::time::{SimDuration, SimTime};
+
+/// Either steady residence in a state or an in-flight transition.
+///
+/// Transitions are first-class because the paper reports them separately
+/// (the "Wake-up" band of Fig. 8) and because components draw distinctive
+/// power while transitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase<S> {
+    /// Settled in a state.
+    Steady(S),
+    /// Moving between states (not yet usable in the target state).
+    Transitioning {
+        /// State the machine left.
+        from: S,
+        /// State the machine will settle in.
+        to: S,
+    },
+}
+
+impl<S: Copy> Phase<S> {
+    /// The state this phase settles toward (target for transitions).
+    pub fn target(&self) -> S {
+        match *self {
+            Phase::Steady(s) => s,
+            Phase::Transitioning { to, .. } => to,
+        }
+    }
+}
+
+/// A pending transition's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Pending<S> {
+    to: S,
+    done_at: SimTime,
+    settle_power_w: f64,
+}
+
+/// Tracks one component's power state, transition, residency, and energy.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_power::machine::{Phase, PowerStateMachine};
+/// use holdcsim_des::time::{SimDuration, SimTime};
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// enum S { On, Sleep }
+///
+/// let t0 = SimTime::ZERO;
+/// let mut m = PowerStateMachine::new(t0, S::On, 100.0);
+/// // Sleep entry takes 1 s at 100 W, then draws 5 W.
+/// let done = m.begin_transition(SimTime::from_secs(10), S::Sleep,
+///                               SimDuration::from_secs(1), 100.0, 5.0);
+/// m.complete_transition(done);
+/// let end = SimTime::from_secs(20);
+/// // 11 s at 100 W + 9 s at 5 W.
+/// assert_eq!(m.energy_j(end), 11.0 * 100.0 + 9.0 * 5.0);
+/// assert_eq!(m.phase(), Phase::Steady(S::Sleep));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerStateMachine<S: Copy + Eq + Hash> {
+    phase: Phase<S>,
+    pending: Option<Pending<S>>,
+    residency: Residency<Phase<S>>,
+    power: TimeWeighted,
+    transition_energy_j: f64,
+}
+
+impl<S: Copy + Eq + Hash + std::fmt::Debug> PowerStateMachine<S> {
+    /// Creates a machine settled in `initial`, drawing `power_w`.
+    pub fn new(now: SimTime, initial: S, power_w: f64) -> Self {
+        PowerStateMachine {
+            phase: Phase::Steady(initial),
+            pending: None,
+            residency: Residency::new(now, Phase::Steady(initial)),
+            power: TimeWeighted::new(now, power_w),
+            transition_energy_j: 0.0,
+        }
+    }
+
+    /// The current phase (steady state or in-flight transition).
+    pub fn phase(&self) -> Phase<S> {
+        self.phase
+    }
+
+    /// The steady state if settled, `None` while transitioning.
+    pub fn steady(&self) -> Option<S> {
+        match self.phase {
+            Phase::Steady(s) => Some(s),
+            Phase::Transitioning { .. } => None,
+        }
+    }
+
+    /// `true` while a transition is in flight.
+    pub fn is_transitioning(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// When the in-flight transition settles, if any.
+    pub fn transition_done_at(&self) -> Option<SimTime> {
+        self.pending.map(|p| p.done_at)
+    }
+
+    /// Instantaneous power draw in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power.value()
+    }
+
+    /// Changes power draw without a state change (e.g. a core going from
+    /// idle-in-C0 to busy-in-C0, or a DVFS change).
+    pub fn set_power(&mut self, now: SimTime, power_w: f64) {
+        self.power.set(now, power_w);
+    }
+
+    /// Instantaneously switches to `state` drawing `power_w` (for
+    /// zero-latency transitions like C0 → C1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latent transition is in flight — complete or supersede it
+    /// first (components cannot teleport out of a hardware transition).
+    pub fn set_state(&mut self, now: SimTime, state: S, power_w: f64) {
+        assert!(
+            self.pending.is_none(),
+            "set_state during in-flight transition to {:?}",
+            self.pending.unwrap().to
+        );
+        self.phase = Phase::Steady(state);
+        self.residency.transition(now, self.phase);
+        self.power.set(now, power_w);
+    }
+
+    /// Starts a transition to `to` taking `latency`, drawing
+    /// `transition_power_w` meanwhile and `settle_power_w` once settled.
+    ///
+    /// Returns the settle instant; the caller must invoke
+    /// [`complete_transition`](Self::complete_transition) at that instant
+    /// (typically from a scheduled event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transition is already in flight.
+    pub fn begin_transition(
+        &mut self,
+        now: SimTime,
+        to: S,
+        latency: SimDuration,
+        transition_power_w: f64,
+        settle_power_w: f64,
+    ) -> SimTime {
+        assert!(self.pending.is_none(), "transition already in flight");
+        let from = self.phase.target();
+        let done_at = now + latency;
+        self.phase = Phase::Transitioning { from, to };
+        self.residency.transition(now, self.phase);
+        self.power.set(now, transition_power_w);
+        self.pending = Some(Pending { to, done_at, settle_power_w });
+        done_at
+    }
+
+    /// Settles the in-flight transition at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transition is in flight or `now` is before the settle
+    /// instant returned by [`begin_transition`](Self::begin_transition).
+    pub fn complete_transition(&mut self, now: SimTime) {
+        let p = self.pending.take().expect("no transition in flight");
+        assert!(now >= p.done_at, "transition completed early");
+        self.phase = Phase::Steady(p.to);
+        self.residency.transition(now, self.phase);
+        self.power.set(now, p.settle_power_w);
+    }
+
+    /// Adds a lump of transition energy (joules) on top of integrated power
+    /// (for models that charge fixed energy per wake, e.g. cache flushes).
+    pub fn add_transition_energy(&mut self, joules: f64) {
+        self.transition_energy_j += joules;
+    }
+
+    /// Total energy in joules consumed through `now`.
+    pub fn energy_j(&self, now: SimTime) -> f64 {
+        self.power.integral(now) + self.transition_energy_j
+    }
+
+    /// Average power in watts over the machine's lifetime through `now`.
+    pub fn average_power_w(&self, now: SimTime) -> f64 {
+        self.power.time_average(now)
+    }
+
+    /// Residency accounting per phase (steady states and transitions).
+    pub fn residency(&self) -> &Residency<Phase<S>> {
+        &self.residency
+    }
+
+    /// Time settled in `state` through `now` (excludes transitions).
+    pub fn time_in(&self, state: S, now: SimTime) -> SimDuration {
+        self.residency.time_in_through(Phase::Steady(state), now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum S {
+        Active,
+        Sleep,
+    }
+
+    #[test]
+    fn steady_energy_integrates() {
+        let m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        assert_eq!(m.energy_j(SimTime::from_secs(4)), 200.0);
+        assert_eq!(m.average_power_w(SimTime::from_secs(4)), 50.0);
+    }
+
+    #[test]
+    fn transition_draws_transition_power() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        let done = m.begin_transition(
+            SimTime::from_secs(2),
+            S::Sleep,
+            SimDuration::from_secs(3),
+            40.0,
+            5.0,
+        );
+        assert_eq!(done, SimTime::from_secs(5));
+        assert!(m.is_transitioning());
+        m.complete_transition(done);
+        assert_eq!(m.phase(), Phase::Steady(S::Sleep));
+        // 2s*50 + 3s*40 + 5s*5
+        assert_eq!(m.energy_j(SimTime::from_secs(10)), 100.0 + 120.0 + 25.0);
+    }
+
+    #[test]
+    fn residency_tracks_transition_phase() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        let done = m.begin_transition(
+            SimTime::from_secs(1),
+            S::Sleep,
+            SimDuration::from_secs(2),
+            50.0,
+            5.0,
+        );
+        m.complete_transition(done);
+        let now = SimTime::from_secs(10);
+        assert_eq!(m.time_in(S::Active, now), SimDuration::from_secs(1));
+        assert_eq!(m.time_in(S::Sleep, now), SimDuration::from_secs(7));
+        let wakeup = m.residency().time_in_through(
+            Phase::Transitioning { from: S::Active, to: S::Sleep },
+            now,
+        );
+        assert_eq!(wakeup, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn set_state_is_instant() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        m.set_state(SimTime::from_secs(1), S::Sleep, 5.0);
+        assert_eq!(m.steady(), Some(S::Sleep));
+        assert_eq!(m.energy_j(SimTime::from_secs(2)), 55.0);
+    }
+
+    #[test]
+    fn set_power_changes_draw_without_state_change() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 10.0);
+        m.set_power(SimTime::from_secs(1), 20.0);
+        assert_eq!(m.steady(), Some(S::Active));
+        assert_eq!(m.energy_j(SimTime::from_secs(2)), 30.0);
+    }
+
+    #[test]
+    fn lump_transition_energy_adds() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 0.0);
+        m.add_transition_energy(7.5);
+        assert_eq!(m.energy_j(SimTime::from_secs(1)), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition already in flight")]
+    fn double_transition_panics() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        m.begin_transition(SimTime::ZERO, S::Sleep, SimDuration::from_secs(1), 50.0, 5.0);
+        m.begin_transition(SimTime::ZERO, S::Active, SimDuration::from_secs(1), 50.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no transition in flight")]
+    fn complete_without_begin_panics() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        m.complete_transition(SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed early")]
+    fn complete_early_panics() {
+        let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
+        m.begin_transition(SimTime::ZERO, S::Sleep, SimDuration::from_secs(5), 50.0, 5.0);
+        m.complete_transition(SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! ACPI-style power-state vocabularies for servers and switches (§III-A,
+//! §III-B of the paper).
+
+use std::fmt;
+
+/// Core-level C-states (processor idle states).
+///
+/// `C0` is the only state that executes instructions; deeper states save
+/// more power but pay longer wake-up latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreCState {
+    /// Executing (or ready to execute) instructions.
+    C0,
+    /// Halted: clock gated, caches retained.
+    C1,
+    /// Deeper sleep: L1/L2 flushed to shared cache.
+    C3,
+    /// Deep sleep: core power-gated, state saved.
+    C6,
+}
+
+/// Package-level C-states (uncore: shared cache, memory controller, fabric).
+///
+/// A package can only descend when all of its cores have descended at least
+/// as deep (hierarchy invariant, enforced by the server model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PkgCState {
+    /// Uncore fully active.
+    Pc0,
+    /// Shallow package sleep: caches retained, fabric clock-gated.
+    Pc2,
+    /// Deep package sleep: uncore power-gated (paper's "package C6").
+    Pc6,
+}
+
+/// ACPI system sleep states (Sx) as modeled for whole servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemState {
+    /// Working: platform powered, processors follow C/P states.
+    S0,
+    /// Suspend-to-RAM: only DRAM in self-refresh plus wake logic powered.
+    S3,
+    /// Soft-off: everything off except wake circuitry.
+    S5,
+}
+
+/// Power states for a single switch port (§III-B: active, LPI, off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortPowerState {
+    /// Transmitting or ready to transmit.
+    Active,
+    /// IEEE 802.3az Low Power Idle.
+    Lpi,
+    /// Port disabled.
+    Off,
+}
+
+/// Power states for a switch line card (§III-B: active, sleep, off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineCardPowerState {
+    /// Forwarding packets.
+    Active,
+    /// Packet-processing hardware in sleep; must wake before forwarding.
+    Sleep,
+    /// Line card disabled.
+    Off,
+}
+
+/// A DVFS operating point: frequency plus the dynamic-power scale it implies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PState {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Multiplier on per-core busy power at this operating point
+    /// (≈ (f/f_nominal)·V², captured as a single factor).
+    pub busy_power_scale: f64,
+}
+
+impl PState {
+    /// Frequency relative to `nominal` (e.g. 0.5 means half speed).
+    pub fn speed_ratio(&self, nominal_ghz: f64) -> f64 {
+        self.freq_ghz / nominal_ghz
+    }
+}
+
+macro_rules! impl_display_as_debug {
+    ($($t:ty),*) => {
+        $(impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{self:?}")
+            }
+        })*
+    };
+}
+impl_display_as_debug!(CoreCState, PkgCState, SystemState, PortPowerState, LineCardPowerState);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cstates_order_by_depth() {
+        assert!(CoreCState::C0 < CoreCState::C1);
+        assert!(CoreCState::C1 < CoreCState::C3);
+        assert!(CoreCState::C3 < CoreCState::C6);
+        assert!(PkgCState::Pc0 < PkgCState::Pc6);
+        assert!(SystemState::S0 < SystemState::S3);
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(CoreCState::C6.to_string(), "C6");
+        assert_eq!(PortPowerState::Lpi.to_string(), "Lpi");
+        assert_eq!(SystemState::S3.to_string(), "S3");
+    }
+
+    #[test]
+    fn pstate_speed_ratio() {
+        let p = PState { freq_ghz: 1.4, busy_power_scale: 0.4 };
+        assert!((p.speed_ratio(2.8) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! The optional global task queue (§III-E): tasks the global scheduler
+//! could not place wait here until a server frees up.
+
+use std::collections::VecDeque;
+
+use holdcsim_des::time::SimTime;
+use holdcsim_server::task::TaskHandle;
+
+/// A FIFO of unplaced tasks with waiting-time statistics.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_sched::queue::GlobalQueue;
+/// use holdcsim_server::task::TaskHandle;
+/// use holdcsim_des::time::{SimDuration, SimTime};
+/// use holdcsim_workload::ids::{JobId, TaskId};
+///
+/// let mut q = GlobalQueue::new();
+/// let t = TaskHandle::new(TaskId::new(JobId(1), 0), SimDuration::from_millis(5));
+/// q.push(SimTime::ZERO, t);
+/// let (task, waited) = q.pop(SimTime::from_millis(3)).unwrap();
+/// assert_eq!(task.id, t.id);
+/// assert_eq!(waited.as_secs_f64(), 0.003);
+/// ```
+#[derive(Debug, Default)]
+pub struct GlobalQueue {
+    queue: VecDeque<(SimTime, TaskHandle)>,
+    max_len: usize,
+    total_enqueued: u64,
+}
+
+impl GlobalQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an unplaced task at `now`.
+    pub fn push(&mut self, now: SimTime, task: TaskHandle) {
+        self.queue.push_back((now, task));
+        self.max_len = self.max_len.max(self.queue.len());
+        self.total_enqueued += 1;
+    }
+
+    /// Dequeues the oldest task, returning it with its queueing delay.
+    pub fn pop(&mut self, now: SimTime) -> Option<(TaskHandle, holdcsim_des::time::SimDuration)> {
+        let (enq, task) = self.queue.pop_front()?;
+        Some((task, now.saturating_duration_since(enq)))
+    }
+
+    /// Dequeues the oldest task satisfying `pred` (e.g. a server-class
+    /// match), preserving order among the rest.
+    pub fn pop_matching(
+        &mut self,
+        now: SimTime,
+        mut pred: impl FnMut(&TaskHandle) -> bool,
+    ) -> Option<(TaskHandle, holdcsim_des::time::SimDuration)> {
+        let idx = self.queue.iter().position(|(_, t)| pred(t))?;
+        let (enq, task) = self.queue.remove(idx).expect("index from position");
+        Some((task, now.saturating_duration_since(enq)))
+    }
+
+    /// Tasks currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no tasks wait.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// High-water mark of the queue length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Total tasks that ever waited here.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim_des::time::SimDuration;
+    use holdcsim_workload::ids::{JobId, TaskId};
+
+    fn th(n: u64) -> TaskHandle {
+        TaskHandle::new(TaskId::new(JobId(n), 0), SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn fifo_order_and_waits() {
+        let mut q = GlobalQueue::new();
+        q.push(SimTime::ZERO, th(1));
+        q.push(SimTime::from_millis(5), th(2));
+        let (a, wa) = q.pop(SimTime::from_millis(10)).unwrap();
+        assert_eq!(a.id.job.0, 1);
+        assert_eq!(wa, SimDuration::from_millis(10));
+        let (b, wb) = q.pop(SimTime::from_millis(10)).unwrap();
+        assert_eq!(b.id.job.0, 2);
+        assert_eq!(wb, SimDuration::from_millis(5));
+        assert!(q.pop(SimTime::from_millis(11)).is_none());
+    }
+
+    #[test]
+    fn stats_track_high_water() {
+        let mut q = GlobalQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, th(1));
+        q.push(SimTime::ZERO, th(2));
+        q.pop(SimTime::ZERO);
+        q.push(SimTime::ZERO, th(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_len(), 2);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Local sleep policies: what a server does with idleness (§IV-B/C).
+
+use holdcsim_des::time::SimDuration;
+use holdcsim_power::states::SystemState;
+
+/// Where an idle server settles immediately after its last task departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleDescent {
+    /// Stay responsive: cores halt (C1), package stays PC0. The paper's
+    /// Active-Idle baseline parks here indefinitely.
+    StayIdle,
+    /// Drop straight into package C6 (cores C6, uncore gated): the paper's
+    /// "shallow sleep" with sub-millisecond wake.
+    ShallowSleep,
+}
+
+/// The deep state a delay timer descends into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeepState {
+    /// Suspend-to-RAM (seconds to resume).
+    SuspendToRam,
+    /// Soft-off (tens of seconds to boot).
+    SoftOff,
+}
+
+impl DeepState {
+    /// The ACPI system state this corresponds to.
+    pub fn system_state(self) -> SystemState {
+        match self {
+            DeepState::SuspendToRam => SystemState::S3,
+            DeepState::SoftOff => SystemState::S5,
+        }
+    }
+}
+
+/// A server's local power policy.
+///
+/// All of the paper's per-server strategies are points in this space:
+///
+/// | Paper strategy | `idle_descent` | `deep_after` |
+/// |---|---|---|
+/// | Active-Idle baseline (§IV-B) | `StayIdle` | `None` |
+/// | Single delay timer τ (Fig. 5) | `StayIdle` | `Some((τ, SuspendToRam))` |
+/// | Dual delay timers (Fig. 6) | `StayIdle` | per-pool τ |
+/// | WASP active pool (Fig. 7b) | `ShallowSleep` | `None` |
+/// | WASP sleep pool (Fig. 7b) | `ShallowSleep` | `Some((τ, SuspendToRam))` |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepPolicy {
+    /// Immediate descent on idleness.
+    pub idle_descent: IdleDescent,
+    /// Optional delay timer: after this much uninterrupted idleness, begin
+    /// the transition into the deep state.
+    pub deep_after: Option<(SimDuration, DeepState)>,
+}
+
+impl SleepPolicy {
+    /// The Active-Idle baseline: never sleep.
+    pub fn active_idle() -> Self {
+        SleepPolicy { idle_descent: IdleDescent::StayIdle, deep_after: None }
+    }
+
+    /// A single delay timer: idle for `tau`, then suspend to RAM.
+    pub fn delay_timer(tau: SimDuration) -> Self {
+        SleepPolicy {
+            idle_descent: IdleDescent::StayIdle,
+            deep_after: Some((tau, DeepState::SuspendToRam)),
+        }
+    }
+
+    /// WASP-style shallow-only policy (active pool).
+    pub fn shallow_only() -> Self {
+        SleepPolicy { idle_descent: IdleDescent::ShallowSleep, deep_after: None }
+    }
+
+    /// WASP-style sleep-pool policy: shallow immediately, deep after `tau`.
+    pub fn shallow_then_deep(tau: SimDuration) -> Self {
+        SleepPolicy {
+            idle_descent: IdleDescent::ShallowSleep,
+            deep_after: Some((tau, DeepState::SuspendToRam)),
+        }
+    }
+}
+
+impl Default for SleepPolicy {
+    fn default() -> Self {
+        Self::active_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_map_to_paper_strategies() {
+        assert_eq!(SleepPolicy::active_idle().deep_after, None);
+        assert_eq!(SleepPolicy::active_idle().idle_descent, IdleDescent::StayIdle);
+        let dt = SleepPolicy::delay_timer(SimDuration::from_secs(1));
+        assert_eq!(
+            dt.deep_after,
+            Some((SimDuration::from_secs(1), DeepState::SuspendToRam))
+        );
+        assert_eq!(SleepPolicy::shallow_only().idle_descent, IdleDescent::ShallowSleep);
+        assert!(SleepPolicy::shallow_then_deep(SimDuration::from_secs(2)).deep_after.is_some());
+    }
+
+    #[test]
+    fn deep_state_maps_to_acpi() {
+        assert_eq!(DeepState::SuspendToRam.system_state(), SystemState::S3);
+        assert_eq!(DeepState::SoftOff.system_state(), SystemState::S5);
+    }
+}

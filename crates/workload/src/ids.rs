@@ -1,0 +1,55 @@
+//! Identifiers for jobs and tasks.
+
+use std::fmt;
+
+/// Identifies one job (one user service request) for the lifetime of a
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct JobId(pub u64);
+
+/// Identifies one task within a job: the pair of the owning [`JobId`] and
+/// the task's index in the job's DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId {
+    /// The owning job.
+    pub job: JobId,
+    /// Index of the task within the job's DAG (dense, 0-based).
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Creates a task id.
+    pub fn new(job: JobId, index: u32) -> Self {
+        TaskId { job, index }
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.t{}", self.job, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let t = TaskId::new(JobId(7), 2);
+        assert_eq!(t.to_string(), "job#7.t2");
+    }
+
+    #[test]
+    fn ordering_is_by_job_then_index() {
+        let a = TaskId::new(JobId(1), 9);
+        let b = TaskId::new(JobId(2), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Named workload presets used throughout the paper's evaluation.
+
+use holdcsim_des::time::SimDuration;
+
+use crate::service::ServiceDist;
+use crate::templates::JobTemplate;
+
+/// The two representative workloads of §IV-B plus the Fig. 4 task mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadPreset {
+    /// Web search: short, latency-critical requests (mean 5 ms).
+    WebSearch,
+    /// Web serving: longer requests (mean 120 ms).
+    WebServing,
+    /// Fig. 4's provisioning study: simple tasks uniform in 3–10 ms.
+    Provisioning,
+}
+
+impl WorkloadPreset {
+    /// Mean service time of one job under this preset.
+    pub fn mean_service(self) -> SimDuration {
+        match self {
+            WorkloadPreset::WebSearch => SimDuration::from_millis(5),
+            WorkloadPreset::WebServing => SimDuration::from_millis(120),
+            WorkloadPreset::Provisioning => SimDuration::from_micros(6_500),
+        }
+    }
+
+    /// The service-time distribution for this preset.
+    pub fn service_dist(self) -> ServiceDist {
+        match self {
+            WorkloadPreset::WebSearch => {
+                ServiceDist::Exponential { mean: SimDuration::from_millis(5) }
+            }
+            WorkloadPreset::WebServing => {
+                ServiceDist::Exponential { mean: SimDuration::from_millis(120) }
+            }
+            WorkloadPreset::Provisioning => ServiceDist::Uniform {
+                lo: SimDuration::from_millis(3),
+                hi: SimDuration::from_millis(10),
+            },
+        }
+    }
+
+    /// A single-task job template for this preset (the paper's Fig. 4–9
+    /// studies all use single-task jobs).
+    pub fn template(self) -> JobTemplate {
+        JobTemplate::single(self.service_dist())
+    }
+
+    /// Human-readable name, matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadPreset::WebSearch => "Web Search",
+            WorkloadPreset::WebServing => "Web Serving",
+            WorkloadPreset::Provisioning => "Provisioning",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_means_match_paper() {
+        assert_eq!(WorkloadPreset::WebSearch.mean_service(), SimDuration::from_millis(5));
+        assert_eq!(WorkloadPreset::WebServing.mean_service(), SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn dist_means_agree_with_mean_service() {
+        for p in [
+            WorkloadPreset::WebSearch,
+            WorkloadPreset::WebServing,
+            WorkloadPreset::Provisioning,
+        ] {
+            assert_eq!(p.service_dist().mean(), p.mean_service(), "{p}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadPreset::WebSearch.to_string(), "Web Search");
+    }
+}

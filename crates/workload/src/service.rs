@@ -1,0 +1,126 @@
+//! Task service-time distributions (§III-A: "various types of workloads
+//! with different levels of computation intensiveness").
+
+use holdcsim_des::rng::SimRng;
+use holdcsim_des::time::SimDuration;
+
+/// A distribution of task service times.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_workload::service::ServiceDist;
+/// use holdcsim_des::rng::SimRng;
+/// use holdcsim_des::time::SimDuration;
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let d = ServiceDist::Deterministic(SimDuration::from_millis(5));
+/// assert_eq!(d.sample(&mut rng), SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceDist {
+    /// Always exactly this long.
+    Deterministic(SimDuration),
+    /// Exponentially distributed with the given mean (the paper's default
+    /// for both web search and web serving).
+    Exponential {
+        /// Mean service time.
+        mean: SimDuration,
+    },
+    /// Uniform in `[lo, hi]` (Fig. 4 uses 3–10 ms).
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound.
+        hi: SimDuration,
+    },
+    /// Log-normal with the given median and sigma of the underlying normal;
+    /// models heavy-ish tails seen in interactive services.
+    LogNormal {
+        /// Median service time (`exp(mu)` of the underlying normal).
+        median: SimDuration,
+        /// Sigma of the underlying normal distribution.
+        sigma: f64,
+    },
+}
+
+impl ServiceDist {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            ServiceDist::Deterministic(d) => d,
+            ServiceDist::Exponential { mean } => {
+                let m = mean.as_secs_f64();
+                SimDuration::from_secs_f64(rng.exp(1.0 / m))
+            }
+            ServiceDist::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform bounds inverted");
+                let s = rng.uniform_range(lo.as_secs_f64(), hi.as_secs_f64());
+                SimDuration::from_secs_f64(s)
+            }
+            ServiceDist::LogNormal { median, sigma } => {
+                let mu = median.as_secs_f64().ln();
+                let z = rng.normal(0.0, 1.0);
+                SimDuration::from_secs_f64((mu + sigma * z).exp())
+            }
+        }
+    }
+
+    /// The distribution's mean service time.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            ServiceDist::Deterministic(d) => d,
+            ServiceDist::Exponential { mean } => mean,
+            ServiceDist::Uniform { lo, hi } => (lo + hi) / 2,
+            ServiceDist::LogNormal { median, sigma } => {
+                SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * sigma / 2.0).exp())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &ServiceDist, n: usize) -> f64 {
+        let mut rng = SimRng::seed_from(42);
+        (0..n).map(|_| d.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let d = ServiceDist::Deterministic(SimDuration::from_millis(7));
+        assert_eq!(d.mean(), SimDuration::from_millis(7));
+        assert!((sample_mean(&d, 10) - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = ServiceDist::Exponential { mean: SimDuration::from_millis(5) };
+        let m = sample_mean(&d, 100_000);
+        assert!((m - 0.005).abs() < 0.0002, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = ServiceDist::Uniform {
+            lo: SimDuration::from_millis(3),
+            hi: SimDuration::from_millis(10),
+        };
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= SimDuration::from_millis(3) && s <= SimDuration::from_millis(10));
+        }
+        assert_eq!(d.mean(), SimDuration::from_micros(6_500));
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let d = ServiceDist::LogNormal { median: SimDuration::from_millis(10), sigma: 0.5 };
+        let analytic = d.mean().as_secs_f64();
+        let empirical = sample_mean(&d, 200_000);
+        assert!((empirical - analytic).abs() / analytic < 0.02, "{empirical} vs {analytic}");
+    }
+}

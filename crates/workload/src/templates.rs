@@ -1,0 +1,254 @@
+//! Job templates: recipes that stamp out [`JobDag`]s with sampled service
+//! times (§III-C's web-request and search examples, plus random DAGs).
+
+use holdcsim_des::rng::SimRng;
+use holdcsim_des::time::SimDuration;
+
+use crate::dag::{JobDag, TaskSpec};
+use crate::service::ServiceDist;
+
+/// A recipe for generating job DAGs.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_workload::templates::JobTemplate;
+/// use holdcsim_workload::service::ServiceDist;
+/// use holdcsim_des::rng::SimRng;
+/// use holdcsim_des::time::SimDuration;
+///
+/// let tmpl = JobTemplate::two_tier(
+///     ServiceDist::Deterministic(SimDuration::from_millis(2)),
+///     ServiceDist::Deterministic(SimDuration::from_millis(6)),
+///     64 * 1024,
+/// );
+/// let mut rng = SimRng::seed_from(1);
+/// let dag = tmpl.generate(&mut rng);
+/// assert_eq!(dag.len(), 2);
+/// assert_eq!(dag.edges().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub enum JobTemplate {
+    /// One task per job (the paper's Fig. 4–6 and validation studies).
+    SingleTask {
+        /// Service-time distribution.
+        service: ServiceDist,
+        /// Compute intensiveness of the task.
+        intensity: f64,
+    },
+    /// App-server task followed by a database task (§III-C's web request).
+    TwoTier {
+        /// Front-tier (app server) service time.
+        app: ServiceDist,
+        /// Back-tier (database) service time.
+        db: ServiceDist,
+        /// Result bytes shipped from app to db task.
+        transfer_bytes: u64,
+    },
+    /// Root fans out to `width` leaf tasks whose results are aggregated by
+    /// a final task (web search scatter-gather, §II).
+    FanOutFanIn {
+        /// Root (request parsing / scatter) service time.
+        root: ServiceDist,
+        /// Leaf (index shard) service time.
+        leaf: ServiceDist,
+        /// Aggregator service time.
+        agg: ServiceDist,
+        /// Number of leaves.
+        width: u32,
+        /// Bytes from each leaf to the aggregator.
+        transfer_bytes: u64,
+    },
+    /// A random layered DAG: `layers` layers of up to `max_width` tasks,
+    /// each task depending on 1..=2 tasks of the previous layer. Exercises
+    /// arbitrary spatial/temporal dependence.
+    RandomDag {
+        /// Per-task service time.
+        service: ServiceDist,
+        /// Number of layers (≥ 1).
+        layers: u32,
+        /// Maximum tasks per layer (≥ 1).
+        max_width: u32,
+        /// Bytes per dependency edge.
+        transfer_bytes: u64,
+    },
+}
+
+impl JobTemplate {
+    /// A single-task, fully compute-bound template.
+    pub fn single(service: ServiceDist) -> Self {
+        JobTemplate::SingleTask { service, intensity: 1.0 }
+    }
+
+    /// A two-tier web-request template.
+    pub fn two_tier(app: ServiceDist, db: ServiceDist, transfer_bytes: u64) -> Self {
+        JobTemplate::TwoTier { app, db, transfer_bytes }
+    }
+
+    /// Stamps out one job DAG, sampling all service times.
+    pub fn generate(&self, rng: &mut SimRng) -> JobDag {
+        match self {
+            JobTemplate::SingleTask { service, intensity } => JobDag::single(TaskSpec {
+                service: service.sample(rng),
+                intensity: *intensity,
+                server_class: None,
+            }),
+            JobTemplate::TwoTier { app, db, transfer_bytes } => JobDag::builder()
+                .task(TaskSpec {
+                    service: app.sample(rng),
+                    intensity: 1.0,
+                    server_class: Some(0),
+                })
+                .task(TaskSpec {
+                    service: db.sample(rng),
+                    intensity: 0.6,
+                    server_class: Some(1),
+                })
+                .edge(0, 1, *transfer_bytes)
+                .build()
+                .expect("two-tier template is statically acyclic"),
+            JobTemplate::FanOutFanIn { root, leaf, agg, width, transfer_bytes } => {
+                let width = (*width).max(1);
+                let mut b = JobDag::builder().task(TaskSpec::compute(root.sample(rng)));
+                for i in 0..width {
+                    b = b
+                        .task(TaskSpec::compute(leaf.sample(rng)))
+                        .edge(0, i + 1, *transfer_bytes);
+                }
+                b = b.task(TaskSpec::compute(agg.sample(rng)));
+                let agg_idx = width + 1;
+                for i in 0..width {
+                    b = b.edge(i + 1, agg_idx, *transfer_bytes);
+                }
+                b.build().expect("fan-out template is statically acyclic")
+            }
+            JobTemplate::RandomDag { service, layers, max_width, transfer_bytes } => {
+                let layers = (*layers).max(1);
+                let max_width = (*max_width).max(1);
+                let mut b = JobDag::builder();
+                let mut layer_tasks: Vec<Vec<u32>> = Vec::new();
+                let mut next_idx = 0u32;
+                for l in 0..layers {
+                    let width = 1 + rng.below(max_width as u64) as u32;
+                    let mut this_layer = Vec::new();
+                    for _ in 0..width {
+                        b = b.task(TaskSpec::compute(service.sample(rng)));
+                        let idx = next_idx;
+                        next_idx += 1;
+                        if l > 0 {
+                            let prev = &layer_tasks[(l - 1) as usize];
+                            let deps = 1 + rng.below(2.min(prev.len() as u64)) as usize;
+                            let mut picked = prev.clone();
+                            rng.shuffle(&mut picked);
+                            for &p in picked.iter().take(deps) {
+                                b = b.edge(p, idx, *transfer_bytes);
+                            }
+                        }
+                        this_layer.push(idx);
+                    }
+                    layer_tasks.push(this_layer);
+                }
+                b.build().expect("layered random DAG is acyclic by construction")
+            }
+        }
+    }
+
+    /// Expected total work per job (sum of mean service times), useful for
+    /// utilization calculations with multi-task jobs.
+    pub fn mean_total_work(&self) -> SimDuration {
+        match self {
+            JobTemplate::SingleTask { service, .. } => service.mean(),
+            JobTemplate::TwoTier { app, db, .. } => app.mean() + db.mean(),
+            JobTemplate::FanOutFanIn { root, leaf, agg, width, .. } => {
+                root.mean() + leaf.mean() * (*width).max(1) as u64 + agg.mean()
+            }
+            JobTemplate::RandomDag { service, layers, max_width, .. } => {
+                // Expected width = (1 + max_width)/2.
+                let exp_tasks =
+                    (*layers).max(1) as f64 * (1.0 + (*max_width).max(1) as f64) / 2.0;
+                service.mean().mul_f64(exp_tasks)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(ms: u64) -> ServiceDist {
+        ServiceDist::Deterministic(SimDuration::from_millis(ms))
+    }
+
+    #[test]
+    fn single_task_generates_one_task() {
+        let mut rng = SimRng::seed_from(1);
+        let dag = JobTemplate::single(det(5)).generate(&mut rng);
+        assert_eq!(dag.len(), 1);
+        assert!(dag.edges().is_empty());
+        assert_eq!(dag.task(0).service, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn two_tier_shape_and_classes() {
+        let mut rng = SimRng::seed_from(2);
+        let dag = JobTemplate::two_tier(det(2), det(6), 1024).generate(&mut rng);
+        assert_eq!(dag.len(), 2);
+        assert_eq!(dag.roots(), &[0]);
+        assert_eq!(dag.task(0).server_class, Some(0));
+        assert_eq!(dag.task(1).server_class, Some(1));
+        assert_eq!(dag.edge_bytes(0, 1), Some(1024));
+        assert_eq!(dag.critical_path(), SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn fan_out_fan_in_shape() {
+        let mut rng = SimRng::seed_from(3);
+        let tmpl = JobTemplate::FanOutFanIn {
+            root: det(1),
+            leaf: det(4),
+            agg: det(2),
+            width: 8,
+            transfer_bytes: 512,
+        };
+        let dag = tmpl.generate(&mut rng);
+        assert_eq!(dag.len(), 10);
+        assert_eq!(dag.roots(), &[0]);
+        assert_eq!(dag.successors(0).len(), 8);
+        assert_eq!(dag.predecessors(9).len(), 8);
+        assert_eq!(dag.critical_path(), SimDuration::from_millis(7));
+        assert_eq!(tmpl.mean_total_work(), SimDuration::from_millis(1 + 32 + 2));
+    }
+
+    #[test]
+    fn random_dag_is_valid_and_layered() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..50 {
+            let dag = JobTemplate::RandomDag {
+                service: det(1),
+                layers: 4,
+                max_width: 3,
+                transfer_bytes: 10,
+            }
+            .generate(&mut rng);
+            assert!(dag.len() >= 4);
+            assert!(dag.len() <= 12);
+            // Built successfully => acyclic; every non-root has a predecessor.
+            let roots = dag.roots().len();
+            assert!(roots >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let tmpl = JobTemplate::RandomDag {
+            service: ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
+            layers: 3,
+            max_width: 4,
+            transfer_bytes: 7,
+        };
+        let a = tmpl.generate(&mut SimRng::seed_from(9));
+        let b = tmpl.generate(&mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Quickstart: simulate a small web-search server farm and print the
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use holdcsim::prelude::*;
+
+fn main() {
+    // 10 four-core Xeon-class servers at 30 % utilization serving
+    // web-search requests (exponential, 5 ms mean) for 60 simulated
+    // seconds.
+    let cfg = SimConfig::server_farm(
+        10,
+        4,
+        0.30,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_secs(60),
+    );
+
+    let report = Simulation::new(cfg).run();
+
+    println!("== HolDCSim-RS quickstart ==");
+    print!("{}", report.summary());
+    println!(
+        "mean farm power: {:.1} W | mean utilization: {:.1} % | events: {}",
+        report.mean_server_power_w(),
+        report.mean_utilization() * 100.0,
+        report.events_processed
+    );
+    println!("machine-readable: {}", report.to_json());
+}

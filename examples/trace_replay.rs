@@ -1,0 +1,52 @@
+//! Trace-based simulation end to end: generate a synthetic Wikipedia-like
+//! trace, serialize it to the one-timestamp-per-line text format, parse it
+//! back (as you would a real trace file), and replay it through the farm.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use holdcsim::config::ArrivalConfig;
+use holdcsim::prelude::*;
+use holdcsim_des::rng::SimRng;
+use holdcsim_workload::trace::{from_text, to_text, SyntheticTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = SimDuration::from_secs(120);
+    let mut rng = SimRng::seed_from(2026);
+
+    // 1. Generate a diurnal trace at ~800 jobs/s mean.
+    let trace = SyntheticTrace::wikipedia_like(horizon, 800.0, 0.6, horizon / 2, &mut rng);
+    println!("generated {} arrivals over {horizon}", trace.len());
+
+    // 2. Round-trip through the text format (swap in any real trace here).
+    let text = to_text(&trace);
+    let parsed = from_text(&text)?;
+    assert_eq!(parsed, trace);
+    println!("text round-trip: {} bytes", text.len());
+
+    // 3. Replay through a provisioned farm.
+    let mut cfg = SimConfig::server_farm(
+        20,
+        4,
+        0.3, // nominal; the trace decides the real load
+        WorkloadPreset::Provisioning.template(),
+        horizon,
+    )
+    .with_policy(PolicyKind::PackFirst)
+    .with_sleep_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
+    cfg.arrivals = ArrivalConfig::Trace(parsed);
+    cfg.controller = Some(ControllerConfig::Provisioning { min_load: 1.0, max_load: 3.0 });
+
+    let report = Simulation::new(cfg).run();
+    print!("{}", report.summary());
+    let min = report
+        .series
+        .active_servers
+        .iter()
+        .copied()
+        .fold(f64::MAX, f64::min);
+    let max = report.series.active_servers.iter().copied().fold(0.0, f64::max);
+    println!("active servers tracked the diurnal load: {min:.0}..{max:.0} of 20");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! A latency-critical web-search cluster with power management: compares
+//! Active-Idle, a single delay timer, and the WASP-style two-pool adaptive
+//! scheduler on the same workload — the §IV-B/C story in one binary.
+//!
+//! ```sh
+//! cargo run --release --example web_search_cluster
+//! ```
+
+use holdcsim::prelude::*;
+
+fn run(name: &str, cfg: SimConfig) {
+    let report = Simulation::new(cfg).run();
+    println!(
+        "{name:<18} energy {:>8.1} kJ | p95 {:>7.2} ms | p99 {:>7.2} ms | jobs {}",
+        report.server_energy_j() / 1e3,
+        report.latency.p95 * 1e3,
+        report.latency.p99 * 1e3,
+        report.jobs_completed
+    );
+}
+
+fn main() {
+    let servers = 20;
+    let cores = 4;
+    let rho = 0.2;
+    let horizon = SimDuration::from_secs(120);
+    let base = || {
+        SimConfig::server_farm(
+            servers,
+            cores,
+            rho,
+            WorkloadPreset::WebSearch.template(),
+            horizon,
+        )
+        .with_policy(PolicyKind::PackFirst)
+    };
+
+    println!(
+        "== web-search cluster: {servers} x {cores}-core @ rho={rho}, {horizon} ==",
+    );
+
+    // Baseline: servers never sleep.
+    run("active-idle", base().with_sleep_policy(SleepPolicy::active_idle()));
+
+    // Single delay timer: idle 400 ms, then suspend to RAM.
+    run(
+        "delay-timer 0.4s",
+        base().with_sleep_policy(SleepPolicy::delay_timer(SimDuration::from_millis(400))),
+    );
+
+    // WASP-style two pools: a right-sized active pool in shallow sleep,
+    // the rest descending to system sleep.
+    let mut adaptive = base();
+    adaptive.controller = Some(ControllerConfig::Pools {
+        t_wakeup: 1.5 * cores as f64,
+        t_sleep: 0.4 * cores as f64,
+        sleep_pool_tau: SimDuration::from_secs(1),
+        initial_active: ((rho * servers as f64).ceil() as usize).max(1),
+    });
+    adaptive.controller_period = SimDuration::from_millis(50);
+    run("workload-adaptive", adaptive);
+}

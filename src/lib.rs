@@ -1,0 +1,11 @@
+//! Umbrella crate for the HolDCSim-RS workspace: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The library surface simply re-exports the stack.
+
+pub use holdcsim;
+pub use holdcsim_des as des;
+pub use holdcsim_network as network;
+pub use holdcsim_power as power;
+pub use holdcsim_sched as sched;
+pub use holdcsim_server as server;
+pub use holdcsim_workload as workload;

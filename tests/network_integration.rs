@@ -1,0 +1,134 @@
+//! Integration tests spanning the network substrate and the driver:
+//! DAG jobs communicating over topologies in both flow and packet modes.
+
+use holdcsim::config::{ArrivalConfig, CommModel, NetworkConfig, TopologySpec};
+use holdcsim::prelude::*;
+use holdcsim_network::topologies::LinkSpec;
+
+fn dag_cfg(comm: CommModel, bytes: u64, jobs: usize, secs: u64) -> SimConfig {
+    let template = JobTemplate::two_tier(
+        ServiceDist::Deterministic(SimDuration::from_millis(5)),
+        ServiceDist::Deterministic(SimDuration::from_millis(10)),
+        bytes,
+    );
+    let mut cfg = SimConfig::server_farm(16, 4, 0.2, template, SimDuration::from_secs(secs));
+    let mut rng = holdcsim_des::rng::SimRng::seed_from(2);
+    let mut t = SimTime::ZERO;
+    let times: Vec<SimTime> = (0..jobs)
+        .map(|_| {
+            t += SimDuration::from_secs_f64(rng.exp(200.0));
+            t
+        })
+        .collect();
+    cfg.arrivals = ArrivalConfig::Trace(times);
+    let mut net = NetworkConfig::fat_tree(4);
+    net.comm = comm;
+    cfg.network = Some(net);
+    cfg
+}
+
+#[test]
+fn flow_mode_completes_all_dag_jobs() {
+    let report = Simulation::new(dag_cfg(CommModel::Flow, 1_000_000, 200, 30)).run();
+    assert_eq!(report.jobs_completed, 200);
+    let net = report.network.expect("network simulated");
+    assert!(net.flows > 0, "no flows admitted");
+}
+
+#[test]
+fn packet_mode_completes_all_dag_jobs() {
+    let report = Simulation::new(
+        dag_cfg(CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 }, 150_000, 100, 30),
+    )
+    .run();
+    assert_eq!(report.jobs_completed, 100);
+    let net = report.network.expect("network simulated");
+    assert!(net.packets_forwarded > 100 * 100, "too few packets forwarded");
+}
+
+#[test]
+fn transfer_time_adds_to_job_latency() {
+    // Same jobs; bigger flows should lengthen completion (1 MB vs 50 MB on
+    // 1 GbE ≈ 8 ms vs 400 ms of transfer).
+    let small = Simulation::new(dag_cfg(CommModel::Flow, 1_000_000, 100, 60)).run();
+    let large = Simulation::new(dag_cfg(CommModel::Flow, 50_000_000, 100, 60)).run();
+    assert!(
+        large.latency.mean > small.latency.mean + 0.2,
+        "large {} vs small {}",
+        large.latency.mean,
+        small.latency.mean
+    );
+}
+
+#[test]
+fn latency_includes_critical_path_and_transfer_floor() {
+    // Deterministic services: 5 ms + 10 ms; transfer of 1 MB at 1 Gb/s
+    // adds ≥ 8 ms when tasks land on different servers. Even same-server
+    // placements bound latency below by 15 ms.
+    let report = Simulation::new(dag_cfg(CommModel::Flow, 1_000_000, 50, 30)).run();
+    assert!(report.latency.p50 >= 0.015, "p50 {}", report.latency.p50);
+}
+
+#[test]
+fn all_topologies_carry_traffic() {
+    for (spec, servers) in [
+        (TopologySpec::FatTree { k: 4 }, 16),
+        (TopologySpec::FlattenedButterfly { k: 2, hosts_per_switch: 4 }, 16),
+        (TopologySpec::BCube { n: 4, levels: 1 }, 16),
+        (TopologySpec::CamCube { x: 2, y: 2, z: 4 }, 16),
+        (TopologySpec::Star, 16),
+    ] {
+        let mut cfg = dag_cfg(CommModel::Flow, 500_000, 50, 20);
+        let net = cfg.network.as_mut().expect("network configured");
+        net.topology = spec;
+        net.link = LinkSpec::gigabit();
+        cfg.server_count = servers;
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.jobs_completed, 50, "{spec:?} lost jobs");
+    }
+}
+
+#[test]
+fn lpi_reduces_switch_energy_on_idle_network() {
+    // Few, widely-spaced jobs: ports should spend most time in LPI.
+    let mut with_lpi = dag_cfg(CommModel::Flow, 100_000, 20, 30);
+    with_lpi.network.as_mut().expect("net").lpi_hold = Some(SimDuration::from_millis(10));
+    let mut without = dag_cfg(CommModel::Flow, 100_000, 20, 30);
+    without.network.as_mut().expect("net").lpi_hold = None;
+    let e_lpi = Simulation::new(with_lpi).run().network.expect("net").switch_energy_j;
+    let e_raw = Simulation::new(without).run().network.expect("net").switch_energy_j;
+    assert!(
+        e_lpi < e_raw * 0.95,
+        "LPI {e_lpi} should undercut always-on {e_raw}"
+    );
+}
+
+#[test]
+fn network_reports_are_deterministic() {
+    let a = Simulation::new(dag_cfg(CommModel::Flow, 1_000_000, 100, 20)).run();
+    let b = Simulation::new(dag_cfg(CommModel::Flow, 1_000_000, 100, 20)).run();
+    assert_eq!(a.events_processed, b.events_processed);
+    let (na, nb) = (a.network.expect("net"), b.network.expect("net"));
+    assert_eq!(na.flows, nb.flows);
+    assert!((na.switch_energy_j - nb.switch_energy_j).abs() < 1e-9);
+}
+
+#[test]
+fn fan_out_jobs_traverse_network() {
+    let template = JobTemplate::FanOutFanIn {
+        root: ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        leaf: ServiceDist::Deterministic(SimDuration::from_millis(8)),
+        agg: ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        width: 6,
+        transfer_bytes: 200_000,
+    };
+    let mut cfg = SimConfig::server_farm(16, 4, 0.2, template, SimDuration::from_secs(30));
+    cfg.arrivals = ArrivalConfig::Trace(
+        (0..50).map(|i| SimTime::from_millis(1 + i * 100)).collect(),
+    );
+    cfg.network = Some(NetworkConfig::fat_tree(4));
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.jobs_completed, 50);
+    // Fan-out latency ≥ root + leaf + agg = 12 ms.
+    assert!(report.latency.p50 >= 0.012);
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the Table I power knobs: DVFS governor,
+//! heterogeneous cores, ALR vs LPI, and the pool controller under bursts.
+
+use holdcsim::config::{ArrivalConfig, ControllerConfig, DvfsConfig, NetworkConfig};
+use holdcsim::prelude::*;
+
+fn base(rho: f64, secs: u64) -> SimConfig {
+    SimConfig::server_farm(
+        4,
+        4,
+        rho,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_secs(secs),
+    )
+}
+
+#[test]
+fn dvfs_governor_cuts_cpu_energy_at_low_load() {
+    let nominal = Simulation::new(base(0.15, 60)).run();
+    let mut governed_cfg = base(0.15, 60);
+    governed_cfg.dvfs = Some(DvfsConfig::ondemand());
+    let governed = Simulation::new(governed_cfg).run();
+    assert!(
+        governed.cpu_energy_j() < nominal.cpu_energy_j() * 0.95,
+        "governed {} vs nominal {}",
+        governed.cpu_energy_j(),
+        nominal.cpu_energy_j()
+    );
+    // Slower cores mean longer service: latency rises.
+    assert!(governed.latency.mean > nominal.latency.mean);
+    // But everything still completes.
+    assert!(governed.jobs_completed as f64 > 0.99 * nominal.jobs_completed as f64);
+}
+
+#[test]
+fn dvfs_governor_speeds_up_under_load() {
+    // At rho=0.9 the governor should sit at (or near) the top P-state, so
+    // latency stays close to the nominal run.
+    let nominal = Simulation::new(base(0.9, 30)).run();
+    let mut governed_cfg = base(0.9, 30);
+    governed_cfg.dvfs = Some(DvfsConfig::ondemand());
+    let governed = Simulation::new(governed_cfg).run();
+    assert!(
+        governed.latency.p95 < nominal.latency.p95 * 2.0,
+        "governed p95 {} vs nominal {}",
+        governed.latency.p95,
+        nominal.latency.p95
+    );
+}
+
+#[test]
+fn heterogeneous_farm_is_slower_when_cores_shrink() {
+    // 4 full-speed cores vs 1 big + 3 half-speed cores: same farm, less
+    // capacity, higher latency at the same arrival rate.
+    let homo = Simulation::new(base(0.5, 30)).run();
+    let mut het_cfg = base(0.5, 30);
+    het_cfg.core_speeds = vec![1.0, 0.5, 0.5, 0.5];
+    let het = Simulation::new(het_cfg).run();
+    assert!(
+        het.latency.mean > homo.latency.mean,
+        "het {} vs homo {}",
+        het.latency.mean,
+        homo.latency.mean
+    );
+    assert_eq!(het.jobs_submitted, homo.jobs_submitted, "same seed, same arrivals");
+}
+
+#[test]
+fn alr_saves_less_than_lpi_but_more_than_nothing() {
+    let mk = |lpi: Option<SimDuration>, alr: bool| {
+        let mut cfg = base(0.05, 30);
+        cfg.server_count = 16;
+        let mut net = NetworkConfig::fat_tree(4);
+        net.lpi_hold = lpi;
+        net.use_alr = alr;
+        cfg.network = Some(net);
+        Simulation::new(cfg).run().network.expect("net").switch_energy_j
+    };
+    let none = mk(None, false);
+    let alr = mk(Some(SimDuration::from_millis(10)), true);
+    let lpi = mk(Some(SimDuration::from_millis(10)), false);
+    assert!(lpi < alr, "LPI {lpi} should beat ALR {alr}");
+    assert!(alr < none, "ALR {alr} should beat always-on {none}");
+}
+
+#[test]
+fn pools_react_to_bursty_load() {
+    let mut cfg = base(0.3, 60);
+    cfg.server_count = 8;
+    cfg.arrivals = ArrivalConfig::Mmpp2 {
+        base_rate: 0.3 * 8.0 * 4.0 / 0.005,
+        burst_ratio: 6.0,
+        bursty_fraction: 0.2,
+        mean_bursty_dwell: 2.0,
+    };
+    cfg.policy = PolicyKind::PackFirst;
+    cfg.controller = Some(ControllerConfig::Pools {
+        t_wakeup: 6.0,
+        t_sleep: 1.5,
+        sleep_pool_tau: SimDuration::from_secs(1),
+        initial_active: 3,
+    });
+    cfg.controller_period = SimDuration::from_millis(50);
+    let report = Simulation::new(cfg).run();
+    // The farm survives the bursts and some servers slept at some point.
+    assert!(report.jobs_completed > 10_000);
+    let deep: u64 = report.servers.iter().map(|s| s.sleep_counts.0).sum();
+    let resumes: u64 = report.servers.iter().map(|s| s.sleep_counts.1).sum();
+    assert!(deep > 0, "no deep sleeps under pools");
+    assert!(resumes > 0, "no promotions woke servers");
+}
+
+#[test]
+fn parked_servers_keep_their_own_timer() {
+    // Provisioning parks servers; their configured τ (not an override)
+    // decides when they suspend.
+    let mut cfg = base(0.1, 40);
+    cfg.server_count = 8;
+    cfg.policy = PolicyKind::PackFirst;
+    cfg.sleep_policies = vec![SleepPolicy::delay_timer(SimDuration::from_secs(2))];
+    cfg.controller = Some(ControllerConfig::Provisioning { min_load: 1.0, max_load: 3.0 });
+    let report = Simulation::new(cfg).run();
+    let deep: u64 = report.servers.iter().map(|s| s.sleep_counts.0).sum();
+    assert!(deep > 0, "parked servers never suspended");
+    // Servers that slept spent >= 2 s idle first (their τ), so idle
+    // residency is nonzero on any sleeping server.
+    let slept = report.servers.iter().find(|s| s.sleep_counts.0 > 0).expect("some slept");
+    assert!(slept.residency.2 > 0.0, "no idle residency before sleep");
+}

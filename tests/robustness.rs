@@ -1,0 +1,200 @@
+//! Edge cases and failure injection across the stack: packet loss and
+//! retransmission, class-constrained placement, degenerate horizons,
+//! overload, and odd topologies.
+
+use holdcsim::config::{ArrivalConfig, CommModel, ControllerConfig, NetworkConfig, TopologySpec};
+use holdcsim::prelude::*;
+use holdcsim_network::topologies::LinkSpec;
+use holdcsim_workload::dag::TaskSpec;
+
+#[test]
+fn packet_drops_are_retried_until_jobs_complete() {
+    // A buffer barely above one MTU forces tail-drops under fan-in; the
+    // retry path must still deliver every transfer.
+    let template = JobTemplate::two_tier(
+        ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        60_000, // 40 packets per edge
+    );
+    let mut cfg = SimConfig::server_farm(8, 2, 0.2, template, SimDuration::from_secs(30));
+    cfg.arrivals = ArrivalConfig::Trace((0..100).map(SimTime::from_millis).collect());
+    let mut net = NetworkConfig::validation_star();
+    net.comm = CommModel::Packet { mtu: 1_500, buffer_bytes: 4_000 };
+    net.link = LinkSpec::gigabit();
+    cfg.network = Some(net);
+    cfg.server_classes = (0..8).map(|i| (i % 2) as u32).collect();
+    let report = Simulation::new(cfg).run();
+    let net = report.network.as_ref().expect("network");
+    assert!(net.packets_dropped > 0, "expected drops with a 4 kB buffer");
+    assert_eq!(report.jobs_completed, 100, "retries must recover all transfers");
+}
+
+#[test]
+fn class_constraints_are_respected_with_global_queue() {
+    // Two classes, one server each; class-1 tasks must wait for server 1
+    // even while server 0 idles.
+    let template = JobTemplate::two_tier(
+        ServiceDist::Deterministic(SimDuration::from_millis(1)),
+        ServiceDist::Deterministic(SimDuration::from_millis(50)),
+        0,
+    );
+    let mut cfg = SimConfig::server_farm(2, 1, 0.2, template, SimDuration::from_secs(20));
+    cfg.use_global_queue = true;
+    cfg.server_classes = vec![0, 1];
+    cfg.arrivals = ArrivalConfig::Trace((0..40).map(|i| SimTime::from_millis(i * 2)).collect());
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.jobs_completed, 40);
+    // All the 50 ms db work ran on server 1.
+    assert!(report.servers[1].utilization > report.servers[0].utilization * 5.0);
+}
+
+#[test]
+fn empty_horizon_produces_sane_report() {
+    let mut cfg = SimConfig::server_farm(
+        2,
+        2,
+        0.3,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_millis(10),
+    );
+    // First arrival after the horizon.
+    cfg.arrivals = ArrivalConfig::Trace(vec![SimTime::from_secs(5)]);
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.jobs_submitted, 0);
+    assert_eq!(report.jobs_completed, 0);
+    assert_eq!(report.latency.count, 0);
+    assert!(report.server_energy_j() > 0.0, "idle energy still accrues");
+}
+
+#[test]
+fn overloaded_farm_stays_stable_and_reports_backlog() {
+    // rho = 1.3: the queue grows, completed < submitted, but the simulator
+    // terminates and reports cleanly.
+    let cfg = SimConfig::server_farm(
+        2,
+        2,
+        1.3,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_secs(10),
+    );
+    let report = Simulation::new(cfg).run();
+    assert!(report.jobs_completed < report.jobs_submitted);
+    assert!(report.latency.p99 > report.latency.p50);
+    assert!(report.mean_utilization() > 0.95);
+}
+
+#[test]
+fn pools_with_everything_active_behaves_like_plain_farm() {
+    let mut cfg = SimConfig::server_farm(
+        4,
+        2,
+        0.3,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_secs(10),
+    );
+    cfg.controller = Some(ControllerConfig::Pools {
+        t_wakeup: 100.0, // never promote (nothing to promote anyway)
+        t_sleep: 0.0001, // demote only when fully idle
+        sleep_pool_tau: SimDuration::from_secs(1),
+        initial_active: 4,
+    });
+    let report = Simulation::new(cfg).run();
+    assert!(report.jobs_completed > 1_000);
+}
+
+#[test]
+fn random_dag_jobs_over_camcube_packets() {
+    let template = JobTemplate::RandomDag {
+        service: ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
+        layers: 3,
+        max_width: 3,
+        transfer_bytes: 30_000,
+    };
+    let mut cfg = SimConfig::server_farm(8, 2, 0.2, template, SimDuration::from_secs(30));
+    cfg.arrivals = ArrivalConfig::Trace((0..60).map(|i| SimTime::from_millis(i * 20)).collect());
+    let mut net = NetworkConfig::validation_star();
+    net.topology = TopologySpec::CamCube { x: 2, y: 2, z: 2 };
+    net.comm = CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 };
+    cfg.network = Some(net);
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.jobs_completed, 60);
+}
+
+#[test]
+fn single_task_with_zero_byte_edges_never_touches_network() {
+    // Control-only dependencies (0 bytes) must not create flows.
+    let dag_template = {
+        // chain with zero-byte edges
+        
+        holdcsim_workload::dag::JobDag::builder()
+            .task(TaskSpec::compute(SimDuration::from_millis(2)))
+            .task(TaskSpec::compute(SimDuration::from_millis(2)))
+            .edge(0, 1, 0)
+            .build()
+            .unwrap()
+    };
+    // No public "fixed dag" template: emulate via two-tier with 0 bytes.
+    drop(dag_template);
+    let template = JobTemplate::two_tier(
+        ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        0,
+    );
+    let mut cfg = SimConfig::server_farm(4, 2, 0.2, template, SimDuration::from_secs(10));
+    cfg.arrivals = ArrivalConfig::Trace((0..50).map(|i| SimTime::from_millis(i * 10)).collect());
+    cfg.network = Some(NetworkConfig::fat_tree(4));
+    cfg.server_count = 16;
+    let report = Simulation::new(cfg).run();
+    assert_eq!(report.jobs_completed, 50);
+    assert_eq!(report.network.expect("net").flows, 0, "zero-byte edges made flows");
+}
+
+#[test]
+fn policies_actually_differ_in_placement() {
+    let mk = |policy: PolicyKind| {
+        let cfg = SimConfig::server_farm(
+            8,
+            2,
+            0.2,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(10),
+        )
+        .with_policy(policy);
+        Simulation::new(cfg).run()
+    };
+    let rr = mk(PolicyKind::RoundRobin);
+    let pf = mk(PolicyKind::PackFirst);
+    // Round-robin spreads utilization evenly; pack-first skews it.
+    let spread = |r: &holdcsim::SimReport| {
+        let utils: Vec<f64> = r.servers.iter().map(|s| s.utilization).collect();
+        let max = utils.iter().copied().fold(0.0, f64::max);
+        let min = utils.iter().copied().fold(f64::MAX, f64::min);
+        max - min
+    };
+    assert!(spread(&pf) > spread(&rr) * 2.0, "pack {} rr {}", spread(&pf), spread(&rr));
+}
+
+#[test]
+fn bcube_and_flattened_butterfly_run_flows() {
+    for (spec, servers) in [
+        (TopologySpec::BCube { n: 2, levels: 2 }, 8),
+        (TopologySpec::FlattenedButterfly { k: 2, hosts_per_switch: 2 }, 8),
+    ] {
+        let template = JobTemplate::two_tier(
+            ServiceDist::Deterministic(SimDuration::from_millis(2)),
+            ServiceDist::Deterministic(SimDuration::from_millis(2)),
+            100_000,
+        );
+        let mut cfg = SimConfig::server_farm(servers, 2, 0.2, template, SimDuration::from_secs(20));
+        cfg.arrivals =
+            ArrivalConfig::Trace((0..40).map(|i| SimTime::from_millis(i * 25)).collect());
+        cfg.server_classes = (0..servers).map(|i| (i % 2) as u32).collect();
+        let mut net = NetworkConfig::validation_star();
+        net.topology = spec;
+        net.comm = CommModel::Flow;
+        cfg.network = Some(net);
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.jobs_completed, 40, "{spec:?}");
+        assert!(report.network.expect("net").flows > 0, "{spec:?} no flows");
+    }
+}

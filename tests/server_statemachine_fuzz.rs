@@ -1,0 +1,167 @@
+//! Property-based fuzzing of the server state machine: random but
+//! causally-valid operation sequences must never panic, and the
+//! accounting invariants must hold at every step.
+
+use proptest::prelude::*;
+
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_server::policy::SleepPolicy;
+use holdcsim_server::server::{Band, Effect, Server, ServerConfig, ServerId, ServerMode};
+use holdcsim_server::task::TaskHandle;
+use holdcsim_workload::ids::{JobId, TaskId};
+
+/// A pending obligation the driver owes the server.
+#[derive(Debug, Clone, Copy)]
+enum Due {
+    Complete { at: SimTime, core: u32 },
+    Timer { at: SimTime, gen: u64 },
+    Transition { at: SimTime },
+}
+
+impl Due {
+    fn at(&self) -> SimTime {
+        match *self {
+            Due::Complete { at, .. } | Due::Timer { at, .. } | Due::Transition { at } => at,
+        }
+    }
+}
+
+fn policy_from(i: u8) -> SleepPolicy {
+    match i % 4 {
+        0 => SleepPolicy::active_idle(),
+        1 => SleepPolicy::delay_timer(SimDuration::from_millis(50)),
+        2 => SleepPolicy::shallow_only(),
+        _ => SleepPolicy::shallow_then_deep(SimDuration::from_millis(30)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive a server with an arbitrary interleaving of submissions and
+    /// due-event deliveries; assert it never wedges and its books balance.
+    #[test]
+    fn random_op_sequences_keep_invariants(
+        policy_sel in 0u8..4,
+        cores in 1u32..4,
+        ops in prop::collection::vec((0u8..4, 1u64..40), 1..120),
+    ) {
+        let cfg = ServerConfig::new(cores).with_policy(policy_from(policy_sel));
+        let mut server = Server::new(SimTime::ZERO, ServerId(0), cfg);
+        let mut now = SimTime::ZERO;
+        let mut due: Vec<Due> = Vec::new();
+        let mut job = 0u64;
+        let mut submitted = 0u64;
+
+        let mut absorb = |fx: &[Effect], now: SimTime, due: &mut Vec<Due>| {
+            for &e in fx {
+                match e {
+                    Effect::TaskStarted { core, completes_in, .. } => {
+                        due.push(Due::Complete { at: now + completes_in, core });
+                    }
+                    Effect::ArmTimer { after, gen } => {
+                        due.push(Due::Timer { at: now + after, gen });
+                    }
+                    Effect::TransitionDoneIn { after } => {
+                        due.push(Due::Transition { at: now + after });
+                    }
+                }
+            }
+        };
+
+        for (kind, step_ms) in ops {
+            now = now + SimDuration::from_millis(step_ms);
+            if kind == 0 || due.is_empty() {
+                // Submit a fresh task.
+                job += 1;
+                submitted += 1;
+                let t = TaskHandle::new(
+                    TaskId::new(JobId(job), 0),
+                    SimDuration::from_millis(5),
+                );
+                let fx = server.submit(now, t);
+                absorb(&fx, now, &mut due);
+            } else {
+                // Deliver the earliest obligation (events fire in order).
+                let idx = due
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| d.at())
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let d = due.swap_remove(idx);
+                now = now.max(d.at());
+                match d {
+                    Due::Complete { core, .. } => {
+                        let (_, fx) = server.complete(now, core);
+                        absorb(&fx, now, &mut due);
+                    }
+                    Due::Timer { gen, .. } => {
+                        let fx = server.timer_fired(now, gen);
+                        absorb(&fx, now, &mut due);
+                    }
+                    Due::Transition { .. } => {
+                        let fx = server.transition_done(now);
+                        absorb(&fx, now, &mut due);
+                    }
+                }
+            }
+
+            // --- invariants after every step ---
+            prop_assert!(server.busy_cores() <= server.core_count());
+            prop_assert!(server.power_w() >= 0.0);
+            let bands: f64 = [
+                Band::Active,
+                Band::Transition,
+                Band::Idle,
+                Band::ShallowSleep,
+                Band::DeepSleep,
+            ]
+            .iter()
+            .map(|&b| server.residency().fraction_in(b, now))
+            .sum();
+            if now > SimTime::ZERO {
+                prop_assert!((bands - 1.0).abs() < 1e-9, "bands sum {bands}");
+            }
+            // Busy implies Active; asleep implies no busy cores.
+            if server.busy_cores() > 0 {
+                prop_assert_eq!(server.mode(), ServerMode::Active);
+            }
+            if !server.is_awake() {
+                prop_assert_eq!(server.busy_cores(), 0);
+            }
+        }
+
+        // Drain all obligations; everything submitted eventually completes.
+        while let Some((idx, _)) = due
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.at())
+            .map(|(i, d)| (i, d.at()))
+        {
+            let d = due.swap_remove(idx);
+            now = now.max(d.at());
+            match d {
+                Due::Complete { core, .. } => {
+                    let (_, fx) = server.complete(now, core);
+                    absorb(&fx, now, &mut due);
+                }
+                Due::Timer { gen, .. } => {
+                    let fx = server.timer_fired(now, gen);
+                    absorb(&fx, now, &mut due);
+                }
+                Due::Transition { .. } => {
+                    let fx = server.transition_done(now);
+                    absorb(&fx, now, &mut due);
+                }
+            }
+        }
+        prop_assert_eq!(server.tasks_completed(), submitted);
+        prop_assert_eq!(server.busy_cores(), 0);
+        prop_assert_eq!(server.queue_len(), 0);
+        // Energy is finite and monotone with the horizon.
+        let e1 = server.energy_j(now);
+        let e2 = server.energy_j(now + SimDuration::from_secs(1));
+        prop_assert!(e1.is_finite() && e2 > e1);
+    }
+}
