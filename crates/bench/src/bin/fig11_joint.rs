@@ -1,56 +1,16 @@
 //! Fig. 11: server & network power for Server-Load-Balance vs
 //! Server-Network-Aware placement on a fat-tree (k=4), plus the job
 //! response-time CDF for 2000 jobs with 100 MB inter-task flows.
+//!
+//! Thin shim over `holdcsim-harness` (also available as `holdcsim fig 11`).
 
-use holdcsim::experiments::fig11_joint;
-use holdcsim_bench::{row, scaled};
-use holdcsim_des::time::SimDuration;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig11, FigScale};
 
 fn main() {
-    let jobs = scaled(2_000, 300) as usize;
-    let flow_bytes = scaled(100_000_000, 10_000_000);
-    let drain = SimDuration::from_secs(scaled(30, 10));
-
-    row(&["rho".into(), "policy".into(), "server W".into(), "network W".into(),
-          "p95 ms".into(), "jobs".into()]);
-    let mut cdfs = Vec::new();
-    for rho in [0.3, 0.6] {
-        let r = fig11_joint(rho, jobs, flow_bytes, drain, 42);
-        for (name, p) in [("server-load-balance", &r.balanced), ("server-network-aware", &r.aware)] {
-            row(&[
-                format!("{rho}"),
-                name.into(),
-                format!("{:.1}", p.server_power_w),
-                format!("{:.1}", p.network_power_w),
-                format!("{:.1}", p.p95_s * 1e3),
-                p.jobs.to_string(),
-            ]);
-        }
-        eprintln!(
-            "# rho={rho}: server saving {:.1}%, network saving {:.1}% (paper: ~20% / ~18%)",
-            r.server_saving() * 100.0,
-            r.network_saving() * 100.0
-        );
-        cdfs.push((rho, r));
-    }
-
-    // Fig. 11b: latency CDF for rho = 0.3.
-    if let Some((rho, r)) = cdfs.first() {
-        println!();
-        println!("# CDF at rho={rho}: cdf_fraction,balanced_latency_s,aware_latency_s");
-        let n = 50;
-        for i in 1..=n {
-            let q = i as f64 / n as f64;
-            let pick = |cdf: &[(f64, f64)]| -> f64 {
-                let idx = ((q * cdf.len() as f64).ceil() as usize).clamp(1, cdf.len());
-                cdf[idx - 1].0
-            };
-            println!(
-                "{:.2},{:.4},{:.4}",
-                q,
-                pick(&r.balanced.latency_cdf),
-                pick(&r.aware.latency_cdf)
-            );
-        }
-    }
+    fig11(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

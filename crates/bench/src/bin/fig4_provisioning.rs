@@ -1,28 +1,16 @@
 //! Fig. 4: number of active jobs and active servers over time under the
 //! dynamic provisioning policy (50 × 4-core servers, Wikipedia-like trace,
 //! 3–10 ms tasks).
+//!
+//! Thin shim over `holdcsim-harness` (also available as `holdcsim fig 4`).
 
-use holdcsim::experiments::fig4_provisioning;
-use holdcsim_bench::{quick_mode, scaled};
-use holdcsim_des::time::SimDuration;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig4, FigScale};
 
 fn main() {
-    let servers = scaled(50, 10) as usize;
-    let duration = SimDuration::from_secs(scaled(1_200, 60));
-    eprintln!("# Fig. 4 — provisioning ({servers} servers, {duration}, quick={})", quick_mode());
-    let r = fig4_provisioning(servers, duration, 42);
-
-    println!("time_s,active_jobs,active_servers");
-    // Decimate to ~200 printed points.
-    let stride = (r.time_s.len() / 200).max(1);
-    for i in (0..r.time_s.len()).step_by(stride) {
-        println!("{:.0},{:.1},{:.0}", r.time_s[i], r.active_jobs[i], r.active_servers[i]);
-    }
-    let min = r.active_servers.iter().copied().fold(f64::MAX, f64::min);
-    let max = r.active_servers.iter().copied().fold(0.0, f64::max);
-    eprintln!(
-        "# active servers ranged {min:.0}..{max:.0} of {servers}; {} jobs completed; p95 {:.1} ms",
-        r.report.jobs_completed,
-        r.report.latency.p95 * 1e3,
-    );
+    fig4(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

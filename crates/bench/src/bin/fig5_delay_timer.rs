@@ -1,43 +1,18 @@
 //! Fig. 5: farm energy vs single delay-timer τ for web search (5 ms) and
 //! web serving (120 ms) at ρ ∈ {0.1, 0.3, 0.6} — the U-shaped curves whose
 //! optimum is stable across utilizations.
+//!
+//! Thin shim over `holdcsim-harness`: the sweep itself is a
+//! [`holdcsim_harness::grid::SweepPlan`] run in parallel (also available
+//! as `holdcsim fig 5`).
 
-use holdcsim::experiments::fig5_delay_timer;
-use holdcsim_bench::scaled;
-use holdcsim_des::time::SimDuration;
-use holdcsim_workload::presets::WorkloadPreset;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig5, FigScale};
 
 fn main() {
-    let servers = scaled(50, 8) as usize;
-    let duration = SimDuration::from_secs(scaled(150, 30));
-    let rhos = [0.1, 0.3, 0.6];
-
-    for (preset, taus) in [
-        (
-            WorkloadPreset::WebSearch,
-            vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.0, 5.0],
-        ),
-        (
-            WorkloadPreset::WebServing,
-            vec![0.2, 0.5, 1.2, 2.4, 4.8, 8.0, 14.0, 20.0],
-        ),
-    ] {
-        eprintln!("# Fig. 5 — {preset} ({servers} servers x 4 cores, {duration})");
-        let curves = fig5_delay_timer(preset, &rhos, &taus, servers, 4, duration, 42);
-        print!("tau_s");
-        for c in &curves {
-            print!(",energy_MJ_rho{}", c.rho);
-        }
-        println!();
-        for (i, &tau) in taus.iter().enumerate() {
-            print!("{tau}");
-            for c in &curves {
-                print!(",{:.4}", c.points[i].1 / 1e6);
-            }
-            println!();
-        }
-        for c in &curves {
-            eprintln!("#   rho={}: optimal tau = {:.2} s", c.rho, c.optimal_tau_s());
-        }
-    }
+    fig5(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

@@ -1,37 +1,17 @@
 //! Fig. 6: energy reduction of the dual-delay-timer policy vs the
 //! Active-Idle baseline for web search / web serving at ρ ∈ {0.1, 0.3,
 //! 0.6}, with 20 and 100 simulated servers.
+//!
+//! Thin shim over `holdcsim-harness`: the three policy arms of every cell
+//! run concurrently (also available as `holdcsim fig 6`).
 
-use holdcsim::experiments::fig6_dual_timer;
-use holdcsim_bench::{row, scaled};
-use holdcsim_des::time::SimDuration;
-use holdcsim_workload::presets::WorkloadPreset;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig6, FigScale};
 
 fn main() {
-    let duration = SimDuration::from_secs(scaled(120, 30));
-    let farms = if holdcsim_bench::quick_mode() { vec![8] } else { vec![20, 100] };
-    row(&["farm".into(), "workload".into(), "rho".into(),
-          "E(active-idle) MJ".into(), "E(single) MJ".into(), "E(dual) MJ".into(),
-          "reduction vs AI".into(), "reduction vs single".into(), "p95 dual ms".into()]);
-    for &servers in &farms {
-        for (preset, tau) in [
-            (WorkloadPreset::WebSearch, 0.4),
-            (WorkloadPreset::WebServing, 4.8),
-        ] {
-            for rho in [0.1, 0.3, 0.6] {
-                let r = fig6_dual_timer(preset, rho, servers, 4, tau, duration, 42);
-                row(&[
-                    servers.to_string(),
-                    preset.to_string(),
-                    format!("{rho}"),
-                    format!("{:.4}", r.energy_active_idle_j / 1e6),
-                    format!("{:.4}", r.energy_single_j / 1e6),
-                    format!("{:.4}", r.energy_dual_j / 1e6),
-                    format!("{:.1}%", r.reduction_vs_active_idle() * 100.0),
-                    format!("{:.1}%", r.reduction_vs_single() * 100.0),
-                    format!("{:.1}", r.p95_dual_s * 1e3),
-                ]);
-            }
-        }
-    }
+    fig6(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

@@ -1,26 +1,16 @@
 //! Fig. 8: servers' state residency (Active / Wake-up / Idle / Pkg C6 /
 //! Sys Sleep) under the workload-adaptive energy-latency framework, for
 //! utilizations 0.1–0.9, on a 10-server × 10-core farm.
+//!
+//! Thin shim over `holdcsim-harness` (also available as `holdcsim fig 8`).
 
-use holdcsim::experiments::fig8_residency;
-use holdcsim_bench::scaled;
-use holdcsim_des::time::SimDuration;
-use holdcsim_workload::presets::WorkloadPreset;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig8, FigScale};
 
 fn main() {
-    let duration = SimDuration::from_secs(scaled(120, 30));
-    let servers = scaled(10, 4) as usize;
-    let cores = scaled(10, 4) as u32;
-    let rhos: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
-    for preset in [WorkloadPreset::WebSearch, WorkloadPreset::WebServing] {
-        eprintln!("# Fig. 8 — {preset} ({servers} servers x {cores} cores, {duration})");
-        println!("rho,active,wakeup,idle,pkg_c6,sys_sleep,p90_ms");
-        for bar in fig8_residency(preset, &rhos, servers, cores, duration, 42) {
-            let (a, w, i, c6, s3) = bar.bands;
-            println!(
-                "{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2}",
-                bar.rho, a, w, i, c6, s3, bar.p90_s * 1e3
-            );
-        }
-    }
+    fig8(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

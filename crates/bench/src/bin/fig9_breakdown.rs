@@ -1,29 +1,16 @@
 //! Fig. 9: per-server energy breakdown (CPU / DRAM / platform) under the
 //! delay-timer policy vs the workload-adaptive two-pool scheduler
 //! (10 servers × 10 cores, Wikipedia-like trace).
+//!
+//! Thin shim over `holdcsim-harness` (also available as `holdcsim fig 9`).
 
-use holdcsim::experiments::fig9_breakdown;
-use holdcsim_bench::scaled;
-use holdcsim_des::time::SimDuration;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{fig9, FigScale};
 
 fn main() {
-    let servers = scaled(10, 4) as usize;
-    let cores = scaled(10, 4) as u32;
-    let duration = SimDuration::from_secs(scaled(300, 40));
-    eprintln!("# Fig. 9 — breakdown ({servers} servers x {cores} cores, {duration})");
-    let r = fig9_breakdown(servers, cores, duration, 42);
-
-    println!("strategy,server,cpu_kJ,dram_kJ,platform_kJ");
-    for (i, (c, d, p)) in r.delay_timer.iter().enumerate() {
-        println!("delay-timer,{},{:.2},{:.2},{:.2}", i + 1, c / 1e3, d / 1e3, p / 1e3);
-    }
-    for (i, (c, d, p)) in r.adaptive.iter().enumerate() {
-        println!("workload-adaptive,{},{:.2},{:.2},{:.2}", i + 1, c / 1e3, d / 1e3, p / 1e3);
-    }
-    eprintln!(
-        "# totals: delay-timer {:.1} kJ, adaptive {:.1} kJ -> {:.1}% saving (paper: 39%)",
-        r.total_delay_timer_j / 1e3,
-        r.total_adaptive_j / 1e3,
-        r.adaptive_saving() * 100.0
-    );
+    fig9(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

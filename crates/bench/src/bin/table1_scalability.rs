@@ -1,26 +1,16 @@
 //! Table I (scalability row): HolDCSim handles >20 K servers. Runs
 //! server-only farms of increasing size and reports event throughput.
+//!
+//! Thin shim over `holdcsim-harness` (also available as
+//! `holdcsim fig table1`).
 
-use holdcsim::experiments::scalability;
-use holdcsim_bench::{quick_mode, row, scaled};
-use holdcsim_des::time::SimDuration;
+use holdcsim_harness::exec::default_threads;
+use holdcsim_harness::figs::{table1, FigScale};
 
 fn main() {
-    let sizes: Vec<usize> = if quick_mode() {
-        vec![100, 1_000]
-    } else {
-        vec![1_000, 5_000, 20_480]
-    };
-    let duration = SimDuration::from_millis(scaled(2_000, 200));
-    eprintln!("# Table I — scalability ({duration} simulated per size)");
-    row(&["servers".into(), "events".into(), "wall s".into(), "events/s".into(), "jobs".into()]);
-    for p in scalability(&sizes, duration, 42) {
-        row(&[
-            p.servers.to_string(),
-            p.events.to_string(),
-            format!("{:.2}", p.wall_s),
-            format!("{:.0}", p.events_per_s),
-            p.jobs.to_string(),
-        ]);
-    }
+    table1(&FigScale {
+        quick: holdcsim_bench::quick_mode(),
+        threads: default_threads(),
+        seed: 42,
+    });
 }

@@ -131,7 +131,10 @@ impl NetworkConfig {
             topology: TopologySpec::Star,
             link: LinkSpec::gigabit(),
             switch_profile: SwitchPowerProfile::cisco_ws_c2960_24s(),
-            comm: CommModel::Packet { mtu: 1_500, buffer_bytes: 512 * 1024 },
+            comm: CommModel::Packet {
+                mtu: 1_500,
+                buffer_bytes: 512 * 1024,
+            },
             lpi_hold: Some(SimDuration::from_millis(50)),
             use_alr: false,
             ingress_bytes: Some((1_500, 8_000)),
@@ -169,7 +172,10 @@ impl DvfsConfig {
     /// A conventional on-demand governor: speed up beyond 0.8 pending per
     /// core, slow down below 0.2.
     pub fn ondemand() -> Self {
-        DvfsConfig { high: 0.8, low: 0.2 }
+        DvfsConfig {
+            high: 0.8,
+            low: 0.2,
+        }
     }
 }
 
@@ -338,7 +344,9 @@ mod tests {
             WorkloadPreset::WebSearch.template(),
             SimDuration::from_secs(10),
         );
-        let ArrivalConfig::Poisson { rate } = cfg.arrivals else { panic!() };
+        let ArrivalConfig::Poisson { rate } = cfg.arrivals else {
+            panic!()
+        };
         // mu = 200/s, 200 cores, rho 0.3 => 12_000 jobs/s.
         assert!((rate - 12_000.0).abs() < 1e-6);
     }

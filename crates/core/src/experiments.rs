@@ -58,7 +58,10 @@ pub fn fig4_provisioning(servers: usize, duration: SimDuration, seed: u64) -> Fi
     cfg.seed = seed;
     cfg.arrivals = ArrivalConfig::Trace(trace);
     cfg.policy = PolicyKind::PackFirst;
-    cfg.controller = Some(ControllerConfig::Provisioning { min_load: 1.0, max_load: 3.0 });
+    cfg.controller = Some(ControllerConfig::Provisioning {
+        min_load: 1.0,
+        max_load: 3.0,
+    });
     cfg.controller_period = SimDuration::from_millis(100);
     // Parked servers suspend after a short delay timer, so the "active
     // servers" series tracks the provisioned set.
@@ -66,7 +69,9 @@ pub fn fig4_provisioning(servers: usize, duration: SimDuration, seed: u64) -> Fi
     let report = Simulation::new(cfg).run();
     let step = report.series.period.as_secs_f64();
     Fig4Result {
-        time_s: (0..report.series.active_jobs.len()).map(|i| i as f64 * step).collect(),
+        time_s: (0..report.series.active_jobs.len())
+            .map(|i| i as f64 * step)
+            .collect(),
         active_jobs: report.series.active_jobs.clone(),
         active_servers: report.series.active_servers.clone(),
         report,
@@ -101,7 +106,10 @@ impl DelayTimerCurve {
 /// The §IV-A/B farm: consolidating dispatch + provisioning controller +
 /// per-server delay timer τ (shared by the Fig. 5 sweep and Fig. 6's
 /// single-timer arm).
-fn delay_timer_farm(
+///
+/// Public so the `holdcsim-harness` sweep runner can expand τ/ρ grids
+/// into trial configs without duplicating the farm construction.
+pub fn delay_timer_farm(
     preset: WorkloadPreset,
     rho: f64,
     servers: usize,
@@ -193,9 +201,15 @@ impl DualTimerResult {
     }
 }
 
-/// Fig. 6: dual delay timers vs Active-Idle (and vs the best single τ) for
-/// one workload at one utilization and farm size.
-pub fn fig6_dual_timer(
+/// The three Fig. 6 arm configs `[active_idle, single_timer, dual_timer]`
+/// for one workload at one utilization and farm size.
+///
+/// The Active-Idle baseline load-balances and never sleeps; the single
+/// timer runs on the same provisioned farm as Fig. 5; the dual-timer
+/// scheme prioritizes its high-τ pool via the consolidating dispatcher
+/// (a hot pool sized to the load keeps a long timer; the rest sleep
+/// quickly after bursts — [69]'s split).
+pub fn fig6_configs(
     preset: WorkloadPreset,
     rho: f64,
     servers: usize,
@@ -203,40 +217,34 @@ pub fn fig6_dual_timer(
     single_tau_s: f64,
     duration: SimDuration,
     seed: u64,
-) -> DualTimerResult {
+) -> [SimConfig; 3] {
     let base = |dispatch: PolicyKind, policy: Vec<SleepPolicy>| {
         let mut cfg = SimConfig::server_farm(servers, cores, rho, preset.template(), duration)
             .with_seed(seed)
             .with_policy(dispatch);
         cfg.sleep_policies = policy;
-        Simulation::new(cfg).run()
+        cfg
     };
-    // The Active-Idle baseline load-balances and never sleeps; the single
-    // timer runs on the same provisioned farm as Fig. 5; the dual-timer
-    // scheme prioritizes its high-τ pool via the consolidating dispatcher.
-    let active_idle = base(PolicyKind::LeastLoaded, vec![SleepPolicy::active_idle()]);
-    let single = Simulation::new(delay_timer_farm(
-        preset,
-        rho,
-        servers,
-        cores,
-        single_tau_s,
-        duration,
-        seed,
-    ))
-    .run();
-    // Dual: a hot pool sized to the load keeps a long timer; the rest
-    // sleep quickly after bursts ([69]'s split).
     let n_high = ((rho * servers as f64 * 1.3).ceil() as usize).clamp(1, servers);
-    let dual = base(
-        PolicyKind::PackFirst,
-        dual_timer_policies(
-            servers,
-            n_high,
-            SimDuration::from_secs_f64(single_tau_s * 4.0),
-            SimDuration::from_secs_f64(single_tau_s * 0.25),
+    [
+        base(PolicyKind::LeastLoaded, vec![SleepPolicy::active_idle()]),
+        delay_timer_farm(preset, rho, servers, cores, single_tau_s, duration, seed),
+        base(
+            PolicyKind::PackFirst,
+            dual_timer_policies(
+                servers,
+                n_high,
+                SimDuration::from_secs_f64(single_tau_s * 4.0),
+                SimDuration::from_secs_f64(single_tau_s * 0.25),
+            ),
         ),
-    );
+    ]
+}
+
+/// Assembles the Fig. 6 bar from the three arm reports (in
+/// [`fig6_configs`] order).
+pub fn fig6_from_reports(rho: f64, servers: usize, reports: &[SimReport; 3]) -> DualTimerResult {
+    let [active_idle, single, dual] = reports;
     DualTimerResult {
         rho,
         servers,
@@ -246,6 +254,27 @@ pub fn fig6_dual_timer(
         p95_dual_s: dual.latency.p95,
         p95_active_idle_s: active_idle.latency.p95,
     }
+}
+
+/// Fig. 6: dual delay timers vs Active-Idle (and vs the best single τ) for
+/// one workload at one utilization and farm size (single-threaded
+/// reference; the harness runs the same arms in parallel).
+pub fn fig6_dual_timer(
+    preset: WorkloadPreset,
+    rho: f64,
+    servers: usize,
+    cores: u32,
+    single_tau_s: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> DualTimerResult {
+    let [a, s, d] = fig6_configs(preset, rho, servers, cores, single_tau_s, duration, seed);
+    let reports = [
+        Simulation::new(a).run(),
+        Simulation::new(s).run(),
+        Simulation::new(d).run(),
+    ];
+    fig6_from_reports(rho, servers, &reports)
 }
 
 // ---------------------------------------------------------------------
@@ -275,10 +304,9 @@ pub fn fig8_residency(
 ) -> Vec<ResidencyBar> {
     rhos.iter()
         .map(|&rho| {
-            let mut cfg =
-                SimConfig::server_farm(servers, cores, rho, preset.template(), duration)
-                    .with_seed(seed)
-                    .with_policy(PolicyKind::PackFirst);
+            let mut cfg = SimConfig::server_farm(servers, cores, rho, preset.template(), duration)
+                .with_seed(seed)
+                .with_policy(PolicyKind::PackFirst);
             let initial_active = ((rho * servers as f64).ceil() as usize).clamp(1, servers);
             cfg.controller = Some(ControllerConfig::Pools {
                 t_wakeup: 1.5 * cores as f64,
@@ -297,7 +325,11 @@ pub fn fig8_residency(
                 bands.3 += s.residency.3 / n;
                 bands.4 += s.residency.4 / n;
             }
-            ResidencyBar { rho, bands, p90_s: report.latency.p90 }
+            ResidencyBar {
+                rho,
+                bands,
+                p90_s: report.latency.p90,
+            }
         })
         .collect()
 }
@@ -335,8 +367,9 @@ pub fn fig9_breakdown(
     duration: SimDuration,
     seed: u64,
 ) -> BreakdownResult {
-    let template =
-        JobTemplate::single(ServiceDist::Exponential { mean: SimDuration::from_millis(20) });
+    let template = JobTemplate::single(ServiceDist::Exponential {
+        mean: SimDuration::from_millis(20),
+    });
     let mean = template.mean_total_work();
     let base_rate = 0.25 * servers as f64 * cores as f64 / mean.as_secs_f64();
     let mut rng = SimRng::seed_from(seed ^ 0xF169);
@@ -439,8 +472,12 @@ pub fn fig11_joint(
     // 10 GbE (~80 ms) is a comparable latency component, as in the paper's
     // 0–0.6 s response-time CDF.
     let template = JobTemplate::two_tier(
-        ServiceDist::Exponential { mean: SimDuration::from_millis(800) },
-        ServiceDist::Exponential { mean: SimDuration::from_millis(1200) },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(800),
+        },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(1200),
+        },
         flow_bytes,
     );
     let mean = template.mean_total_work();
@@ -471,13 +508,20 @@ pub fn fig11_joint(
         let report = Simulation::new(cfg).run();
         JointPolicyResult {
             server_power_w: report.server_energy_j() / duration.as_secs_f64(),
-            network_power_w: report.network.as_ref().map_or(0.0, |n| n.mean_switch_power_w),
+            network_power_w: report
+                .network
+                .as_ref()
+                .map_or(0.0, |n| n.mean_switch_power_w),
             latency_cdf: report.latency_cdf.clone(),
             p95_s: report.latency.p95,
             jobs: report.jobs_completed,
         }
     };
-    JointResult { rho, balanced: run(PolicyKind::LeastLoaded), aware: run(PolicyKind::NetworkAware) }
+    JointResult {
+        rho,
+        balanced: run(PolicyKind::LeastLoaded),
+        aware: run(PolicyKind::NetworkAware),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -502,6 +546,7 @@ pub struct BurstinessPoint {
 /// optimal τ while sweeping MMPP burstiness at constant mean load; energy
 /// savings persist but tail latency degrades sharply as bursts catch
 /// servers in deep sleep.
+#[allow(clippy::too_many_arguments)]
 pub fn footnote1_burstiness(
     preset: WorkloadPreset,
     rho: f64,
@@ -562,15 +607,10 @@ pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<Sca
     sizes
         .iter()
         .map(|&n| {
-            let cfg = SimConfig::server_farm(
-                n,
-                4,
-                0.3,
-                WorkloadPreset::WebSearch.template(),
-                duration,
-            )
-            .with_seed(seed)
-            .with_policy(PolicyKind::RoundRobin);
+            let cfg =
+                SimConfig::server_farm(n, 4, 0.3, WorkloadPreset::WebSearch.template(), duration)
+                    .with_seed(seed)
+                    .with_policy(PolicyKind::RoundRobin);
             let t0 = Instant::now();
             let report = Simulation::new(cfg).run();
             let wall = t0.elapsed().as_secs_f64();
@@ -614,7 +654,12 @@ mod tests {
         let pts = &curves[0].points;
         assert_eq!(pts.len(), 3);
         // A very long timer must not beat the mid timer (it never sleeps).
-        assert!(pts[1].1 <= pts[2].1 * 1.05, "mid {} vs long {}", pts[1].1, pts[2].1);
+        assert!(
+            pts[1].1 <= pts[2].1 * 1.05,
+            "mid {} vs long {}",
+            pts[1].1,
+            pts[2].1
+        );
     }
 
     #[test]
@@ -692,6 +737,10 @@ mod tests {
         let pts = scalability(&[1_000], SimDuration::from_millis(200), 11);
         assert_eq!(pts[0].servers, 1_000);
         assert!(pts[0].events > 1_000);
-        assert!(pts[0].events_per_s > 10_000.0, "rate {}", pts[0].events_per_s);
+        assert!(
+            pts[0].events_per_s > 10_000.0,
+            "rate {}",
+            pts[0].events_per_s
+        );
     }
 }

@@ -12,8 +12,14 @@
 //! * [`report`] — run outcomes: latency percentiles, energy breakdowns,
 //!   residency, power/time series.
 //! * [`experiments`] — ready-made harnesses for every figure and table of
-//!   the paper's evaluation.
+//!   the paper's evaluation (single-threaded reference implementations).
 //! * [`validation`] — the §V server/switch power validation methodology.
+//!
+//! Sweeps over these building blocks — parameter grids × replications,
+//! run in parallel with per-point confidence intervals and JSONL/CSV
+//! artifacts — live in the `holdcsim-harness` crate, whose `holdcsim`
+//! CLI (`run` / `sweep` / `fig <n>`) is the preferred entry point for
+//! reproducing the paper's figures.
 //!
 //! ## Quickstart
 //!

@@ -57,9 +57,10 @@ impl NetState {
     pub fn build(now: SimTime, cfg: &NetworkConfig, server_count: usize) -> Self {
         let built: BuiltTopology = match cfg.topology {
             TopologySpec::FatTree { k } => fat_tree(k, cfg.link),
-            TopologySpec::FlattenedButterfly { k, hosts_per_switch } => {
-                flattened_butterfly(k, hosts_per_switch, cfg.link)
-            }
+            TopologySpec::FlattenedButterfly {
+                k,
+                hosts_per_switch,
+            } => flattened_butterfly(k, hosts_per_switch, cfg.link),
             TopologySpec::BCube { n, levels } => bcube(n, levels, cfg.link),
             TopologySpec::CamCube { x, y, z } => camcube(x, y, z, cfg.link),
             TopologySpec::Star => star(server_count.max(1), cfg.link),
@@ -75,7 +76,11 @@ impl NetState {
         let mut switches = Vec::new();
         let mut switch_index = HashMap::new();
         for &sw in topology.switches() {
-            let NodeKind::Switch { linecards, ports_per_card } = topology.kind(sw) else {
+            let NodeKind::Switch {
+                linecards,
+                ports_per_card,
+            } = topology.kind(sw)
+            else {
                 unreachable!("switch list contains only switches")
             };
             switch_index.insert(sw, switches.len());
@@ -261,7 +266,10 @@ mod tests {
             }
         }
         let asleep = net.wake_cost(&srcs, ServerId(15), 1);
-        assert!(asleep >= 3.0, "cross-pod route wakes several switches: {asleep}");
+        assert!(
+            asleep >= 3.0,
+            "cross-pod route wakes several switches: {asleep}"
+        );
     }
 
     #[test]
@@ -278,6 +286,9 @@ mod tests {
         let d = net.wake_link(SimTime::from_secs(2), LinkId(0));
         assert_eq!(d, SimDuration::from_micros(5));
         // Idempotent: second wake is free.
-        assert_eq!(net.wake_link(SimTime::from_secs(2), LinkId(0)), SimDuration::ZERO);
+        assert_eq!(
+            net.wake_link(SimTime::from_secs(2), LinkId(0)),
+            SimDuration::ZERO
+        );
     }
 }

@@ -10,8 +10,8 @@ use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::ids::{FlowId, LinkId, PacketId};
 use holdcsim_network::packet::{segment, Packet, TxOutcome};
 use holdcsim_sched::policy::{
-    ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst, Random,
-    RoundRobin,
+    ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
+    Random, RoundRobin,
 };
 use holdcsim_sched::pools::{PoolAction, PoolManager};
 use holdcsim_sched::provisioning::{ProvisionAction, ProvisioningController};
@@ -97,8 +97,13 @@ struct PacketSt {
 
 #[derive(Debug)]
 enum Controller {
-    Provisioning { ctl: ProvisioningController, parked: BTreeSet<ServerId> },
-    Pools { mgr: PoolManager },
+    Provisioning {
+        ctl: ProvisioningController,
+        parked: BTreeSet<ServerId>,
+    },
+    Pools {
+        mgr: PoolManager,
+    },
 }
 
 /// The complete data-center model driven by the DES engine.
@@ -147,7 +152,10 @@ impl Arrivals {
 impl Datacenter {
     fn new(cfg: SimConfig) -> Self {
         assert!(cfg.server_count > 0, "need at least one server");
-        assert!(!cfg.sleep_policies.is_empty(), "need at least one sleep policy");
+        assert!(
+            !cfg.sleep_policies.is_empty(),
+            "need at least one sleep policy"
+        );
         let root_rng = SimRng::seed_from(cfg.seed);
         let rng_workload = root_rng.substream(1);
         let now = SimTime::ZERO;
@@ -174,26 +182,43 @@ impl Datacenter {
         };
         let arrivals = match &cfg.arrivals {
             ArrivalConfig::Poisson { rate } => Arrivals::Poisson(PoissonArrivals::new(*rate)),
-            ArrivalConfig::Mmpp2 { base_rate, burst_ratio, bursty_fraction, mean_bursty_dwell } => {
-                Arrivals::Mmpp(Mmpp2Arrivals::with_burstiness(
-                    *base_rate,
-                    *burst_ratio,
-                    *bursty_fraction,
-                    *mean_bursty_dwell,
-                ))
-            }
+            ArrivalConfig::Mmpp2 {
+                base_rate,
+                burst_ratio,
+                bursty_fraction,
+                mean_bursty_dwell,
+            } => Arrivals::Mmpp(Mmpp2Arrivals::with_burstiness(
+                *base_rate,
+                *burst_ratio,
+                *bursty_fraction,
+                *mean_bursty_dwell,
+            )),
             ArrivalConfig::Trace(times) => Arrivals::Trace(TraceArrivals::new(times.clone())),
         };
-        let net = cfg.network.as_ref().map(|nc| NetState::build(now, nc, cfg.server_count));
+        let net = cfg
+            .network
+            .as_ref()
+            .map(|nc| NetState::build(now, nc, cfg.server_count));
         let controller = cfg.controller.as_ref().map(|cc| match cc {
             ControllerConfig::Provisioning { min_load, max_load } => Controller::Provisioning {
                 ctl: ProvisioningController::new(*min_load, *max_load, cfg.server_count),
                 parked: BTreeSet::new(),
             },
-            ControllerConfig::Pools { t_wakeup, t_sleep, sleep_pool_tau, initial_active } => {
+            ControllerConfig::Pools {
+                t_wakeup,
+                t_sleep,
+                sleep_pool_tau,
+                initial_active,
+            } => {
                 let ids: Vec<ServerId> = (0..cfg.server_count as u32).map(ServerId).collect();
                 Controller::Pools {
-                    mgr: PoolManager::new(&ids, *initial_active, *t_wakeup, *t_sleep, *sleep_pool_tau),
+                    mgr: PoolManager::new(
+                        &ids,
+                        *initial_active,
+                        *t_wakeup,
+                        *t_sleep,
+                        *sleep_pool_tau,
+                    ),
                 }
             }
         });
@@ -391,7 +416,9 @@ impl Datacenter {
             self.dispatch(ctx, sid, handle);
             return;
         }
-        self.jobs.get_mut(job).add_transfers(t, inbound.len() as u32);
+        self.jobs
+            .get_mut(job)
+            .add_transfers(t, inbound.len() as u32);
         self.pending_dispatch.insert((job.0, t), (sid, handle));
         self.committed[sid.0 as usize] += 1;
         for (p, bytes, src) in inbound {
@@ -447,7 +474,10 @@ impl Datacenter {
                     }
                     return;
                 }
-                *self.transfer_packets.entry((job.0, t, src_task)).or_insert(0) += n;
+                *self
+                    .transfer_packets
+                    .entry((job.0, t, src_task))
+                    .or_insert(0) += n;
                 for b in segs {
                     let pid = PacketId(self.next_packet_id);
                     self.next_packet_id += 1;
@@ -494,7 +524,10 @@ impl Datacenter {
             let wake = net.switches[swi].wake_for_tx(now, port);
             start = now + wake;
         }
-        match net.packets.transmit(start, &net.topology, link, node, bytes) {
+        match net
+            .packets
+            .transmit(start, &net.topology, link, node, bytes)
+        {
             TxOutcome::Forwarded { arrives_at } => {
                 if let Some((swi, port)) = sw_port {
                     let tx_end = arrives_at - net.topology.link(link).latency;
@@ -602,7 +635,9 @@ impl Datacenter {
             CommModel::Flow => net.flows.flows_on_link(link) > 0,
             CommModel::Packet { .. } => {
                 let sw_node = net.switches[switch].node();
-                net.packets.egress_idle_at(&net.topology, link, sw_node, now) > now
+                net.packets
+                    .egress_idle_at(&net.topology, link, sw_node, now)
+                    > now
             }
         };
         if busy {
@@ -646,7 +681,9 @@ impl Datacenter {
     fn touch_access_port(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, bytes: u64) {
         let now = ctx.now();
         let Some(net) = self.net.as_mut() else { return };
-        let Some((swi, port, link)) = net.access_port(sid) else { return };
+        let Some((swi, port, link)) = net.access_port(sid) else {
+            return;
+        };
         let wake = net.switches[swi].wake_for_tx(now, port);
         let rate = net.topology.link(link).rate_bps;
         let tx_end = now + wake + SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate as f64);
@@ -659,10 +696,18 @@ impl Datacenter {
     fn apply_effects(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &[Effect]) {
         for &e in fx {
             match e {
-                Effect::TaskStarted { core, id, completes_in } => {
+                Effect::TaskStarted {
+                    core,
+                    id,
+                    completes_in,
+                } => {
                     ctx.schedule_in(
                         completes_in,
-                        DcEvent::TaskComplete { server: sid, core, task: id },
+                        DcEvent::TaskComplete {
+                            server: sid,
+                            core,
+                            task: id,
+                        },
                     );
                 }
                 Effect::ArmTimer { after, gen } => {
@@ -721,8 +766,10 @@ impl Datacenter {
                 let jobs = &self.jobs;
                 let classes = &self.cfg.server_classes;
                 self.global_queue.pop_matching(ctx.now(), |t| {
-                    match (jobs.get(t.id.job).dag.task(t.id.index).server_class, classes.is_empty())
-                    {
+                    match (
+                        jobs.get(t.id.job).dag.task(t.id.index).server_class,
+                        classes.is_empty(),
+                    ) {
                         (Some(c), false) => classes[sid.0 as usize] == c,
                         _ => true,
                     }
@@ -863,7 +910,8 @@ impl Datacenter {
                 let _ = id;
             }
             Decision::Unpark(id) => {
-                let fx = self.servers[id.0 as usize].set_policy(now, self.cfg.policy_for(id.0 as usize));
+                let fx =
+                    self.servers[id.0 as usize].set_policy(now, self.cfg.policy_for(id.0 as usize));
                 self.apply_effects(ctx, id, &fx);
                 let fx = self.servers[id.0 as usize].request_wake(now);
                 self.apply_effects(ctx, id, &fx);
@@ -896,14 +944,20 @@ impl Datacenter {
 
     fn on_stats_sample(&mut self, ctx: &mut Context<'_, DcEvent>) {
         let now = ctx.now();
-        self.metrics.active_servers.observe(now, self.awake_servers() as f64);
-        self.metrics.active_jobs.observe(now, self.jobs.in_flight() as f64);
+        self.metrics
+            .active_servers
+            .observe(now, self.awake_servers() as f64);
+        self.metrics
+            .active_jobs
+            .observe(now, self.jobs.in_flight() as f64);
         let server_power: f64 = self.servers.iter().map(|s| s.power_w()).sum();
         self.metrics.server_power.observe(now, server_power);
         if let Some(net) = &self.net {
             self.metrics.switch_power.observe(now, net.switch_power_w());
         }
-        self.metrics.cpu0_power.observe(now, self.servers[0].cpu_power_w());
+        self.metrics
+            .cpu0_power
+            .observe(now, self.servers[0].cpu_power_w());
         if now + self.cfg.sample_period <= SimTime::ZERO + self.cfg.duration {
             ctx.schedule_in(self.cfg.sample_period, DcEvent::StatsSample);
         }
@@ -917,7 +971,11 @@ impl Datacenter {
                 .active()
                 .into_iter()
                 .map(|id| (id, mgr.active_pool_policy()))
-                .chain(mgr.sleeping().into_iter().map(|id| (id, mgr.sleep_pool_policy())))
+                .chain(
+                    mgr.sleeping()
+                        .into_iter()
+                        .map(|id| (id, mgr.sleep_pool_policy())),
+                )
                 .collect();
             for (id, pol) in actions {
                 let fx = self.servers[id.0 as usize].set_policy(now, pol);
@@ -1043,8 +1101,11 @@ impl Simulation {
         self.engine.run_until(end);
         let events = self.engine.events_processed();
         let dc = self.engine.into_model();
-        let servers: Vec<ServerReport> =
-            dc.servers.iter().map(|s| ServerReport::snapshot(s, end)).collect();
+        let servers: Vec<ServerReport> = dc
+            .servers
+            .iter()
+            .map(|s| ServerReport::snapshot(s, end))
+            .collect();
         let network = dc.net.as_ref().map(|n| NetworkReport {
             switch_energy_j: n.switch_energy_j(end),
             mean_switch_power_w: n.switch_energy_j(end) / dc.cfg.duration.as_secs_f64(),
@@ -1094,8 +1155,11 @@ mod tests {
         let report = Simulation::new(quick_cfg(0.3, 20)).run();
         assert!(report.jobs_completed > 1_000);
         // M/M/c-ish: latency at rho=0.3 should be near the 5 ms service time.
-        assert!(report.latency.mean > 0.004 && report.latency.mean < 0.02,
-            "mean latency {}", report.latency.mean);
+        assert!(
+            report.latency.mean > 0.004 && report.latency.mean < 0.02,
+            "mean latency {}",
+            report.latency.mean
+        );
         assert!(report.latency.p99 >= report.latency.p90);
         assert!(report.server_energy_j() > 0.0);
     }

@@ -66,8 +66,9 @@ pub fn server_power_validation(duration: SimDuration, seed: u64) -> ValidationRe
     // Apache-serving request mix: short requests, modest rate so the
     // package swings between idle and a few busy cores (Fig. 12's range).
     let trace = SyntheticTrace::nlanr_like(duration, 120.0, &mut rng);
-    let template =
-        JobTemplate::single(ServiceDist::Exponential { mean: SimDuration::from_millis(25) });
+    let template = JobTemplate::single(ServiceDist::Exponential {
+        mean: SimDuration::from_millis(25),
+    });
     let mut cfg = SimConfig::server_farm(1, 10, 0.3, template, duration).with_seed(seed);
     cfg.arrivals = ArrivalConfig::Trace(trace);
     // C0 + core C6 enabled, no system sleep (the validation server never
@@ -105,8 +106,9 @@ pub fn server_power_validation(duration: SimDuration, seed: u64) -> ValidationRe
 /// model driven by the same port-state log.
 pub fn switch_power_validation(duration: SimDuration, seed: u64) -> ValidationResult {
     let mut rng = SimRng::seed_from(seed ^ 0x5113);
-    let template =
-        JobTemplate::single(ServiceDist::Exponential { mean: SimDuration::from_millis(40) });
+    let template = JobTemplate::single(ServiceDist::Exponential {
+        mean: SimDuration::from_millis(40),
+    });
     let mean = template.mean_total_work();
     let base_rate = 0.3 * 24.0 * 4.0 / mean.as_secs_f64();
     let trace = SyntheticTrace::wikipedia_like(duration, base_rate, 0.5, duration / 2, &mut rng);
@@ -156,8 +158,11 @@ mod tests {
         // Mean absolute error should be sub-watt (paper: 0.22 W).
         assert!(r.mean_abs_diff_w < 1.0, "mad {}", r.mean_abs_diff_w);
         // The package power stays in the Fig. 12 range.
-        assert!(r.mean_simulated_w > 10.0 && r.mean_simulated_w < 60.0,
-            "mean {}", r.mean_simulated_w);
+        assert!(
+            r.mean_simulated_w > 10.0 && r.mean_simulated_w < 60.0,
+            "mean {}",
+            r.mean_simulated_w
+        );
     }
 
     #[test]
@@ -165,7 +170,10 @@ mod tests {
         let r = server_power_validation(SimDuration::from_secs(60), 2);
         let min = r.simulated_w.iter().copied().fold(f64::MAX, f64::min);
         let max = r.simulated_w.iter().copied().fold(0.0, f64::max);
-        assert!(max > min + 2.0, "power should swing with load: {min}..{max}");
+        assert!(
+            max > min + 2.0,
+            "power should swing with load: {min}..{max}"
+        );
     }
 
     #[test]
@@ -175,8 +183,11 @@ mod tests {
         // Paper: < 0.12 W average difference, 0.04 W std dev.
         assert!(r.mean_abs_diff_w < 0.2, "mad {}", r.mean_abs_diff_w);
         // Power stays within the 24-port switch envelope.
-        assert!(r.mean_simulated_w >= 14.7 && r.mean_simulated_w <= 20.3,
-            "mean {}", r.mean_simulated_w);
+        assert!(
+            r.mean_simulated_w >= 14.7 && r.mean_simulated_w <= 20.3,
+            "mean {}",
+            r.mean_simulated_w
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl MM1 {
     ///
     /// Panics unless `0 < lambda < mu` (the queue must be stable).
     pub fn new(lambda: f64, mu: f64) -> Self {
-        assert!(lambda > 0.0 && mu > lambda, "M/M/1 requires 0 < lambda < mu");
+        assert!(
+            lambda > 0.0 && mu > lambda,
+            "M/M/1 requires 0 < lambda < mu"
+        );
         MM1 { lambda, mu }
     }
 

@@ -71,7 +71,11 @@ impl<'a, E> Context<'a, E> {
     /// Panics if `at` is in the past (before `self.now()`): scheduling into
     /// the past would corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, event)
     }
 
@@ -228,7 +232,10 @@ mod tests {
     }
 
     fn recorder() -> Engine<Recorder> {
-        Engine::new(Recorder { seen: Vec::new(), stop_at: None })
+        Engine::new(Recorder {
+            seen: Vec::new(),
+            stop_at: None,
+        })
     }
 
     #[test]

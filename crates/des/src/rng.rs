@@ -63,14 +63,22 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Derives an independent substream along a whole `path` of ids by
+    /// folding [`SimRng::substream`] over it.
+    ///
+    /// This is the hierarchical form used by the experiment harness: a
+    /// sweep derives `root.substream_path(&[point, replicate])` so every
+    /// trial owns a stream that depends only on its grid coordinates —
+    /// never on scheduling order or thread count.
+    pub fn substream_path(&self, path: &[u64]) -> SimRng {
+        path.iter().fold(self.clone(), |rng, &id| rng.substream(id))
+    }
+
     /// The next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -93,7 +101,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform range"
+        );
         lo + (hi - lo) * self.uniform_f64()
     }
 
@@ -180,7 +191,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(SimRng::seed_from(1).next_u64(), SimRng::seed_from(2).next_u64());
+        assert_ne!(
+            SimRng::seed_from(1).next_u64(),
+            SimRng::seed_from(2).next_u64()
+        );
     }
 
     #[test]
@@ -192,6 +206,20 @@ mod tests {
         // Re-deriving yields the same stream.
         let mut a2 = root.substream(0);
         assert_eq!(SimRng::seed_from(99).substream(0).next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn substream_path_folds_and_is_order_sensitive() {
+        let root = SimRng::seed_from(1234);
+        // Path derivation is the fold of single substream steps.
+        assert_eq!(root.substream_path(&[3, 7]), root.substream(3).substream(7));
+        // Empty path is the identity.
+        assert_eq!(root.substream_path(&[]), root);
+        // Coordinates are not interchangeable.
+        assert_ne!(
+            root.substream_path(&[3, 7]).next_u64(),
+            root.substream_path(&[7, 3]).next_u64()
+        );
     }
 
     #[test]

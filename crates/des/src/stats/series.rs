@@ -87,7 +87,10 @@ impl TimeSeries {
     /// `(time_seconds, value)` pairs for plotting.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let step = self.interval.as_secs_f64();
-        self.values.iter().enumerate().map(move |(i, &v)| (i as f64 * step, v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i as f64 * step, v))
     }
 
     /// Mean of the sampled values (0 if empty).
@@ -122,7 +125,10 @@ pub fn mean_abs_diff(a: &TimeSeries, b: &TimeSeries) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|i| (a.values()[i] - b.values()[i]).abs()).sum::<f64>() / n as f64
+    (0..n)
+        .map(|i| (a.values()[i] - b.values()[i]).abs())
+        .sum::<f64>()
+        / n as f64
 }
 
 #[cfg(test)]

@@ -64,7 +64,10 @@ impl TimeWeighted {
     /// Panics in debug builds if `now` precedes the previous update.
     pub fn set(&mut self, now: SimTime, value: f64) {
         debug_assert!(now >= self.last_change, "TimeWeighted updated out of order");
-        self.integral += self.value * now.saturating_duration_since(self.last_change).as_secs_f64();
+        self.integral += self.value
+            * now
+                .saturating_duration_since(self.last_change)
+                .as_secs_f64();
         self.last_change = now;
         self.value = value;
         self.max = self.max.max(value);
@@ -80,7 +83,11 @@ impl TimeWeighted {
     /// The integral of the signal from start through `now`
     /// (value · seconds).
     pub fn integral(&self, now: SimTime) -> f64 {
-        self.integral + self.value * now.saturating_duration_since(self.last_change).as_secs_f64()
+        self.integral
+            + self.value
+                * now
+                    .saturating_duration_since(self.last_change)
+                    .as_secs_f64()
     }
 
     /// The time average of the signal from start through `now`.
@@ -140,6 +147,9 @@ mod tests {
     fn late_start_ignores_earlier_time() {
         let tw = TimeWeighted::new(SimTime::from_secs(100), 2.0);
         assert_eq!(tw.integral(SimTime::from_secs(110)), 20.0);
-        assert_eq!(tw.elapsed(SimTime::from_secs(110)), SimDuration::from_secs(10));
+        assert_eq!(
+            tw.elapsed(SimTime::from_secs(110)),
+            SimDuration::from_secs(10)
+        );
     }
 }

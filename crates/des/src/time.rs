@@ -288,7 +288,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_to_nanos() {
-        assert_eq!(SimDuration::from_secs_f64(0.000_000_001), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_000_001),
+            SimDuration::from_nanos(1)
+        );
         assert_eq!(SimDuration::from_secs_f64(1.0), SimDuration::from_secs(1));
     }
 
@@ -301,7 +304,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(1)),
             SimDuration::ZERO

@@ -1,0 +1,186 @@
+//! Structured sweep artifacts: per-trial JSONL and per-point summary
+//! CSV/JSONL, rendered with `holdcsim::export`'s JSON builder and written
+//! under an output directory.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use holdcsim::export::{json_f64, JsonObj};
+
+use crate::agg::METRIC_NAMES;
+use crate::exec::SweepResult;
+use crate::grid::TrialPoint;
+
+fn point_fields(obj: JsonObj, p: &TrialPoint) -> JsonObj {
+    let obj = obj
+        .str("policy", &format!("{:?}", p.policy))
+        .str("preset", &p.preset.to_string())
+        .int("servers", p.servers as u64)
+        .int("cores", p.cores as u64)
+        .num("rho", p.rho);
+    match p.tau_s {
+        Some(t) => obj.num("tau_s", t),
+        None => obj.raw("tau_s", "null"),
+    }
+}
+
+/// One JSON object per trial (point coordinates, replicate, seed, every
+/// metric by name), newline-delimited.
+pub fn trials_jsonl(result: &SweepResult) -> String {
+    let mut out = String::new();
+    for t in &result.trials {
+        let mut obj = JsonObj::new()
+            .str("sweep", &result.name)
+            .int("trial", t.spec.index as u64)
+            .int("point", t.spec.point_index as u64)
+            .int("replicate", t.spec.replicate as u64)
+            .int("seed", t.spec.seed)
+            .num("duration_s", t.spec.duration.as_secs_f64());
+        obj = point_fields(obj, &t.spec.point);
+        for (name, value) in METRIC_NAMES.iter().zip(t.metrics.values()) {
+            obj = obj.num(name, *value);
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// One JSON object per grid point with `{mean, std_dev, ci95_half}` per
+/// metric, newline-delimited.
+pub fn summary_jsonl(result: &SweepResult) -> String {
+    let mut out = String::new();
+    for s in &result.summaries {
+        let mut obj = JsonObj::new()
+            .str("sweep", &result.name)
+            .int("point", s.point_index as u64)
+            .int("replications", s.replications);
+        obj = point_fields(obj, &s.point);
+        for (name, m) in METRIC_NAMES.iter().zip(&s.metrics) {
+            let nested = JsonObj::new()
+                .num("mean", m.mean)
+                .num("std_dev", m.std_dev)
+                .num("ci95_half", m.ci95_half)
+                .finish();
+            obj = obj.raw(name, &nested);
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-point summary as CSV: point coordinates, then
+/// `mean/std/ci95` columns for every metric.
+pub fn summary_csv(result: &SweepResult) -> String {
+    let mut out = String::from("point,policy,preset,servers,cores,rho,tau_s,replications");
+    for name in METRIC_NAMES {
+        out.push_str(&format!(",{name}_mean,{name}_std,{name}_ci95"));
+    }
+    out.push('\n');
+    for s in &result.summaries {
+        let tau = match s.point.tau_s {
+            Some(t) => format!("{t}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{},{:?},{},{},{},{},{},{}",
+            s.point_index,
+            s.point.policy,
+            s.point.preset,
+            s.point.servers,
+            s.point.cores,
+            s.point.rho,
+            tau,
+            s.replications,
+        ));
+        for m in &s.metrics {
+            out.push_str(&format!(
+                ",{},{},{}",
+                json_f64(m.mean),
+                json_f64(m.std_dev),
+                json_f64(m.ci95_half)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `trials.jsonl`, `summary.jsonl`, and `summary.csv` under
+/// `dir/<sweep-name>/`, creating directories as needed. Returns the
+/// written paths.
+pub fn write_artifacts(dir: &Path, result: &SweepResult) -> io::Result<Vec<PathBuf>> {
+    let base = dir.join(&result.name);
+    std::fs::create_dir_all(&base)?;
+    let files = [
+        ("trials.jsonl", trials_jsonl(result)),
+        ("summary.jsonl", summary_jsonl(result)),
+        ("summary.csv", summary_csv(result)),
+    ];
+    let mut paths = Vec::with_capacity(files.len());
+    for (name, content) in files {
+        let path = base.join(name);
+        std::fs::write(&path, content)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_plan;
+    use crate::grid::SweepPlan;
+    use holdcsim_des::time::SimDuration;
+
+    fn small_result() -> SweepResult {
+        let plan = SweepPlan::new("artifacts-test")
+            .utilizations(&[0.2])
+            .replications(2)
+            .duration(SimDuration::from_secs(3));
+        run_plan(&plan, 2, false).unwrap()
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_trial_and_parses_shallowly() {
+        let r = small_result();
+        let jsonl = trials_jsonl(&r);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), r.trials.len());
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
+            assert!(l.contains("\"energy_j\":"));
+            assert!(l.contains("\"seed\":"));
+        }
+    }
+
+    #[test]
+    fn summary_csv_is_rectangular() {
+        let r = small_result();
+        let csv = summary_csv(&r);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let cols = header.split(',').count();
+        assert_eq!(cols, 8 + 3 * METRIC_NAMES.len());
+        let mut rows = 0;
+        for l in lines {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+            rows += 1;
+        }
+        assert_eq!(rows, r.summaries.len());
+    }
+
+    #[test]
+    fn write_artifacts_creates_all_files() {
+        let r = small_result();
+        let dir = std::env::temp_dir().join(format!("holdcsim-artifacts-{}", std::process::id()));
+        let paths = write_artifacts(&dir, &r).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists(), "{p:?} missing");
+            assert!(std::fs::metadata(p).unwrap().len() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

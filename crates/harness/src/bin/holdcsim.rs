@@ -1,0 +1,323 @@
+//! The `holdcsim` CLI: one entry point for single runs, declarative
+//! parallel sweeps, and paper-figure reproduction.
+//!
+//! ```text
+//! holdcsim run   [--servers N] [--cores C] [--rho R] [--preset P] [--tau T]
+//!                [--policy POL] [--duration S] [--seed S] [--json]
+//! holdcsim sweep [--policies a,b] [--rhos 0.1,0.3] [--taus 0.4,1.6|active-idle]
+//!                [--presets web-search,web-serving] [--servers 8,50] [--cores 4]
+//!                [--replications N] [--duration S] [--seed S]
+//!                [--threads N] [--out DIR] [--name NAME]
+//! holdcsim fig <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use holdcsim::config::{PolicyKind, SimConfig};
+use holdcsim::sim::Simulation;
+use holdcsim_des::time::SimDuration;
+use holdcsim_harness::artifacts;
+use holdcsim_harness::exec::{default_threads, run_plan};
+use holdcsim_harness::figs::{self, FigScale};
+use holdcsim_harness::grid::SweepPlan;
+use holdcsim_workload::presets::WorkloadPreset;
+
+const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
+
+USAGE:
+    holdcsim run   [--servers N] [--cores C] [--rho R] [--preset P] [--tau T]
+                   [--policy POL] [--duration SECS] [--seed S] [--json]
+    holdcsim sweep [--policies a,b,c] [--rhos 0.1,0.3] [--taus 0.4,1.6]
+                   [--presets web-search,web-serving] [--servers 8,50] [--cores 4]
+                   [--replications N] [--duration SECS] [--seed S]
+                   [--threads N] [--out DIR] [--name NAME]
+    holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
+
+Policies: round-robin, least-loaded, pack-first, random, network-aware.
+Presets:  web-search, web-serving, provisioning.
+Taus:     seconds, or `active-idle` for the no-sleep arm.
+";
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "round-robin" => Ok(PolicyKind::RoundRobin),
+        "least-loaded" => Ok(PolicyKind::LeastLoaded),
+        "pack-first" => Ok(PolicyKind::PackFirst),
+        "random" => Ok(PolicyKind::Random),
+        "network-aware" => Ok(PolicyKind::NetworkAware),
+        _ => Err(format!("unknown policy `{s}`")),
+    }
+}
+
+fn parse_preset(s: &str) -> Result<WorkloadPreset, String> {
+    match s {
+        "web-search" => Ok(WorkloadPreset::WebSearch),
+        "web-serving" => Ok(WorkloadPreset::WebServing),
+        "provisioning" => Ok(WorkloadPreset::Provisioning),
+        _ => Err(format!("unknown preset `{s}`")),
+    }
+}
+
+fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<T>, String> {
+    s.split(',').map(|x| f(x.trim())).collect()
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+/// Splits `args` into `--key value` options; rejects unknown keys.
+fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument `{}`", args[i]))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown option `--{key}`"));
+        }
+        // Flags (no value): --json, --quick.
+        if key == "json" || key == "quick" {
+            opts.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("option `--{key}` needs a value"))?
+            .clone();
+        opts.insert(key.to_string(), value);
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(
+        args,
+        &[
+            "servers", "cores", "rho", "preset", "tau", "policy", "duration", "seed", "json",
+        ],
+    )?;
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let servers: usize = parse_num(&get("servers", "8"), "server count")?;
+    let cores: u32 = parse_num(&get("cores", "4"), "core count")?;
+    let rho: f64 = parse_num(&get("rho", "0.3"), "utilization")?;
+    let preset = parse_preset(&get("preset", "web-search"))?;
+    let duration = SimDuration::from_secs_f64(parse_num(&get("duration", "30"), "duration")?);
+    let seed: u64 = parse_num(&get("seed", "42"), "seed")?;
+    let cfg = match opts.get("tau") {
+        Some(t) if t != "active-idle" => holdcsim::experiments::delay_timer_farm(
+            preset,
+            rho,
+            servers,
+            cores,
+            parse_num(t, "tau")?,
+            duration,
+            seed,
+        ),
+        _ => {
+            SimConfig::server_farm(servers, cores, rho, preset.template(), duration).with_seed(seed)
+        }
+    };
+    let cfg = match opts.get("policy") {
+        Some(p) => cfg.with_policy(parse_policy(p)?),
+        None => cfg,
+    };
+    let report = Simulation::new(cfg).run();
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(
+        args,
+        &[
+            "policies",
+            "rhos",
+            "taus",
+            "presets",
+            "servers",
+            "cores",
+            "replications",
+            "duration",
+            "seed",
+            "threads",
+            "out",
+            "name",
+        ],
+    )?;
+    let mut plan = SweepPlan::new(opts.get("name").map_or("sweep", |s| s.as_str()));
+    if let Some(s) = opts.get("policies") {
+        plan = plan.policies(&parse_list(s, parse_policy)?);
+    }
+    if let Some(s) = opts.get("presets") {
+        plan = plan.presets(&parse_list(s, parse_preset)?);
+    }
+    if let Some(s) = opts.get("rhos") {
+        plan = plan.utilizations(&parse_list(s, |x| parse_num(x, "rho"))?);
+    }
+    if let Some(s) = opts.get("taus") {
+        let taus = parse_list(s, |x| {
+            if x == "active-idle" {
+                Ok(None)
+            } else {
+                parse_num(x, "tau").map(Some)
+            }
+        })?;
+        plan = plan.taus_opt(&taus);
+    }
+    if let Some(s) = opts.get("servers") {
+        plan = plan.servers(&parse_list(s, |x| parse_num(x, "server count"))?);
+    }
+    if let Some(s) = opts.get("cores") {
+        plan = plan.cores(&parse_list(s, |x| parse_num(x, "core count"))?);
+    }
+    if let Some(s) = opts.get("replications") {
+        plan = plan.replications(parse_num(s, "replications")?);
+    }
+    if let Some(s) = opts.get("duration") {
+        plan = plan.duration(SimDuration::from_secs_f64(parse_num(s, "duration")?));
+    }
+    if let Some(s) = opts.get("seed") {
+        plan = plan.seed(parse_num(s, "seed")?);
+    }
+    let threads: usize = match opts.get("threads") {
+        Some(s) => parse_num(s, "threads")?,
+        None => default_threads(),
+    };
+
+    let size = plan.size().map_err(|e| e.to_string())?;
+    eprintln!(
+        "[{}] {} trials ({} points x {} replications) on {} threads",
+        plan.name,
+        size,
+        size / plan.replications as usize,
+        plan.replications,
+        threads
+    );
+    let result = run_plan(&plan, threads, true).map_err(|e| e.to_string())?;
+
+    // Console summary: the headline metrics with confidence intervals.
+    for s in &result.summaries {
+        let e = s.get("energy_j").expect("known metric");
+        let p95 = s.get("latency_p95_s").expect("known metric");
+        println!(
+            "{} | energy {:.1} ± {:.1} J | p95 {:.2} ± {:.2} ms (n={})",
+            s.point.label(),
+            e.mean,
+            e.ci95_half,
+            p95.mean * 1e3,
+            p95.ci95_half * 1e3,
+            s.replications,
+        );
+    }
+
+    let out = PathBuf::from(opts.get("out").map_or("artifacts", |s| s.as_str()));
+    let paths = artifacts::write_artifacts(&out, &result).map_err(|e| e.to_string())?;
+    for p in &paths {
+        eprintln!("[{}] wrote {}", result.name, p.display());
+    }
+    Ok(())
+}
+
+fn cmd_fig(args: &[String]) -> Result<(), String> {
+    let which = args
+        .first()
+        .ok_or("`fig` needs a figure id (4, 5, 6, 8, 9, 11, table1)")?
+        .clone();
+    let opts = parse_opts(&args[1..], &["quick", "threads", "seed"])?;
+    let scale = FigScale {
+        quick: opts.contains_key("quick"),
+        threads: match opts.get("threads") {
+            Some(s) => parse_num(s, "threads")?,
+            None => default_threads(),
+        },
+        seed: match opts.get("seed") {
+            Some(s) => parse_num(s, "seed")?,
+            None => 42,
+        },
+    };
+    match which.as_str() {
+        "4" => figs::fig4(&scale),
+        "5" => figs::fig5(&scale),
+        "6" => figs::fig6(&scale),
+        "8" => figs::fig8(&scale),
+        "9" => figs::fig9(&scale),
+        "11" => figs::fig11(&scale),
+        "table1" | "1" => figs::table1(&scale),
+        other => {
+            return Err(format!(
+                "unknown figure `{other}` (try 4, 5, 6, 8, 9, 11, table1)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("fig") => cmd_fig(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_parse_flags_and_pairs() {
+        let args: Vec<String> = ["--rho", "0.3", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_opts(&args, &["rho", "json"]).unwrap();
+        assert_eq!(opts["rho"], "0.3");
+        assert_eq!(opts["json"], "true");
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let args: Vec<String> = ["--bogus", "1"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_opts(&args, &["rho"]).is_err());
+    }
+
+    #[test]
+    fn policy_and_preset_round_trip() {
+        for p in [
+            "round-robin",
+            "least-loaded",
+            "pack-first",
+            "random",
+            "network-aware",
+        ] {
+            parse_policy(p).unwrap();
+        }
+        for p in ["web-search", "web-serving", "provisioning"] {
+            parse_preset(p).unwrap();
+        }
+        assert!(parse_policy("nope").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Work-stealing parallel trial execution.
+//!
+//! Trials are pulled from a shared atomic counter by a scoped thread
+//! pool (no external dependency) and results are stored by trial index,
+//! so the output — and everything aggregated from it — is bitwise
+//! identical regardless of how many workers ran or how work interleaved.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use holdcsim::config::SimConfig;
+use holdcsim::report::SimReport;
+use holdcsim::sim::Simulation;
+
+use crate::agg::{aggregate, PointSummary, TrialMetrics, TrialOutcome};
+use crate::grid::{GridError, SweepPlan, TrialPoint};
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every config and returns the reports in input order.
+///
+/// The parallel primitive under [`run_plan`], also usable directly for
+/// irregular experiments (e.g. Fig. 6's three policy arms) that don't fit
+/// a rectangular grid. With `progress`, one line per finished trial is
+/// written to stderr.
+pub fn run_configs(
+    configs: Vec<SimConfig>,
+    threads: usize,
+    progress: Option<&str>,
+) -> Vec<SimReport> {
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs: Vec<Mutex<Option<SimConfig>>> =
+        configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cfg = jobs[i]
+                    .lock()
+                    .expect("job lock")
+                    .take()
+                    .expect("job taken once");
+                let report = Simulation::new(cfg).run();
+                *slots[i].lock().expect("slot lock") = Some(report);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(label) = progress {
+                    eprintln!("[{label}] trial {finished}/{n} done");
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("all trials ran")
+        })
+        .collect()
+}
+
+/// The full outcome of a sweep: per-trial metrics plus per-point
+/// cross-replication summaries.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The plan's name.
+    pub name: String,
+    /// The plan's root seed.
+    pub seed: u64,
+    /// The grid points in expansion order.
+    pub points: Vec<TrialPoint>,
+    /// Every trial, in expansion order.
+    pub trials: Vec<TrialOutcome>,
+    /// One aggregate per grid point.
+    pub summaries: Vec<PointSummary>,
+}
+
+/// Expands `plan` and runs all its trials on `threads` workers.
+///
+/// Per-trial seeds come from the plan's grid coordinates (see
+/// [`SweepPlan::trials`]) and results are keyed by trial index, so the
+/// returned [`SweepResult`] is identical at every thread count.
+pub fn run_plan(
+    plan: &SweepPlan,
+    threads: usize,
+    progress: bool,
+) -> Result<SweepResult, GridError> {
+    let trials = plan.trials()?;
+    let points = plan.points()?;
+    let configs: Vec<SimConfig> = trials.iter().map(|t| t.config()).collect();
+    let label = progress.then(|| plan.name.clone());
+    let reports = run_configs(configs, threads, label.as_deref());
+    let outcomes: Vec<TrialOutcome> = trials
+        .into_iter()
+        .zip(reports.iter())
+        .map(|(spec, report)| TrialOutcome {
+            spec,
+            metrics: TrialMetrics::from_report(report),
+        })
+        .collect();
+    let summaries = aggregate(&points, &outcomes);
+    Ok(SweepResult {
+        name: plan.name.clone(),
+        seed: plan.seed,
+        points,
+        trials: outcomes,
+        summaries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::{summary_csv, trials_jsonl};
+    use holdcsim_des::time::SimDuration;
+
+    fn tiny_plan() -> SweepPlan {
+        SweepPlan::new("determinism")
+            .utilizations(&[0.1, 0.4])
+            .replications(3)
+            .duration(SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn run_configs_preserves_input_order() {
+        use holdcsim_workload::presets::WorkloadPreset;
+        // Give every config a distinct horizon so any reordering (e.g.
+        // storing results by completion order instead of by slot index)
+        // is detectable in the output.
+        let durations: Vec<SimDuration> = (1..=6).map(SimDuration::from_secs).collect();
+        let configs: Vec<SimConfig> = durations
+            .iter()
+            .map(|&d| SimConfig::server_farm(2, 2, 0.2, WorkloadPreset::WebSearch.template(), d))
+            .collect();
+        let reports = run_configs(configs, 3, None);
+        assert_eq!(reports.len(), durations.len());
+        for (d, r) in durations.iter().zip(&reports) {
+            assert_eq!(r.duration, *d);
+        }
+    }
+
+    #[test]
+    fn sweep_is_bitwise_identical_across_thread_counts() {
+        let plan = tiny_plan();
+        let serial = run_plan(&plan, 1, false).unwrap();
+        let parallel = run_plan(&plan, 4, false).unwrap();
+        // Identical per-trial metrics, bit for bit…
+        assert_eq!(serial.trials, parallel.trials);
+        // …identical aggregates…
+        assert_eq!(serial.summaries, parallel.summaries);
+        // …and identical rendered artifacts.
+        assert_eq!(trials_jsonl(&serial), trials_jsonl(&parallel));
+        assert_eq!(summary_csv(&serial), summary_csv(&parallel));
+    }
+
+    #[test]
+    fn replications_differ_but_aggregate_counts_them_all() {
+        let result = run_plan(&tiny_plan(), 4, false).unwrap();
+        assert_eq!(result.trials.len(), 6);
+        assert_eq!(result.summaries.len(), 2);
+        for s in &result.summaries {
+            assert_eq!(s.replications, 3);
+        }
+        // Different replicate seeds actually produce different runs.
+        let a = &result.trials[0].metrics;
+        let b = &result.trials[1].metrics;
+        assert_ne!(a, b);
+    }
+}

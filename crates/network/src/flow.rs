@@ -77,7 +77,11 @@ pub struct FlowNet {
 impl FlowNet {
     /// Creates a flow network over `topo`'s links.
     pub fn new(topo: &Topology) -> Self {
-        let capacity_bps = topo.links().iter().map(|l| l.rate_bps as f64).collect::<Vec<_>>();
+        let capacity_bps = topo
+            .links()
+            .iter()
+            .map(|l| l.rate_bps as f64)
+            .collect::<Vec<_>>();
         let n = capacity_bps.len();
         FlowNet {
             capacity_bps,
@@ -280,7 +284,10 @@ impl FlowNet {
                 // No loaded links left: remaining flows are route-less (cannot
                 // happen given add_flow's assertion) — fix them at 0.
                 for (id, _) in unfixed.drain() {
-                    self.flows.get_mut(&id).expect("unfixed flow exists").rate_bps = 0.0;
+                    self.flows
+                        .get_mut(&id)
+                        .expect("unfixed flow exists")
+                        .rate_bps = 0.0;
                 }
                 break;
             };
@@ -334,7 +341,14 @@ mod tests {
         let (topo, hosts, mut router) = two_host_net();
         let mut net = FlowNet::new(&topo);
         let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
-        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        net.add_flow(
+            SimTime::ZERO,
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            &links,
+            125_000_000,
+        );
         assert_eq!(net.flow_rate_bps(FlowId(1)), Some(1e9));
         let (_, t) = net.next_completion(SimTime::ZERO).unwrap();
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "finish {t}");
@@ -345,8 +359,22 @@ mod tests {
         let (topo, hosts, mut router) = two_host_net();
         let mut net = FlowNet::new(&topo);
         let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
-        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
-        net.add_flow(SimTime::ZERO, FlowId(2), hosts[0], hosts[1], &links, 125_000_000);
+        net.add_flow(
+            SimTime::ZERO,
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            &links,
+            125_000_000,
+        );
+        net.add_flow(
+            SimTime::ZERO,
+            FlowId(2),
+            hosts[0],
+            hosts[1],
+            &links,
+            125_000_000,
+        );
         assert_eq!(net.flow_rate_bps(FlowId(1)), Some(5e8));
         assert_eq!(net.flow_rate_bps(FlowId(2)), Some(5e8));
         assert!((net.link_utilization(links[0]) - 1.0).abs() < 1e-9);
@@ -358,8 +386,22 @@ mod tests {
         let mut net = FlowNet::new(&topo);
         let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
         // Flow 1: 125 MB, flow 2: 250 MB, admitted together.
-        net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
-        net.add_flow(SimTime::ZERO, FlowId(2), hosts[0], hosts[1], &links, 250_000_000);
+        net.add_flow(
+            SimTime::ZERO,
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            &links,
+            125_000_000,
+        );
+        net.add_flow(
+            SimTime::ZERO,
+            FlowId(2),
+            hosts[0],
+            hosts[1],
+            &links,
+            250_000_000,
+        );
         // At 0.5 Gb/s each, flow 1 finishes at t=2 s.
         let (gen, t1) = net.next_completion(SimTime::ZERO).unwrap();
         assert_eq!(gen, net.generation());
@@ -421,7 +463,14 @@ mod tests {
         let (topo, hosts, mut router) = two_host_net();
         let mut net = FlowNet::new(&topo);
         let links = route_links(&topo, &mut router, hosts[0], hosts[1], 0);
-        let g1 = net.add_flow(SimTime::ZERO, FlowId(1), hosts[0], hosts[1], &links, 125_000_000);
+        let g1 = net.add_flow(
+            SimTime::ZERO,
+            FlowId(1),
+            hosts[0],
+            hosts[1],
+            &links,
+            125_000_000,
+        );
         let g = net.advance(SimTime::from_millis(100));
         assert_eq!(g, g1);
         assert_eq!(net.active_flows(), 1);
@@ -468,9 +517,7 @@ mod tests {
             assert!(u <= 1.0 + 1e-9, "link {l} over-allocated: {u}");
         }
         // Total goodput is positive and bounded by 8 links' capacity.
-        let total: f64 = (0..id)
-            .filter_map(|k| net.flow_rate_bps(FlowId(k)))
-            .sum();
+        let total: f64 = (0..id).filter_map(|k| net.flow_rate_bps(FlowId(k))).sum();
         assert!(total > 0.0 && total <= 8.0 * GBE as f64 + 1.0);
     }
 }

@@ -64,7 +64,14 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(NodeId(3).to_string(), "n3");
-        assert_eq!(PortRef { node: NodeId(3), port: 2 }.to_string(), "n3:2");
+        assert_eq!(
+            PortRef {
+                node: NodeId(3),
+                port: 2
+            }
+            .to_string(),
+            "n3:2"
+        );
         assert_eq!(FlowId(9).to_string(), "f9");
     }
 }

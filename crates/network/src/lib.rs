@@ -35,7 +35,9 @@ pub use ids::{FlowId, LinkId, NodeId, PacketId, PortRef};
 pub use packet::{segment, Packet, PacketNet, TxOutcome, DEFAULT_MTU_BYTES};
 pub use routing::{Route, Router};
 pub use switch::SwitchDevice;
-pub use topologies::{bcube, camcube, fat_tree, flattened_butterfly, star, BuiltTopology, LinkSpec};
+pub use topologies::{
+    bcube, camcube, fat_tree, flattened_butterfly, star, BuiltTopology, LinkSpec,
+};
 pub use topology::{Link, NodeKind, Topology, TopologyBuilder, TopologyError};
 
 /// Convenience re-exports for downstream crates.

@@ -32,7 +32,12 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet at the head of its route.
     pub fn new(id: PacketId, bytes: u64, route: Route) -> Self {
-        Packet { id, bytes, route, hop: 0 }
+        Packet {
+            id,
+            bytes,
+            route,
+            hop: 0,
+        }
     }
 
     /// The node currently holding the packet.
@@ -123,7 +128,12 @@ impl PacketNet {
     /// port.
     pub fn new(topo: &Topology, buffer_bytes: u64) -> Self {
         PacketNet {
-            egress: vec![Egress { busy_until: SimTime::ZERO }; topo.links().len() * 2],
+            egress: vec![
+                Egress {
+                    busy_until: SimTime::ZERO
+                };
+                topo.links().len() * 2
+            ],
             buffer_bytes,
             forwarded: 0,
             dropped: 0,
@@ -159,7 +169,10 @@ impl PacketNet {
         let egress = &mut self.egress[idx];
 
         // Backlog currently queued (in bytes) behind this packet.
-        let backlog = egress.busy_until.saturating_duration_since(now).as_secs_f64();
+        let backlog = egress
+            .busy_until
+            .saturating_duration_since(now)
+            .as_secs_f64();
         let queued_bytes = backlog * l.rate_bps as f64 / 8.0;
         if queued_bytes + bytes as f64 > self.buffer_bytes as f64 {
             self.dropped += 1;
@@ -170,12 +183,20 @@ impl PacketNet {
         let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / l.rate_bps as f64);
         egress.busy_until = start + tx;
         self.forwarded += 1;
-        TxOutcome::Forwarded { arrives_at: egress.busy_until + l.latency }
+        TxOutcome::Forwarded {
+            arrives_at: egress.busy_until + l.latency,
+        }
     }
 
     /// The instant the egress of `link` on `from`'s side drains, given no
     /// further traffic (`now` if already idle).
-    pub fn egress_idle_at(&self, topo: &Topology, link: LinkId, from: NodeId, now: SimTime) -> SimTime {
+    pub fn egress_idle_at(
+        &self,
+        topo: &Topology,
+        link: LinkId,
+        from: NodeId,
+        now: SimTime,
+    ) -> SimTime {
         let l = topo.link(link);
         let from_a = l.a.node == from;
         let idx = link.0 as usize * 2 + usize::from(!from_a);

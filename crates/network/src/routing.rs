@@ -81,7 +81,10 @@ impl Router {
         ecmp_seed: u64,
     ) -> Option<Route> {
         if src == dst {
-            return Some(Route { nodes: vec![src], links: Vec::new() });
+            return Some(Route {
+                nodes: vec![src],
+                links: Vec::new(),
+            });
         }
         let dist = self.distances(topo, dst);
         if dist[src.0 as usize] == u32::MAX {
@@ -99,8 +102,8 @@ impl Router {
                 .collect();
             debug_assert!(!candidates.is_empty(), "distance field is inconsistent");
             candidates.sort_by_key(|(n, l)| (n.0, l.0));
-            let pick = (hash64(cur.0 as u64 ^ ecmp_seed.rotate_left(17))
-                % candidates.len() as u64) as usize;
+            let pick = (hash64(cur.0 as u64 ^ ecmp_seed.rotate_left(17)) % candidates.len() as u64)
+                as usize;
             let (next, link) = candidates[pick];
             nodes.push(next);
             links.push(link);
@@ -192,11 +195,20 @@ mod tests {
         let built = fat_tree(4, LinkSpec::gigabit());
         let mut r = Router::new();
         // Hosts 0 and 1 share an edge switch: 2 hops.
-        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[1]), Some(2));
+        assert_eq!(
+            r.distance(&built.topology, built.hosts[0], built.hosts[1]),
+            Some(2)
+        );
         // Hosts 0 and 2 are in the same pod, different edge switch: 4 hops.
-        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[2]), Some(4));
+        assert_eq!(
+            r.distance(&built.topology, built.hosts[0], built.hosts[2]),
+            Some(4)
+        );
         // Hosts in different pods traverse the core: 6 hops.
-        assert_eq!(r.distance(&built.topology, built.hosts[0], built.hosts[15]), Some(6));
+        assert_eq!(
+            r.distance(&built.topology, built.hosts[0], built.hosts[15]),
+            Some(6)
+        );
     }
 
     #[test]
@@ -220,8 +232,12 @@ mod tests {
     fn same_seed_routes_stably() {
         let built = fat_tree(4, LinkSpec::gigabit());
         let mut r = Router::new();
-        let a = r.route(&built.topology, built.hosts[0], built.hosts[12], 5).unwrap();
-        let b = r.route(&built.topology, built.hosts[0], built.hosts[12], 5).unwrap();
+        let a = r
+            .route(&built.topology, built.hosts[0], built.hosts[12], 5)
+            .unwrap();
+        let b = r
+            .route(&built.topology, built.hosts[0], built.hosts[12], 5)
+            .unwrap();
         assert_eq!(a, b);
     }
 

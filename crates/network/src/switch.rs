@@ -210,7 +210,11 @@ impl SwitchDevice {
         let hi = lo + self.ports_per_card;
         let all_idle = (lo..hi).all(|p| self.port_state(p) != PortPowerState::Active);
         if all_idle && self.card_state(card) == LineCardPowerState::Active {
-            self.cards[card].set_state(now, LineCardPowerState::Sleep, self.profile.linecard.sleep_w);
+            self.cards[card].set_state(
+                now,
+                LineCardPowerState::Sleep,
+                self.profile.linecard.sleep_w,
+            );
             self.card_sleeps += 1;
             self.refresh_chassis(now);
             true
@@ -226,7 +230,11 @@ impl SwitchDevice {
             .cards
             .iter()
             .any(|c| c.steady() == Some(LineCardPowerState::Active));
-        let w = if any_active { self.profile.chassis_w } else { self.profile.chassis_sleep_w };
+        let w = if any_active {
+            self.profile.chassis_w
+        } else {
+            self.profile.chassis_sleep_w
+        };
         self.chassis.set(now, w);
     }
 
@@ -290,7 +298,13 @@ mod tests {
     use super::*;
 
     fn cisco(now: SimTime) -> SwitchDevice {
-        SwitchDevice::new(now, NodeId(0), 1, 24, SwitchPowerProfile::cisco_ws_c2960_24s())
+        SwitchDevice::new(
+            now,
+            NodeId(0),
+            1,
+            24,
+            SwitchPowerProfile::cisco_ws_c2960_24s(),
+        )
     }
 
     #[test]
@@ -357,7 +371,10 @@ mod tests {
         assert_eq!(sw.card_state(0), LineCardPowerState::Sleep);
         // Waking port 0 also wakes the card, charging both latencies.
         let d = sw.wake_for_tx(SimTime::from_secs(2), 0);
-        assert_eq!(d, SimDuration::from_millis(10) + SimDuration::from_micros(5));
+        assert_eq!(
+            d,
+            SimDuration::from_millis(10) + SimDuration::from_micros(5)
+        );
         assert_eq!(sw.card_state(0), LineCardPowerState::Active);
     }
 
@@ -411,7 +428,10 @@ mod tests {
         assert!(sw.sleep_card(t, 1));
         let all_sleep = sw.power_w();
         // Chassis dropped from 52 W to 6.5 W on the last card sleep.
-        assert!(one_card - all_sleep > 45.0, "one {one_card} all {all_sleep}");
+        assert!(
+            one_card - all_sleep > 45.0,
+            "one {one_card} all {all_sleep}"
+        );
         // First wake restores the chassis.
         sw.wake_for_tx(SimTime::from_secs(2), 0);
         assert!(sw.power_w() > all_sleep + 45.0);

@@ -19,12 +19,18 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// 1 GbE with 5 µs latency.
     pub fn gigabit() -> Self {
-        LinkSpec { rate_bps: 1_000_000_000, latency: SimDuration::from_micros(5) }
+        LinkSpec {
+            rate_bps: 1_000_000_000,
+            latency: SimDuration::from_micros(5),
+        }
     }
 
     /// 10 GbE with 2 µs latency.
     pub fn ten_gigabit() -> Self {
-        LinkSpec { rate_bps: 10_000_000_000, latency: SimDuration::from_micros(2) }
+        LinkSpec {
+            rate_bps: 10_000_000_000,
+            latency: SimDuration::from_micros(2),
+        }
     }
 }
 
@@ -74,7 +80,9 @@ pub fn fat_tree(k: usize, link: LinkSpec) -> BuiltTopology {
         }
     }
     // Core switches.
-    let cores: Vec<NodeId> = (0..half * half).map(|_| b.add_switch(1, k as u32)).collect();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| b.add_switch(1, k as u32))
+        .collect();
 
     // Hosts to edge switches: each edge switch serves k/2 hosts.
     for pod in 0..k {
@@ -82,12 +90,14 @@ pub fn fat_tree(k: usize, link: LinkSpec) -> BuiltTopology {
             let esw = edge[pod * half + e];
             for h in 0..half {
                 let host = hosts[pod * half * half + e * half + h];
-                b.link(esw, host, link.rate_bps, link.latency).expect("fat-tree host link");
+                b.link(esw, host, link.rate_bps, link.latency)
+                    .expect("fat-tree host link");
             }
             // Edge to aggregation within the pod.
             for a in 0..half {
                 let asw = agg[pod * half + a];
-                b.link(esw, asw, link.rate_bps, link.latency).expect("fat-tree pod link");
+                b.link(esw, asw, link.rate_bps, link.latency)
+                    .expect("fat-tree pod link");
             }
         }
         // Aggregation to core: agg switch a connects to cores a*half..(a+1)*half.
@@ -95,7 +105,8 @@ pub fn fat_tree(k: usize, link: LinkSpec) -> BuiltTopology {
             let asw = agg[pod * half + a];
             for c in 0..half {
                 let core = cores[a * half + c];
-                b.link(asw, core, link.rate_bps, link.latency).expect("fat-tree core link");
+                b.link(asw, core, link.rate_bps, link.latency)
+                    .expect("fat-tree core link");
             }
         }
     }
@@ -127,7 +138,8 @@ pub fn flattened_butterfly(k: usize, hosts_per_switch: usize, link: LinkSpec) ->
             let sw = switches[r * k + c];
             for h in 0..hosts_per_switch {
                 let host = hosts[(r * k + c) * hosts_per_switch + h];
-                b.link(sw, host, link.rate_bps, link.latency).expect("fb host link");
+                b.link(sw, host, link.rate_bps, link.latency)
+                    .expect("fb host link");
             }
             // Row links (to the right) and column links (downward) once each.
             for c2 in (c + 1)..k {
@@ -196,7 +208,10 @@ pub fn bcube(n: usize, levels: usize, link: LinkSpec) -> BuiltTopology {
 ///
 /// Panics if any dimension is zero.
 pub fn camcube(x: usize, y: usize, z: usize, link: LinkSpec) -> BuiltTopology {
-    assert!(x > 0 && y > 0 && z > 0, "CamCube dimensions must be positive");
+    assert!(
+        x > 0 && y > 0 && z > 0,
+        "CamCube dimensions must be positive"
+    );
     let mut b = Topology::builder();
     let hosts = b.add_hosts(x * y * z);
     let idx = |i: usize, j: usize, k: usize| hosts[(i * y + j) * z + k];
@@ -249,7 +264,8 @@ pub fn star(n_hosts: usize, link: LinkSpec) -> BuiltTopology {
     let hosts = b.add_hosts(n_hosts);
     let sw = b.add_switch(1, n_hosts as u32);
     for &h in &hosts {
-        b.link(sw, h, link.rate_bps, link.latency).expect("star link");
+        b.link(sw, h, link.rate_bps, link.latency)
+            .expect("star link");
     }
     BuiltTopology {
         topology: b.build(),

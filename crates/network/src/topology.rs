@@ -34,7 +34,10 @@ impl NodeKind {
     pub fn port_capacity(self) -> u32 {
         match self {
             NodeKind::Host => u32::MAX, // hosts may multi-home (BCube, CamCube)
-            NodeKind::Switch { linecards, ports_per_card } => linecards * ports_per_card,
+            NodeKind::Switch {
+                linecards,
+                ports_per_card,
+            } => linecards * ports_per_card,
         }
     }
 }
@@ -242,7 +245,10 @@ impl TopologyBuilder {
     /// Adds a switch with `linecards × ports_per_card` ports.
     pub fn add_switch(&mut self, linecards: u32, ports_per_card: u32) -> NodeId {
         let id = NodeId(self.kinds.len() as u32);
-        self.kinds.push(NodeKind::Switch { linecards, ports_per_card });
+        self.kinds.push(NodeKind::Switch {
+            linecards,
+            ports_per_card,
+        });
         self.used_ports.push(0);
         id
     }
@@ -273,12 +279,23 @@ impl TopologyBuilder {
                 return Err(TopologyError::PortsExhausted(n));
             }
         }
-        let pa = PortRef { node: a, port: self.used_ports[a.0 as usize] };
-        let pb = PortRef { node: b, port: self.used_ports[b.0 as usize] };
+        let pa = PortRef {
+            node: a,
+            port: self.used_ports[a.0 as usize],
+        };
+        let pb = PortRef {
+            node: b,
+            port: self.used_ports[b.0 as usize],
+        };
         self.used_ports[a.0 as usize] += 1;
         self.used_ports[b.0 as usize] += 1;
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { a: pa, b: pb, rate_bps, latency });
+        self.links.push(Link {
+            a: pa,
+            b: pb,
+            rate_bps,
+            latency,
+        });
         Ok(id)
     }
 
@@ -297,7 +314,13 @@ impl TopologyBuilder {
                 NodeKind::Switch { .. } => switches.push(NodeId(i as u32)),
             }
         }
-        Topology { kinds: self.kinds, links: self.links, adjacency, hosts, switches }
+        Topology {
+            kinds: self.kinds,
+            links: self.links,
+            adjacency,
+            hosts,
+            switches,
+        }
     }
 }
 
@@ -363,7 +386,10 @@ mod tests {
     fn self_link_rejected() {
         let mut b = Topology::builder();
         let h = b.add_host();
-        assert_eq!(b.link(h, h, GBE, lat()).unwrap_err(), TopologyError::SelfLink(h));
+        assert_eq!(
+            b.link(h, h, GBE, lat()).unwrap_err(),
+            TopologyError::SelfLink(h)
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ impl<S: Copy + Eq + Hash + std::fmt::Debug> PowerStateMachine<S> {
         self.phase = Phase::Transitioning { from, to };
         self.residency.transition(now, self.phase);
         self.power.set(now, transition_power_w);
-        self.pending = Some(Pending { to, done_at, settle_power_w });
+        self.pending = Some(Pending {
+            to,
+            done_at,
+            settle_power_w,
+        });
         done_at
     }
 
@@ -261,7 +265,10 @@ mod tests {
         assert_eq!(m.time_in(S::Active, now), SimDuration::from_secs(1));
         assert_eq!(m.time_in(S::Sleep, now), SimDuration::from_secs(7));
         let wakeup = m.residency().time_in_through(
-            Phase::Transitioning { from: S::Active, to: S::Sleep },
+            Phase::Transitioning {
+                from: S::Active,
+                to: S::Sleep,
+            },
             now,
         );
         assert_eq!(wakeup, SimDuration::from_secs(2));
@@ -294,8 +301,20 @@ mod tests {
     #[should_panic(expected = "transition already in flight")]
     fn double_transition_panics() {
         let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
-        m.begin_transition(SimTime::ZERO, S::Sleep, SimDuration::from_secs(1), 50.0, 5.0);
-        m.begin_transition(SimTime::ZERO, S::Active, SimDuration::from_secs(1), 50.0, 50.0);
+        m.begin_transition(
+            SimTime::ZERO,
+            S::Sleep,
+            SimDuration::from_secs(1),
+            50.0,
+            5.0,
+        );
+        m.begin_transition(
+            SimTime::ZERO,
+            S::Active,
+            SimDuration::from_secs(1),
+            50.0,
+            50.0,
+        );
     }
 
     #[test]
@@ -309,7 +328,13 @@ mod tests {
     #[should_panic(expected = "completed early")]
     fn complete_early_panics() {
         let mut m = PowerStateMachine::new(SimTime::ZERO, S::Active, 50.0);
-        m.begin_transition(SimTime::ZERO, S::Sleep, SimDuration::from_secs(5), 50.0, 5.0);
+        m.begin_transition(
+            SimTime::ZERO,
+            S::Sleep,
+            SimDuration::from_secs(5),
+            50.0,
+            5.0,
+        );
         m.complete_transition(SimTime::from_secs(1));
     }
 }

@@ -193,11 +193,26 @@ impl ServerPowerProfile {
                 boot_latency: SimDuration::from_secs(60),
             },
             pstates: vec![
-                PState { freq_ghz: 1.2, busy_power_scale: 0.35 },
-                PState { freq_ghz: 1.6, busy_power_scale: 0.48 },
-                PState { freq_ghz: 2.0, busy_power_scale: 0.63 },
-                PState { freq_ghz: 2.4, busy_power_scale: 0.80 },
-                PState { freq_ghz: 2.8, busy_power_scale: 1.00 },
+                PState {
+                    freq_ghz: 1.2,
+                    busy_power_scale: 0.35,
+                },
+                PState {
+                    freq_ghz: 1.6,
+                    busy_power_scale: 0.48,
+                },
+                PState {
+                    freq_ghz: 2.0,
+                    busy_power_scale: 0.63,
+                },
+                PState {
+                    freq_ghz: 2.4,
+                    busy_power_scale: 0.80,
+                },
+                PState {
+                    freq_ghz: 2.8,
+                    busy_power_scale: 1.00,
+                },
             ],
         }
     }

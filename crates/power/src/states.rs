@@ -92,7 +92,13 @@ macro_rules! impl_display_as_debug {
         })*
     };
 }
-impl_display_as_debug!(CoreCState, PkgCState, SystemState, PortPowerState, LineCardPowerState);
+impl_display_as_debug!(
+    CoreCState,
+    PkgCState,
+    SystemState,
+    PortPowerState,
+    LineCardPowerState
+);
 
 #[cfg(test)]
 mod tests {
@@ -116,7 +122,10 @@ mod tests {
 
     #[test]
     fn pstate_speed_ratio() {
-        let p = PState { freq_ghz: 1.4, busy_power_scale: 0.4 };
+        let p = PState {
+            freq_ghz: 1.4,
+            busy_power_scale: 0.4,
+        };
         assert!((p.speed_ratio(2.8) - 0.5).abs() < 1e-12);
     }
 }

@@ -102,10 +102,7 @@ impl SwitchPowerProfile {
                 lpi_w: 0.023,
                 lpi_entry: SimDuration::from_micros(3),
                 lpi_exit: SimDuration::from_micros(5),
-                alr_ladder: vec![
-                    (100_000_000, 0.45),
-                    (1_000_000_000, 1.0),
-                ],
+                alr_ladder: vec![(100_000_000, 0.45), (1_000_000_000, 1.0)],
             },
         }
     }
@@ -182,7 +179,10 @@ mod tests {
         let p = SwitchPowerProfile::datacenter_48port();
         assert!(p.chassis_sleep_w < p.chassis_w);
         let c = SwitchPowerProfile::cisco_ws_c2960_24s();
-        assert_eq!(c.chassis_sleep_w, c.chassis_w, "fixed-config switch never sleeps");
+        assert_eq!(
+            c.chassis_sleep_w, c.chassis_w,
+            "fixed-config switch never sleeps"
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod provisioning;
 pub mod queue;
 
 pub use policy::{
-    ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst, Random,
-    RoundRobin,
+    ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
+    Random, RoundRobin,
 };
 pub use pools::{dual_timer_policies, PoolAction, PoolManager};
 pub use provisioning::{ProvisionAction, ProvisioningController};
@@ -40,8 +40,8 @@ pub use queue::GlobalQueue;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::policy::{
-        ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst, Random,
-        RoundRobin,
+        ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost,
+        PackFirst, Random, RoundRobin,
     };
     pub use crate::pools::{dual_timer_policies, PoolAction, PoolManager};
     pub use crate::provisioning::{ProvisionAction, ProvisioningController};

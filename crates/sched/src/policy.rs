@@ -34,7 +34,10 @@ pub struct ClusterView<'a> {
 impl<'a> ClusterView<'a> {
     /// A view with no extra committed load.
     pub fn new(servers: &'a [Server]) -> Self {
-        ClusterView { servers, committed: None }
+        ClusterView {
+            servers,
+            committed: None,
+        }
     }
 
     /// A view adding `committed[i]` in-flight-transfer tasks to server `i`'s
@@ -44,8 +47,15 @@ impl<'a> ClusterView<'a> {
     ///
     /// Panics if the slice length does not match the server count.
     pub fn with_committed(servers: &'a [Server], committed: &'a [u32]) -> Self {
-        assert_eq!(servers.len(), committed.len(), "one committed count per server");
-        ClusterView { servers, committed: Some(committed) }
+        assert_eq!(
+            servers.len(),
+            committed.len(),
+            "one committed count per server"
+        );
+        ClusterView {
+            servers,
+            committed: Some(committed),
+        }
     }
 
     /// The server with this id.
@@ -55,8 +65,7 @@ impl<'a> ClusterView<'a> {
 
     /// Apparent pending load of `id`: queued + running + committed.
     pub fn pending(&self, id: ServerId) -> usize {
-        self.server(id).pending()
-            + self.committed.map_or(0, |c| c[id.0 as usize] as usize)
+        self.server(id).pending() + self.committed.map_or(0, |c| c[id.0 as usize] as usize)
     }
 
     /// `true` if `id` can start a task immediately (awake, free core, and
@@ -137,7 +146,10 @@ impl GlobalPolicy for LeastLoaded {
         eligible: &[ServerId],
         _net: &dyn NetworkCost,
     ) -> Option<ServerId> {
-        eligible.iter().copied().min_by_key(|&id| (view.pending(id), id))
+        eligible
+            .iter()
+            .copied()
+            .min_by_key(|&id| (view.pending(id), id))
     }
 
     fn name(&self) -> &'static str {
@@ -197,7 +209,9 @@ pub struct Random {
 impl Random {
     /// Creates the policy with its own RNG stream.
     pub fn new(seed: u64) -> Self {
-        Random { rng: SimRng::seed_from(seed) }
+        Random {
+            rng: SimRng::seed_from(seed),
+        }
     }
 }
 
@@ -242,14 +256,11 @@ impl GlobalPolicy for NetworkAware {
         // its data sources), load-balancing only among equal-cost servers.
         // When every cheap server is saturated, the server with the least
         // network wake cost is activated (§IV-D's strategy).
-        eligible
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let ka = rank_key(view, a, net);
-                let kb = rank_key(view, b, net);
-                ka.partial_cmp(&kb).expect("costs are finite")
-            })
+        eligible.iter().copied().min_by(|&a, &b| {
+            let ka = rank_key(view, a, net);
+            let kb = rank_key(view, b, net);
+            ka.partial_cmp(&kb).expect("costs are finite")
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -257,11 +268,7 @@ impl GlobalPolicy for NetworkAware {
     }
 }
 
-fn rank_key(
-    view: &ClusterView<'_>,
-    id: ServerId,
-    net: &dyn NetworkCost,
-) -> (u8, f64, usize, u32) {
+fn rank_key(view: &ClusterView<'_>, id: ServerId, net: &dyn NetworkCost) -> (u8, f64, usize, u32) {
     let needs_wake = u8::from(!view.has_free_core(id));
     (needs_wake, net.wake_cost(id), view.pending(id), id.0)
 }
@@ -319,14 +326,20 @@ mod tests {
         load(&mut servers, ServerId(0), 3);
         load(&mut servers, ServerId(1), 1);
         let mut p = LeastLoaded::new();
-        assert_eq!(p.select(&view(&servers), &ids, &NoNetworkCost), Some(ServerId(2)));
+        assert_eq!(
+            p.select(&view(&servers), &ids, &NoNetworkCost),
+            Some(ServerId(2))
+        );
     }
 
     #[test]
     fn least_loaded_ties_break_low_id() {
         let (servers, ids) = cluster(3);
         let mut p = LeastLoaded::new();
-        assert_eq!(p.select(&view(&servers), &ids, &NoNetworkCost), Some(ServerId(0)));
+        assert_eq!(
+            p.select(&view(&servers), &ids, &NoNetworkCost),
+            Some(ServerId(0))
+        );
     }
 
     #[test]
@@ -335,10 +348,16 @@ mod tests {
         // Server 0 has one of two cores busy: still first choice.
         load(&mut servers, ServerId(0), 1);
         let mut p = PackFirst::new();
-        assert_eq!(p.select(&view(&servers), &ids, &NoNetworkCost), Some(ServerId(0)));
+        assert_eq!(
+            p.select(&view(&servers), &ids, &NoNetworkCost),
+            Some(ServerId(0))
+        );
         // Saturate 0: next free-core server is 1.
         load(&mut servers, ServerId(0), 1);
-        assert_eq!(p.select(&view(&servers), &ids, &NoNetworkCost), Some(ServerId(1)));
+        assert_eq!(
+            p.select(&view(&servers), &ids, &NoNetworkCost),
+            Some(ServerId(1))
+        );
     }
 
     #[test]
@@ -347,7 +366,10 @@ mod tests {
         load(&mut servers, ServerId(0), 4);
         load(&mut servers, ServerId(1), 3);
         let mut p = PackFirst::new();
-        assert_eq!(p.select(&view(&servers), &ids, &NoNetworkCost), Some(ServerId(1)));
+        assert_eq!(
+            p.select(&view(&servers), &ids, &NoNetworkCost),
+            Some(ServerId(1))
+        );
     }
 
     #[test]

@@ -79,7 +79,14 @@ impl PoolManager {
         assert!(t_sleep < t_wakeup, "T_sleep must be below T_wakeup");
         let active: BTreeSet<ServerId> = servers[..initial_active].iter().copied().collect();
         let sleeping: BTreeSet<ServerId> = servers[initial_active..].iter().copied().collect();
-        PoolManager { active, sleeping, t_wakeup, t_sleep, sleep_pool_tau, min_active: 1 }
+        PoolManager {
+            active,
+            sleeping,
+            t_wakeup,
+            t_sleep,
+            sleep_pool_tau,
+            min_active: 1,
+        }
     }
 
     /// The active pool (dispatch targets), ascending by id.

@@ -40,9 +40,16 @@ impl ProvisioningController {
     /// Panics if `min_load >= max_load`, either is negative, or
     /// `total_servers == 0`.
     pub fn new(min_load: f64, max_load: f64, total_servers: usize) -> Self {
-        assert!(min_load >= 0.0 && max_load > min_load, "thresholds must satisfy 0 <= min < max");
+        assert!(
+            min_load >= 0.0 && max_load > min_load,
+            "thresholds must satisfy 0 <= min < max"
+        );
         assert!(total_servers > 0, "need at least one server");
-        ProvisioningController { min_load, max_load, total_servers }
+        ProvisioningController {
+            min_load,
+            max_load,
+            total_servers,
+        }
     }
 
     /// Decides on a sample of `total_pending` tasks across `active` servers.
@@ -104,7 +111,10 @@ mod tests {
             }
         }
         let per = 120.0 / active as f64;
-        assert!((2.0..=6.0).contains(&per), "load per server {per} with {active} active");
+        assert!(
+            (2.0..=6.0).contains(&per),
+            "load per server {per} with {active} active"
+        );
     }
 
     #[test]

@@ -28,9 +28,7 @@ pub mod server;
 pub mod task;
 
 pub use policy::{DeepState, IdleDescent, SleepPolicy};
-pub use server::{
-    Band, Effect, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode,
-};
+pub use server::{Band, Effect, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode};
 pub use task::TaskHandle;
 
 /// Convenience re-exports for downstream crates.

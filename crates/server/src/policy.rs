@@ -56,7 +56,10 @@ pub struct SleepPolicy {
 impl SleepPolicy {
     /// The Active-Idle baseline: never sleep.
     pub fn active_idle() -> Self {
-        SleepPolicy { idle_descent: IdleDescent::StayIdle, deep_after: None }
+        SleepPolicy {
+            idle_descent: IdleDescent::StayIdle,
+            deep_after: None,
+        }
     }
 
     /// A single delay timer: idle for `tau`, then suspend to RAM.
@@ -69,7 +72,10 @@ impl SleepPolicy {
 
     /// WASP-style shallow-only policy (active pool).
     pub fn shallow_only() -> Self {
-        SleepPolicy { idle_descent: IdleDescent::ShallowSleep, deep_after: None }
+        SleepPolicy {
+            idle_descent: IdleDescent::ShallowSleep,
+            deep_after: None,
+        }
     }
 
     /// WASP-style sleep-pool policy: shallow immediately, deep after `tau`.
@@ -94,14 +100,22 @@ mod tests {
     #[test]
     fn constructors_map_to_paper_strategies() {
         assert_eq!(SleepPolicy::active_idle().deep_after, None);
-        assert_eq!(SleepPolicy::active_idle().idle_descent, IdleDescent::StayIdle);
+        assert_eq!(
+            SleepPolicy::active_idle().idle_descent,
+            IdleDescent::StayIdle
+        );
         let dt = SleepPolicy::delay_timer(SimDuration::from_secs(1));
         assert_eq!(
             dt.deep_after,
             Some((SimDuration::from_secs(1), DeepState::SuspendToRam))
         );
-        assert_eq!(SleepPolicy::shallow_only().idle_descent, IdleDescent::ShallowSleep);
-        assert!(SleepPolicy::shallow_then_deep(SimDuration::from_secs(2)).deep_after.is_some());
+        assert_eq!(
+            SleepPolicy::shallow_only().idle_descent,
+            IdleDescent::ShallowSleep
+        );
+        assert!(SleepPolicy::shallow_then_deep(SimDuration::from_secs(2))
+            .deep_after
+            .is_some());
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl ServerMode {
     /// `true` in any state that can accept a dispatch without a system-level
     /// transition.
     pub fn is_awake(self) -> bool {
-        matches!(self, ServerMode::Active | ServerMode::Idle | ServerMode::ShallowSleep)
+        matches!(
+            self,
+            ServerMode::Active | ServerMode::Idle | ServerMode::ShallowSleep
+        )
     }
 
     /// The residency band this mode accounts under (Fig. 8's five bands).
@@ -164,7 +167,11 @@ impl ServerConfig {
     /// Panics if `sockets` is zero or does not divide the core count.
     pub fn with_sockets(mut self, sockets: u32) -> Self {
         assert!(sockets > 0, "need at least one socket");
-        assert_eq!(self.cores % sockets, 0, "cores must split evenly over sockets");
+        assert_eq!(
+            self.cores % sockets,
+            0,
+            "cores must split evenly over sockets"
+        );
         self.sockets = sockets;
         self
     }
@@ -178,7 +185,10 @@ impl ServerConfig {
     /// strictly positive.
     pub fn with_core_speeds(mut self, speeds: Vec<f64>) -> Self {
         assert_eq!(speeds.len(), self.cores as usize, "one speed per core");
-        assert!(speeds.iter().all(|&s| s > 0.0), "core speeds must be positive");
+        assert!(
+            speeds.iter().all(|&s| s > 0.0),
+            "core speeds must be positive"
+        );
         self.core_speeds = speeds;
         self
     }
@@ -485,7 +495,11 @@ impl Server {
         if let Some(next) = self.queues.pop_for(core) {
             let completes_in = next.execution_time(self.speed_ratio() * self.core_speed(core));
             self.running[core as usize] = Some(next);
-            effects.push(Effect::TaskStarted { core, id: next.id, completes_in });
+            effects.push(Effect::TaskStarted {
+                core,
+                id: next.id,
+                completes_in,
+            });
         } else if self.busy_cores() == 0 && self.queue_len() == 0 {
             self.descend_idle(now, &mut effects);
         }
@@ -499,9 +513,7 @@ impl Server {
         if gen != self.timer_gen {
             return effects; // stale: activity intervened
         }
-        if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep)
-            && self.pending() == 0
-        {
+        if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep) && self.pending() == 0 {
             if let Some((_, deep)) = self.cfg.policy.deep_after {
                 self.begin_suspend(now, deep, &mut effects);
             }
@@ -571,8 +583,7 @@ impl Server {
     pub fn set_policy(&mut self, now: SimTime, policy: SleepPolicy) -> Vec<Effect> {
         self.cfg.policy = policy;
         let mut effects = Vec::new();
-        if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep) && self.pending() == 0
-        {
+        if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep) && self.pending() == 0 {
             self.timer_gen += 1;
             self.descend_idle(now, &mut effects);
         }
@@ -586,7 +597,10 @@ impl Server {
     ///
     /// Panics if `pstate` is out of range for the profile.
     pub fn set_pstate(&mut self, now: SimTime, pstate: usize) {
-        assert!(pstate < self.cfg.profile.pstates.len(), "P-state out of range");
+        assert!(
+            pstate < self.cfg.profile.pstates.len(),
+            "P-state out of range"
+        );
         self.cfg.pstate = pstate;
         self.refresh_power(now);
     }
@@ -636,7 +650,11 @@ impl Server {
             };
             let completes_in = pad + task.execution_time(speed * self.core_speed(core));
             self.running[core as usize] = Some(task);
-            effects.push(Effect::TaskStarted { core, id: task.id, completes_in });
+            effects.push(Effect::TaskStarted {
+                core,
+                id: task.id,
+                completes_in,
+            });
             dispatched = true;
         }
         if dispatched {
@@ -656,7 +674,10 @@ impl Server {
                 let (_, deep) = self.cfg.policy.deep_after.expect("checked above");
                 self.begin_suspend(now, deep, effects);
             } else {
-                effects.push(Effect::ArmTimer { after: tau, gen: self.timer_gen });
+                effects.push(Effect::ArmTimer {
+                    after: tau,
+                    gen: self.timer_gen,
+                });
             }
         }
     }
@@ -715,7 +736,11 @@ impl Server {
                         })
                         .sum()
                 };
-                let dram = if busy > 0.0 { p.dram.active_w } else { p.dram.idle_w };
+                let dram = if busy > 0.0 {
+                    p.dram.active_w
+                } else {
+                    p.dram.idle_w
+                };
                 // Per-socket uncore: a socket with no busy core drops into
                 // the shallow package sleep autonomously while the rest of
                 // the server keeps working. (Idle mode keeps socket 0's
@@ -740,7 +765,12 @@ impl Server {
                         }
                     })
                     .sum();
-                (busy_power + (n - busy) * idle_w, pkg_power, dram, p.platform.s0_w)
+                (
+                    busy_power + (n - busy) * idle_w,
+                    pkg_power,
+                    dram,
+                    p.platform.s0_w,
+                )
             }
             ServerMode::ShallowSleep => (
                 n * p.core.idle_power_w(CoreCState::C6),
@@ -784,10 +814,18 @@ mod tests {
         let mut s = active_idle_server(2);
         let fx = s.submit(SimTime::ZERO, th(1, 10));
         assert_eq!(fx.len(), 1);
-        let Effect::TaskStarted { core, completes_in, .. } = fx[0] else { panic!() };
+        let Effect::TaskStarted {
+            core, completes_in, ..
+        } = fx[0]
+        else {
+            panic!()
+        };
         assert_eq!(core, 0);
         // 10 ms + C1 wake (2 µs).
-        assert_eq!(completes_in, SimDuration::from_millis(10) + SimDuration::from_micros(2));
+        assert_eq!(
+            completes_in,
+            SimDuration::from_millis(10) + SimDuration::from_micros(2)
+        );
         assert_eq!(s.mode(), ServerMode::Active);
         assert_eq!(s.busy_cores(), 1);
     }
@@ -818,16 +856,20 @@ mod tests {
 
     #[test]
     fn delay_timer_descends_to_deep_sleep() {
-        let cfg = ServerConfig::new(1)
-            .with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
+        let cfg =
+            ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 10));
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        let [Effect::ArmTimer { after, gen }] = fx[..] else { panic!("{fx:?}") };
+        let [Effect::ArmTimer { after, gen }] = fx[..] else {
+            panic!("{fx:?}")
+        };
         assert_eq!(after, SimDuration::from_secs(1));
         let t_fire = SimTime::from_millis(1_010);
         let fx = s.timer_fired(t_fire, gen);
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!("{fx:?}") };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!("{fx:?}")
+        };
         assert_eq!(after, SimDuration::from_millis(500)); // suspend latency
         assert!(matches!(s.mode(), ServerMode::Suspending(SystemState::S3)));
         let fx = s.transition_done(t_fire + after);
@@ -838,12 +880,14 @@ mod tests {
 
     #[test]
     fn stale_timer_is_ignored() {
-        let cfg = ServerConfig::new(1)
-            .with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
+        let cfg =
+            ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 10));
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        let [Effect::ArmTimer { gen, .. }] = fx[..] else { panic!() };
+        let [Effect::ArmTimer { gen, .. }] = fx[..] else {
+            panic!()
+        };
         // New work arrives before the timer fires.
         s.submit(SimTime::from_millis(500), th(2, 10));
         let fx = s.timer_fired(SimTime::from_millis(1_010), gen);
@@ -858,15 +902,21 @@ mod tests {
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 10));
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        let [Effect::ArmTimer { gen, .. }] = fx[..] else { panic!() };
+        let [Effect::ArmTimer { gen, .. }] = fx[..] else {
+            panic!()
+        };
         let fx = s.timer_fired(SimTime::from_millis(110), gen);
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!() };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!()
+        };
         let t_asleep = SimTime::from_millis(110) + after;
         s.transition_done(t_asleep);
         // A task arrives while asleep.
         let t_arrive = SimTime::from_secs(10);
         let fx = s.submit(t_arrive, th(2, 10));
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!("{fx:?}") };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!("{fx:?}")
+        };
         assert_eq!(after, SimDuration::from_secs(4)); // resume latency
         assert_eq!(s.mode(), ServerMode::Resuming);
         // Resume completes: queued task dispatches.
@@ -884,14 +934,18 @@ mod tests {
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 10));
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        let [Effect::ArmTimer { gen, .. }] = fx[..] else { panic!() };
+        let [Effect::ArmTimer { gen, .. }] = fx[..] else {
+            panic!()
+        };
         s.timer_fired(SimTime::from_millis(110), gen);
         // Mid-suspend arrival: no new transition event; it queues.
         let fx = s.submit(SimTime::from_millis(200), th(2, 10));
         assert!(fx.is_empty());
         // Suspend finishes at 610 ms → immediately resumes.
         let fx = s.transition_done(SimTime::from_millis(610));
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!("{fx:?}") };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!("{fx:?}")
+        };
         assert_eq!(after, SimDuration::from_secs(4));
         assert_eq!(s.mode(), ServerMode::Resuming);
     }
@@ -902,7 +956,9 @@ mod tests {
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         assert_eq!(s.mode(), ServerMode::ShallowSleep);
         let fx = s.submit(SimTime::ZERO, th(1, 10));
-        let [Effect::TaskStarted { completes_in, .. }] = fx[..] else { panic!() };
+        let [Effect::TaskStarted { completes_in, .. }] = fx[..] else {
+            panic!()
+        };
         // pkg C6 wake (600 µs) + core C6 wake (200 µs) + 10 ms.
         assert_eq!(
             completes_in,
@@ -918,11 +974,15 @@ mod tests {
         let cfg = ServerConfig::new(1).with_policy(SleepPolicy::shallow_only());
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let fx = s.request_deep_sleep(SimTime::from_secs(1), DeepState::SuspendToRam);
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!() };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!()
+        };
         s.transition_done(SimTime::from_secs(1) + after);
         assert_eq!(s.mode(), ServerMode::DeepSleep(SystemState::S3));
         let fx = s.request_wake(SimTime::from_secs(10));
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!() };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!()
+        };
         let fx = s.transition_done(SimTime::from_secs(10) + after);
         assert!(fx.is_empty());
         // No work: descends straight back per policy.
@@ -958,8 +1018,8 @@ mod tests {
     #[test]
     fn power_levels_by_mode() {
         let profile = ServerPowerProfile::xeon_e5_2680();
-        let cfg = ServerConfig::new(10)
-            .with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
+        let cfg =
+            ServerConfig::new(10).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let idle_w = s.power_w();
         assert!(
@@ -971,10 +1031,14 @@ mod tests {
         let one_busy = s.power_w();
         assert!(one_busy > idle_w);
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        let [Effect::ArmTimer { gen, .. }] = fx[..] else { panic!() };
+        let [Effect::ArmTimer { gen, .. }] = fx[..] else {
+            panic!()
+        };
         // Deep sleep power is tiny.
         let fx = s.timer_fired(SimTime::from_secs(2), gen);
-        let [Effect::TransitionDoneIn { after }] = fx[..] else { panic!() };
+        let [Effect::TransitionDoneIn { after }] = fx[..] else {
+            panic!()
+        };
         s.transition_done(SimTime::from_secs(2) + after);
         let sleep_w = s.power_w();
         assert!(
@@ -997,8 +1061,8 @@ mod tests {
 
     #[test]
     fn residency_bands_accumulate() {
-        let cfg = ServerConfig::new(1)
-            .with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
+        let cfg =
+            ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 1_000));
         s.complete(SimTime::from_secs(1), 0);
@@ -1023,19 +1087,24 @@ mod tests {
     fn set_policy_reevaluates_idleness() {
         let mut s = active_idle_server(1);
         assert_eq!(s.mode(), ServerMode::Idle);
-        let fx = s.set_policy(SimTime::from_secs(1), SleepPolicy::shallow_then_deep(SimDuration::from_secs(5)));
+        let fx = s.set_policy(
+            SimTime::from_secs(1),
+            SleepPolicy::shallow_then_deep(SimDuration::from_secs(5)),
+        );
         assert_eq!(s.mode(), ServerMode::ShallowSleep);
         assert!(matches!(fx[..], [Effect::ArmTimer { .. }]));
     }
 
     #[test]
     fn zero_tau_descends_immediately() {
-        let cfg = ServerConfig::new(1)
-            .with_policy(SleepPolicy::delay_timer(SimDuration::ZERO));
+        let cfg = ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::ZERO));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         s.submit(SimTime::ZERO, th(1, 10));
         let (_, fx) = s.complete(SimTime::from_millis(10), 0);
-        assert!(matches!(fx[..], [Effect::TransitionDoneIn { .. }]), "{fx:?}");
+        assert!(
+            matches!(fx[..], [Effect::TransitionDoneIn { .. }]),
+            "{fx:?}"
+        );
         assert!(matches!(s.mode(), ServerMode::Suspending(_)));
     }
 
@@ -1052,7 +1121,12 @@ mod tests {
         let cfg = ServerConfig::new(2).with_core_speeds(vec![0.5, 2.0]);
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let fx = s.submit(SimTime::ZERO, th(1, 10));
-        let [Effect::TaskStarted { core, completes_in, .. }] = fx[..] else { panic!() };
+        let [Effect::TaskStarted {
+            core, completes_in, ..
+        }] = fx[..]
+        else {
+            panic!()
+        };
         assert_eq!(core, 1);
         // 10 ms at 2x speed = 5 ms (+ C1 wake pad).
         assert_eq!(
@@ -1061,7 +1135,12 @@ mod tests {
         );
         // Second task lands on the little core and runs 2x slower.
         let fx = s.submit(SimTime::ZERO, th(2, 10));
-        let [Effect::TaskStarted { core, completes_in, .. }] = fx[..] else { panic!() };
+        let [Effect::TaskStarted {
+            core, completes_in, ..
+        }] = fx[..]
+        else {
+            panic!()
+        };
         assert_eq!(core, 0);
         assert_eq!(completes_in, SimDuration::from_millis(20));
     }
@@ -1077,11 +1156,20 @@ mod tests {
         s.submit(SimTime::ZERO, th(2, 10)); // little core: 1x busy power
         let both = s.power_w() - idle;
         let busy_w = profile.core.c0_busy_w;
-        let idle_c1 = profile.core.idle_power_w(holdcsim_power::states::CoreCState::C1);
+        let idle_c1 = profile
+            .core
+            .idle_power_w(holdcsim_power::states::CoreCState::C1);
         // First dispatch adds 4*busy - c1 idle + DRAM step.
         let dram_step = profile.dram.active_w - profile.dram.idle_w;
-        assert!((big - (4.0 * busy_w - idle_c1 + dram_step)).abs() < 1e-9, "big {big}");
-        assert!(((both - big) - (busy_w - idle_c1)).abs() < 1e-9, "delta {}", both - big);
+        assert!(
+            (big - (4.0 * busy_w - idle_c1 + dram_step)).abs() < 1e-9,
+            "big {big}"
+        );
+        assert!(
+            ((both - big) - (busy_w - idle_c1)).abs() < 1e-9,
+            "delta {}",
+            both - big
+        );
     }
 
     #[test]
@@ -1135,7 +1223,11 @@ mod tests {
             + profile.dram.idle_w
             + 2.0 * profile.package.pc6_w
             + 4.0 * profile.core.c6_w;
-        assert!((s.power_w() - expected).abs() < 1e-9, "power {}", s.power_w());
+        assert!(
+            (s.power_w() - expected).abs() < 1e-9,
+            "power {}",
+            s.power_w()
+        );
     }
 
     #[test]

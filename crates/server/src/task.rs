@@ -18,7 +18,11 @@ pub struct TaskHandle {
 impl TaskHandle {
     /// Creates a fully compute-bound task handle.
     pub fn new(id: TaskId, service: SimDuration) -> Self {
-        TaskHandle { id, service, intensity: 1.0 }
+        TaskHandle {
+            id,
+            service,
+            intensity: 1.0,
+        }
     }
 
     /// Execution time at `speed_ratio` (relative to nominal frequency):
@@ -49,21 +53,39 @@ mod tests {
 
     #[test]
     fn nominal_speed_is_identity() {
-        assert_eq!(task(10, 1.0).execution_time(1.0), SimDuration::from_millis(10));
-        assert_eq!(task(10, 0.3).execution_time(1.0), SimDuration::from_millis(10));
+        assert_eq!(
+            task(10, 1.0).execution_time(1.0),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            task(10, 0.3).execution_time(1.0),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
     fn compute_bound_scales_inversely_with_speed() {
-        assert_eq!(task(10, 1.0).execution_time(0.5), SimDuration::from_millis(20));
-        assert_eq!(task(10, 1.0).execution_time(2.0), SimDuration::from_millis(5));
+        assert_eq!(
+            task(10, 1.0).execution_time(0.5),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            task(10, 1.0).execution_time(2.0),
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]
     fn memory_bound_fraction_does_not_scale() {
         // α = 0.5 at half speed: 10 * (0.5/0.5 + 0.5) = 15 ms.
-        assert_eq!(task(10, 0.5).execution_time(0.5), SimDuration::from_millis(15));
+        assert_eq!(
+            task(10, 0.5).execution_time(0.5),
+            SimDuration::from_millis(15)
+        );
         // α = 0 never scales.
-        assert_eq!(task(10, 0.0).execution_time(0.25), SimDuration::from_millis(10));
+        assert_eq!(
+            task(10, 0.0).execution_time(0.25),
+            SimDuration::from_millis(10)
+        );
     }
 }

@@ -45,7 +45,10 @@ impl PoissonArrivals {
     ///
     /// Panics if `rate` is not strictly positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
         PoissonArrivals { rate }
     }
 
@@ -217,7 +220,11 @@ impl TraceArrivals {
     /// jobs in the same instant).
     pub fn new(mut times: Vec<SimTime>) -> Self {
         times.sort_unstable();
-        TraceArrivals { times, next: 0, last: SimTime::ZERO }
+        TraceArrivals {
+            times,
+            next: 0,
+            last: SimTime::ZERO,
+        }
     }
 
     /// Number of arrivals remaining.
@@ -277,12 +284,7 @@ mod tests {
     #[test]
     fn rate_for_utilization_matches_paper_formula() {
         // rho = lambda/(mu*nServers*nCores)
-        let lambda = PoissonArrivals::rate_for_utilization(
-            0.3,
-            50,
-            4,
-            SimDuration::from_millis(5),
-        );
+        let lambda = PoissonArrivals::rate_for_utilization(0.3, 50, 4, SimDuration::from_millis(5));
         assert!((lambda - 0.3 * 200.0 * 200.0).abs() < 1e-9); // mu=200/s
     }
 
@@ -338,9 +340,7 @@ mod tests {
 
     #[test]
     fn trace_mean_rate() {
-        let t = TraceArrivals::new(
-            (0..=10).map(SimTime::from_secs).collect(),
-        );
+        let t = TraceArrivals::new((0..=10).map(SimTime::from_secs).collect());
         assert_eq!(t.mean_rate(), Some(1.0));
         assert_eq!(TraceArrivals::new(vec![]).mean_rate(), None);
     }

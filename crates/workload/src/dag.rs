@@ -23,7 +23,11 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// A fully compute-bound task with no placement constraint.
     pub fn compute(service: SimDuration) -> Self {
-        TaskSpec { service, intensity: 1.0, server_class: None }
+        TaskSpec {
+            service,
+            intensity: 1.0,
+            server_class: None,
+        }
     }
 }
 
@@ -109,7 +113,10 @@ pub struct JobDag {
 impl JobDag {
     /// Starts building a DAG.
     pub fn builder() -> JobDagBuilder {
-        JobDagBuilder { tasks: Vec::new(), edges: Vec::new() }
+        JobDagBuilder {
+            tasks: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// A single-task job (the common case for Fig. 4/5/6 studies).
@@ -245,7 +252,9 @@ impl JobDagBuilder {
         let mut predecessors = vec![Vec::new(); n];
         for e in &self.edges {
             if e.from as usize >= n || e.to as usize >= n {
-                return Err(BuildDagError::EdgeOutOfRange { edge: (e.from, e.to) });
+                return Err(BuildDagError::EdgeOutOfRange {
+                    edge: (e.from, e.to),
+                });
             }
             if e.from == e.to {
                 return Err(BuildDagError::SelfLoop { task: e.from });
@@ -350,13 +359,21 @@ mod tests {
 
     #[test]
     fn self_loop_is_rejected() {
-        let err = JobDag::builder().task(t(1)).edge(0, 0, 0).build().unwrap_err();
+        let err = JobDag::builder()
+            .task(t(1))
+            .edge(0, 0, 0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, BuildDagError::SelfLoop { task: 0 });
     }
 
     #[test]
     fn out_of_range_edge_is_rejected() {
-        let err = JobDag::builder().task(t(1)).edge(0, 5, 0).build().unwrap_err();
+        let err = JobDag::builder()
+            .task(t(1))
+            .edge(0, 5, 0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, BuildDagError::EdgeOutOfRange { edge: (0, 5) });
     }
 
@@ -379,6 +396,9 @@ mod tests {
 
     #[test]
     fn error_display_is_lowercase_prose() {
-        assert_eq!(BuildDagError::Cyclic.to_string(), "task dependencies form a cycle");
+        assert_eq!(
+            BuildDagError::Cyclic.to_string(),
+            "task dependencies form a cycle"
+        );
     }
 }

@@ -29,12 +29,12 @@ impl WorkloadPreset {
     /// The service-time distribution for this preset.
     pub fn service_dist(self) -> ServiceDist {
         match self {
-            WorkloadPreset::WebSearch => {
-                ServiceDist::Exponential { mean: SimDuration::from_millis(5) }
-            }
-            WorkloadPreset::WebServing => {
-                ServiceDist::Exponential { mean: SimDuration::from_millis(120) }
-            }
+            WorkloadPreset::WebSearch => ServiceDist::Exponential {
+                mean: SimDuration::from_millis(5),
+            },
+            WorkloadPreset::WebServing => ServiceDist::Exponential {
+                mean: SimDuration::from_millis(120),
+            },
             WorkloadPreset::Provisioning => ServiceDist::Uniform {
                 lo: SimDuration::from_millis(3),
                 hi: SimDuration::from_millis(10),
@@ -70,8 +70,14 @@ mod tests {
 
     #[test]
     fn preset_means_match_paper() {
-        assert_eq!(WorkloadPreset::WebSearch.mean_service(), SimDuration::from_millis(5));
-        assert_eq!(WorkloadPreset::WebServing.mean_service(), SimDuration::from_millis(120));
+        assert_eq!(
+            WorkloadPreset::WebSearch.mean_service(),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            WorkloadPreset::WebServing.mean_service(),
+            SimDuration::from_millis(120)
+        );
     }
 
     #[test]

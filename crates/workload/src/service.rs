@@ -85,7 +85,10 @@ mod tests {
 
     fn sample_mean(d: &ServiceDist, n: usize) -> f64 {
         let mut rng = SimRng::seed_from(42);
-        (0..n).map(|_| d.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| d.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -97,7 +100,9 @@ mod tests {
 
     #[test]
     fn exponential_mean_converges() {
-        let d = ServiceDist::Exponential { mean: SimDuration::from_millis(5) };
+        let d = ServiceDist::Exponential {
+            mean: SimDuration::from_millis(5),
+        };
         let m = sample_mean(&d, 100_000);
         assert!((m - 0.005).abs() < 0.0002, "mean {m}");
     }
@@ -118,9 +123,15 @@ mod tests {
 
     #[test]
     fn lognormal_mean_formula() {
-        let d = ServiceDist::LogNormal { median: SimDuration::from_millis(10), sigma: 0.5 };
+        let d = ServiceDist::LogNormal {
+            median: SimDuration::from_millis(10),
+            sigma: 0.5,
+        };
         let analytic = d.mean().as_secs_f64();
         let empirical = sample_mean(&d, 200_000);
-        assert!((empirical - analytic).abs() / analytic < 0.02, "{empirical} vs {analytic}");
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "{empirical} vs {analytic}"
+        );
     }
 }

@@ -77,12 +77,19 @@ pub enum JobTemplate {
 impl JobTemplate {
     /// A single-task, fully compute-bound template.
     pub fn single(service: ServiceDist) -> Self {
-        JobTemplate::SingleTask { service, intensity: 1.0 }
+        JobTemplate::SingleTask {
+            service,
+            intensity: 1.0,
+        }
     }
 
     /// A two-tier web-request template.
     pub fn two_tier(app: ServiceDist, db: ServiceDist, transfer_bytes: u64) -> Self {
-        JobTemplate::TwoTier { app, db, transfer_bytes }
+        JobTemplate::TwoTier {
+            app,
+            db,
+            transfer_bytes,
+        }
     }
 
     /// Stamps out one job DAG, sampling all service times.
@@ -93,7 +100,11 @@ impl JobTemplate {
                 intensity: *intensity,
                 server_class: None,
             }),
-            JobTemplate::TwoTier { app, db, transfer_bytes } => JobDag::builder()
+            JobTemplate::TwoTier {
+                app,
+                db,
+                transfer_bytes,
+            } => JobDag::builder()
                 .task(TaskSpec {
                     service: app.sample(rng),
                     intensity: 1.0,
@@ -107,7 +118,13 @@ impl JobTemplate {
                 .edge(0, 1, *transfer_bytes)
                 .build()
                 .expect("two-tier template is statically acyclic"),
-            JobTemplate::FanOutFanIn { root, leaf, agg, width, transfer_bytes } => {
+            JobTemplate::FanOutFanIn {
+                root,
+                leaf,
+                agg,
+                width,
+                transfer_bytes,
+            } => {
                 let width = (*width).max(1);
                 let mut b = JobDag::builder().task(TaskSpec::compute(root.sample(rng)));
                 for i in 0..width {
@@ -122,7 +139,12 @@ impl JobTemplate {
                 }
                 b.build().expect("fan-out template is statically acyclic")
             }
-            JobTemplate::RandomDag { service, layers, max_width, transfer_bytes } => {
+            JobTemplate::RandomDag {
+                service,
+                layers,
+                max_width,
+                transfer_bytes,
+            } => {
                 let layers = (*layers).max(1);
                 let max_width = (*max_width).max(1);
                 let mut b = JobDag::builder();
@@ -148,7 +170,8 @@ impl JobTemplate {
                     }
                     layer_tasks.push(this_layer);
                 }
-                b.build().expect("layered random DAG is acyclic by construction")
+                b.build()
+                    .expect("layered random DAG is acyclic by construction")
             }
         }
     }
@@ -159,13 +182,21 @@ impl JobTemplate {
         match self {
             JobTemplate::SingleTask { service, .. } => service.mean(),
             JobTemplate::TwoTier { app, db, .. } => app.mean() + db.mean(),
-            JobTemplate::FanOutFanIn { root, leaf, agg, width, .. } => {
-                root.mean() + leaf.mean() * (*width).max(1) as u64 + agg.mean()
-            }
-            JobTemplate::RandomDag { service, layers, max_width, .. } => {
+            JobTemplate::FanOutFanIn {
+                root,
+                leaf,
+                agg,
+                width,
+                ..
+            } => root.mean() + leaf.mean() * (*width).max(1) as u64 + agg.mean(),
+            JobTemplate::RandomDag {
+                service,
+                layers,
+                max_width,
+                ..
+            } => {
                 // Expected width = (1 + max_width)/2.
-                let exp_tasks =
-                    (*layers).max(1) as f64 * (1.0 + (*max_width).max(1) as f64) / 2.0;
+                let exp_tasks = (*layers).max(1) as f64 * (1.0 + (*max_width).max(1) as f64) / 2.0;
                 service.mean().mul_f64(exp_tasks)
             }
         }
@@ -242,7 +273,9 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let tmpl = JobTemplate::RandomDag {
-            service: ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
+            service: ServiceDist::Exponential {
+                mean: SimDuration::from_millis(5),
+            },
             layers: 3,
             max_width: 4,
             transfer_bytes: 7,

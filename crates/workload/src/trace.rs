@@ -54,7 +54,8 @@ impl SyntheticTrace {
         let week = day * 7;
         let noise_amp = 0.08;
         let rate = |t: f64| -> f64 {
-            let daily = 1.0 + diurnal_amplitude * (std::f64::consts::TAU * t / day.as_secs_f64()).sin();
+            let daily =
+                1.0 + diurnal_amplitude * (std::f64::consts::TAU * t / day.as_secs_f64()).sin();
             let weekly = 1.0 + 0.15 * (std::f64::consts::TAU * t / week.as_secs_f64()).sin();
             base_rate * daily * weekly
         };
@@ -166,13 +167,8 @@ mod tests {
     fn wikipedia_like_shows_diurnal_swing() {
         let mut rng = SimRng::seed_from(2);
         let day = SimDuration::from_secs(1_000);
-        let times = SyntheticTrace::wikipedia_like(
-            SimDuration::from_secs(1_000),
-            50.0,
-            0.8,
-            day,
-            &mut rng,
-        );
+        let times =
+            SyntheticTrace::wikipedia_like(SimDuration::from_secs(1_000), 50.0, 0.8, day, &mut rng);
         // First quarter of the "day" is the sinusoid's rising peak; third
         // quarter is the trough.
         let peak = times
@@ -212,7 +208,10 @@ mod tests {
     #[test]
     fn from_text_skips_comments_and_blanks() {
         let parsed = from_text("# header\n\n0.5\n 1.5 \n").unwrap();
-        assert_eq!(parsed, vec![SimTime::from_millis(500), SimTime::from_millis(1500)]);
+        assert_eq!(
+            parsed,
+            vec![SimTime::from_millis(500), SimTime::from_millis(1500)]
+        );
     }
 
     #[test]

@@ -13,8 +13,12 @@ fn main() {
     // Two-tier web requests: app task, then a DB task fed by a 10 MB flow
     // (~8 ms on 10 GbE, a visible but non-saturating latency component).
     let template = JobTemplate::two_tier(
-        ServiceDist::Exponential { mean: SimDuration::from_millis(200) },
-        ServiceDist::Exponential { mean: SimDuration::from_millis(300) },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(200),
+        },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(300),
+        },
         10_000_000,
     );
 

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .with_policy(PolicyKind::PackFirst)
     .with_sleep_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
     cfg.arrivals = ArrivalConfig::Trace(parsed);
-    cfg.controller = Some(ControllerConfig::Provisioning { min_load: 1.0, max_load: 3.0 });
+    cfg.controller = Some(ControllerConfig::Provisioning {
+        min_load: 1.0,
+        max_load: 3.0,
+    });
 
     let report = Simulation::new(cfg).run();
     print!("{}", report.summary());
@@ -46,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .copied()
         .fold(f64::MAX, f64::min);
-    let max = report.series.active_servers.iter().copied().fold(0.0, f64::max);
+    let max = report
+        .series
+        .active_servers
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
     println!("active servers tracked the diurnal load: {min:.0}..{max:.0} of 20");
     Ok(())
 }

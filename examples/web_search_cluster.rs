@@ -35,12 +35,13 @@ fn main() {
         .with_policy(PolicyKind::PackFirst)
     };
 
-    println!(
-        "== web-search cluster: {servers} x {cores}-core @ rho={rho}, {horizon} ==",
-    );
+    println!("== web-search cluster: {servers} x {cores}-core @ rho={rho}, {horizon} ==",);
 
     // Baseline: servers never sleep.
-    run("active-idle", base().with_sleep_policy(SleepPolicy::active_idle()));
+    run(
+        "active-idle",
+        base().with_sleep_policy(SleepPolicy::active_idle()),
+    );
 
     // Single delay timer: idle 400 ms, then suspend to RAM.
     run(

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: whole simulations exercised through the
 //! public API, asserting physical and queueing-theoretic invariants.
 
-use holdcsim::prelude::*;
 use holdcsim::config::ArrivalConfig;
+use holdcsim::prelude::*;
 
 fn farm(servers: usize, cores: u32, rho: f64, secs: u64) -> SimConfig {
     SimConfig::server_farm(
@@ -50,11 +50,13 @@ fn energy_equals_power_integral() {
     let cfg = farm(4, 4, 0.3, 60);
     let profile = cfg.server_profile.clone();
     let report = Simulation::new(cfg).run();
-    let idle_floor =
-        4.0 * profile.idle_power_w(4, holdcsim_power::states::CoreCState::C1) * 60.0;
+    let idle_floor = 4.0 * profile.idle_power_w(4, holdcsim_power::states::CoreCState::C1) * 60.0;
     let peak_cap = 4.0 * profile.peak_power_w(4) * 60.0;
     let e = report.server_energy_j();
-    assert!(e >= idle_floor * 0.99, "energy {e} below idle floor {idle_floor}");
+    assert!(
+        e >= idle_floor * 0.99,
+        "energy {e} below idle floor {idle_floor}"
+    );
     assert!(e <= peak_cap * 1.01, "energy {e} above peak cap {peak_cap}");
 }
 
@@ -149,7 +151,12 @@ fn dvfs_slows_execution_and_cuts_core_power() {
         Effect::TaskStarted { completes_in, .. } => completes_in,
         _ => panic!(),
     };
-    assert!(d(&fx_slow) > d(&fx_fast) * 2, "slow {} fast {}", d(&fx_slow), d(&fx_fast));
+    assert!(
+        d(&fx_slow) > d(&fx_fast) * 2,
+        "slow {} fast {}",
+        d(&fx_slow),
+        d(&fx_fast)
+    );
     assert!(slow.power_w() < fast.power_w());
 }
 

@@ -37,13 +37,22 @@ fn flow_mode_completes_all_dag_jobs() {
 
 #[test]
 fn packet_mode_completes_all_dag_jobs() {
-    let report = Simulation::new(
-        dag_cfg(CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 }, 150_000, 100, 30),
-    )
+    let report = Simulation::new(dag_cfg(
+        CommModel::Packet {
+            mtu: 1_500,
+            buffer_bytes: 1 << 20,
+        },
+        150_000,
+        100,
+        30,
+    ))
     .run();
     assert_eq!(report.jobs_completed, 100);
     let net = report.network.expect("network simulated");
-    assert!(net.packets_forwarded > 100 * 100, "too few packets forwarded");
+    assert!(
+        net.packets_forwarded > 100 * 100,
+        "too few packets forwarded"
+    );
 }
 
 #[test]
@@ -73,7 +82,13 @@ fn latency_includes_critical_path_and_transfer_floor() {
 fn all_topologies_carry_traffic() {
     for (spec, servers) in [
         (TopologySpec::FatTree { k: 4 }, 16),
-        (TopologySpec::FlattenedButterfly { k: 2, hosts_per_switch: 4 }, 16),
+        (
+            TopologySpec::FlattenedButterfly {
+                k: 2,
+                hosts_per_switch: 4,
+            },
+            16,
+        ),
         (TopologySpec::BCube { n: 4, levels: 1 }, 16),
         (TopologySpec::CamCube { x: 2, y: 2, z: 4 }, 16),
         (TopologySpec::Star, 16),
@@ -95,8 +110,16 @@ fn lpi_reduces_switch_energy_on_idle_network() {
     with_lpi.network.as_mut().expect("net").lpi_hold = Some(SimDuration::from_millis(10));
     let mut without = dag_cfg(CommModel::Flow, 100_000, 20, 30);
     without.network.as_mut().expect("net").lpi_hold = None;
-    let e_lpi = Simulation::new(with_lpi).run().network.expect("net").switch_energy_j;
-    let e_raw = Simulation::new(without).run().network.expect("net").switch_energy_j;
+    let e_lpi = Simulation::new(with_lpi)
+        .run()
+        .network
+        .expect("net")
+        .switch_energy_j;
+    let e_raw = Simulation::new(without)
+        .run()
+        .network
+        .expect("net")
+        .switch_energy_j;
     assert!(
         e_lpi < e_raw * 0.95,
         "LPI {e_lpi} should undercut always-on {e_raw}"
@@ -123,9 +146,8 @@ fn fan_out_jobs_traverse_network() {
         transfer_bytes: 200_000,
     };
     let mut cfg = SimConfig::server_farm(16, 4, 0.2, template, SimDuration::from_secs(30));
-    cfg.arrivals = ArrivalConfig::Trace(
-        (0..50).map(|i| SimTime::from_millis(1 + i * 100)).collect(),
-    );
+    cfg.arrivals =
+        ArrivalConfig::Trace((0..50).map(|i| SimTime::from_millis(1 + i * 100)).collect());
     cfg.network = Some(NetworkConfig::fat_tree(4));
     let report = Simulation::new(cfg).run();
     assert_eq!(report.jobs_completed, 50);

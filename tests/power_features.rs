@@ -62,7 +62,10 @@ fn heterogeneous_farm_is_slower_when_cores_shrink() {
         het.latency.mean,
         homo.latency.mean
     );
-    assert_eq!(het.jobs_submitted, homo.jobs_submitted, "same seed, same arrivals");
+    assert_eq!(
+        het.jobs_submitted, homo.jobs_submitted,
+        "same seed, same arrivals"
+    );
 }
 
 #[test]
@@ -74,7 +77,11 @@ fn alr_saves_less_than_lpi_but_more_than_nothing() {
         net.lpi_hold = lpi;
         net.use_alr = alr;
         cfg.network = Some(net);
-        Simulation::new(cfg).run().network.expect("net").switch_energy_j
+        Simulation::new(cfg)
+            .run()
+            .network
+            .expect("net")
+            .switch_energy_j
     };
     let none = mk(None, false);
     let alr = mk(Some(SimDuration::from_millis(10)), true);
@@ -118,12 +125,19 @@ fn parked_servers_keep_their_own_timer() {
     cfg.server_count = 8;
     cfg.policy = PolicyKind::PackFirst;
     cfg.sleep_policies = vec![SleepPolicy::delay_timer(SimDuration::from_secs(2))];
-    cfg.controller = Some(ControllerConfig::Provisioning { min_load: 1.0, max_load: 3.0 });
+    cfg.controller = Some(ControllerConfig::Provisioning {
+        min_load: 1.0,
+        max_load: 3.0,
+    });
     let report = Simulation::new(cfg).run();
     let deep: u64 = report.servers.iter().map(|s| s.sleep_counts.0).sum();
     assert!(deep > 0, "parked servers never suspended");
     // Servers that slept spent >= 2 s idle first (their τ), so idle
     // residency is nonzero on any sleeping server.
-    let slept = report.servers.iter().find(|s| s.sleep_counts.0 > 0).expect("some slept");
+    let slept = report
+        .servers
+        .iter()
+        .find(|s| s.sleep_counts.0 > 0)
+        .expect("some slept");
     assert!(slept.residency.2 > 0.0, "no idle residency before sleep");
 }

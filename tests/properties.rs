@@ -1,9 +1,11 @@
-//! Property-based tests on the core data structures and invariants,
-//! spanning crates (proptest).
-
-use proptest::prelude::*;
+//! Property-style tests on the core data structures and invariants,
+//! spanning crates. Cases are generated with the kernel's own
+//! deterministic [`SimRng`] rather than an external property-testing
+//! crate, so the workspace stays dependency-free and every failure is
+//! reproducible from the fixed seed.
 
 use holdcsim_des::queue::EventQueue;
+use holdcsim_des::rng::SimRng;
 use holdcsim_des::stats::{SampleSet, Tally, TimeWeighted};
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::flow::FlowNet;
@@ -12,76 +14,94 @@ use holdcsim_network::routing::Router;
 use holdcsim_network::topologies::{fat_tree, star, LinkSpec};
 use holdcsim_workload::dag::{JobDag, TaskSpec};
 
-proptest! {
-    /// The event calendar pops in nondecreasing time order and FIFO within
-    /// a timestamp, regardless of push order.
-    #[test]
-    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+const CASES: usize = 64;
+
+/// The event calendar pops in nondecreasing time order and FIFO within a
+/// timestamp, regardless of push order.
+#[test]
+fn queue_pops_sorted() {
+    let mut rng = SimRng::seed_from(0xC0FFEE);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(200) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_nanos(t), i);
+        for i in 0..n {
+            q.push(SimTime::from_nanos(rng.below(1_000)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated within a timestamp");
+                    assert!(i > li, "FIFO violated within a timestamp");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn queue_cancellation_is_exact(
-        n in 1usize..100,
-        cancel_mask in prop::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn queue_cancellation_is_exact() {
+    let mut rng = SimRng::seed_from(0xCA4CE1);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(100) as usize;
         let mut q = EventQueue::new();
-        let tokens: Vec<_> = (0..n).map(|i| q.push(SimTime::from_nanos(i as u64), i)).collect();
+        let tokens: Vec<_> = (0..n)
+            .map(|i| q.push(SimTime::from_nanos(i as u64), i))
+            .collect();
         let mut expect: Vec<usize> = Vec::new();
         for (i, tok) in tokens.iter().enumerate() {
-            if cancel_mask[i] {
+            if rng.chance(0.5) {
                 q.cancel(*tok);
             } else {
                 expect.push(i);
             }
         }
         let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Welford tally matches the naive two-pass computation.
-    #[test]
-    fn tally_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Welford tally matches the naive two-pass computation.
+#[test]
+fn tally_matches_naive() {
+    let mut rng = SimRng::seed_from(0x7A11);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e6, 1e6)).collect();
         let tally: Tally = xs.iter().copied().collect();
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        prop_assert!((tally.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((tally.population_variance() - var).abs() <= 1e-4 * var.max(1.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((tally.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((tally.population_variance() - var).abs() <= 1e-4 * var.max(1.0));
     }
+}
 
-    /// Time-weighted integral is invariant to splitting an interval with
-    /// redundant set() calls.
-    #[test]
-    fn timeweighted_split_invariance(
-        v in -100f64..100.0,
-        t1 in 1u64..1_000,
-        t2 in 1u64..1_000,
-    ) {
+/// Time-weighted integral is invariant to splitting an interval with
+/// redundant set() calls.
+#[test]
+fn timeweighted_split_invariance() {
+    let mut rng = SimRng::seed_from(0x7133);
+    for _ in 0..CASES {
+        let v = rng.uniform_range(-100.0, 100.0);
+        let t1 = 1 + rng.below(1_000);
+        let t2 = 1 + rng.below(1_000);
         let end = SimTime::from_nanos(t1 + t2);
         let plain = TimeWeighted::new(SimTime::ZERO, v);
         let mut split = TimeWeighted::new(SimTime::ZERO, v);
         split.set(SimTime::from_nanos(t1), v);
-        prop_assert!((plain.integral(end) - split.integral(end)).abs() < 1e-9);
+        assert!((plain.integral(end) - split.integral(end)).abs() < 1e-9);
     }
+}
 
-    /// Nearest-rank quantiles are actual observed samples and monotone in q.
-    #[test]
-    fn quantiles_are_samples_and_monotone(xs in prop::collection::vec(0f64..1e3, 1..100)) {
+/// Nearest-rank quantiles are actual observed samples and monotone in q.
+#[test]
+fn quantiles_are_samples_and_monotone() {
+    let mut rng = SimRng::seed_from(0x9A27);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 1e3)).collect();
         let mut s = SampleSet::unbounded();
         for &x in &xs {
             s.record(x);
@@ -89,19 +109,22 @@ proptest! {
         let qs = s.quantiles(&[0.1, 0.5, 0.9, 1.0]);
         let mut prev = f64::NEG_INFINITY;
         for q in qs.into_iter().flatten() {
-            prop_assert!(xs.contains(&q));
-            prop_assert!(q >= prev);
+            assert!(xs.contains(&q));
+            assert!(q >= prev);
             prev = q;
         }
     }
+}
 
-    /// Random layered DAGs from the builder are acyclic with consistent
-    /// adjacency, and the critical path never exceeds total work.
-    #[test]
-    fn dag_invariants(
-        layer_sizes in prop::collection::vec(1u32..4, 1..5),
-        service_ms in 1u64..50,
-    ) {
+/// Random layered DAGs from the builder are acyclic with consistent
+/// adjacency, and the critical path never exceeds total work.
+#[test]
+fn dag_invariants() {
+    let mut rng = SimRng::seed_from(0xDA6);
+    for _ in 0..CASES {
+        let layers_n = 1 + rng.below(4) as usize;
+        let layer_sizes: Vec<u32> = (0..layers_n).map(|_| 1 + rng.below(3) as u32).collect();
+        let service_ms = 1 + rng.below(49);
         let mut b = JobDag::builder();
         let mut idx = 0u32;
         let mut layers: Vec<Vec<u32>> = Vec::new();
@@ -118,50 +141,64 @@ proptest! {
             layers.push(layer);
         }
         let dag = b.build().expect("layered construction is acyclic");
-        prop_assert!(dag.critical_path() <= dag.total_work());
-        prop_assert_eq!(dag.topo_order().len(), dag.len());
-        // Roots have no predecessors; everything else has at least one
-        // or is a layer-0 task.
+        assert!(dag.critical_path() <= dag.total_work());
+        assert_eq!(dag.topo_order().len(), dag.len());
         for &r in dag.roots() {
-            prop_assert!(dag.predecessors(r).is_empty());
+            assert!(dag.predecessors(r).is_empty());
         }
     }
+}
 
-    /// Max-min fair allocation never oversubscribes a link, and the total
-    /// rate of flows through the star's hub is positive when flows exist.
-    #[test]
-    fn flow_rates_respect_capacity(pairs in prop::collection::vec((0u32..6, 0u32..6), 1..20)) {
+/// Max-min fair allocation never oversubscribes a link, and the total
+/// rate of flows through the star's hub is positive when flows exist.
+#[test]
+fn flow_rates_respect_capacity() {
+    let mut rng = SimRng::seed_from(0xF10);
+    for _ in 0..CASES {
         let built = star(6, LinkSpec::gigabit());
         let mut router = Router::new();
         let mut net = FlowNet::new(&built.topology);
         let mut id = 0u64;
-        for (a, b) in pairs {
+        let pairs_n = 1 + rng.below(20) as usize;
+        for _ in 0..pairs_n {
+            let a = rng.below(6) as usize;
+            let b = rng.below(6) as usize;
             if a == b {
                 continue;
             }
-            let (ha, hb) = (built.hosts[a as usize], built.hosts[b as usize]);
-            let route = router.route(&built.topology, ha, hb, id).expect("star connected");
+            let (ha, hb) = (built.hosts[a], built.hosts[b]);
+            let route = router
+                .route(&built.topology, ha, hb, id)
+                .expect("star connected");
             net.add_flow(SimTime::ZERO, FlowId(id), ha, hb, &route.links, 1_000);
             id += 1;
         }
         for l in 0..built.topology.links().len() {
             let u = net.link_utilization(LinkId(l as u32));
-            prop_assert!(u <= 1.0 + 1e-9, "link {} oversubscribed: {}", l, u);
+            assert!(u <= 1.0 + 1e-9, "link {l} oversubscribed: {u}");
         }
     }
+}
 
-    /// ECMP routes in a fat tree are always shortest and loop-free.
-    #[test]
-    fn fat_tree_routes_shortest_loop_free(seed in any::<u64>(), a in 0usize..16, b in 0usize..16) {
-        let built = fat_tree(4, LinkSpec::gigabit());
-        let mut router = Router::new();
+/// ECMP routes in a fat tree are always shortest and loop-free.
+#[test]
+fn fat_tree_routes_shortest_loop_free() {
+    let mut rng = SimRng::seed_from(0xFA7);
+    let built = fat_tree(4, LinkSpec::gigabit());
+    let mut router = Router::new();
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let a = rng.below(16) as usize;
+        let b = rng.below(16) as usize;
         let (ha, hb) = (built.hosts[a], built.hosts[b]);
-        let route = router.route(&built.topology, ha, hb, seed).expect("connected");
+        let route = router
+            .route(&built.topology, ha, hb, seed)
+            .expect("connected");
         let dist = router.distance(&built.topology, ha, hb).expect("connected");
-        prop_assert_eq!(route.hops() as u32, dist);
+        assert_eq!(route.hops() as u32, dist);
         let mut seen = std::collections::HashSet::new();
         for n in &route.nodes {
-            prop_assert!(seen.insert(*n), "loop at {}", n);
+            assert!(seen.insert(*n), "loop at {n}");
         }
     }
 }

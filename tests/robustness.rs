@@ -19,14 +19,20 @@ fn packet_drops_are_retried_until_jobs_complete() {
     let mut cfg = SimConfig::server_farm(8, 2, 0.2, template, SimDuration::from_secs(30));
     cfg.arrivals = ArrivalConfig::Trace((0..100).map(SimTime::from_millis).collect());
     let mut net = NetworkConfig::validation_star();
-    net.comm = CommModel::Packet { mtu: 1_500, buffer_bytes: 4_000 };
+    net.comm = CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 4_000,
+    };
     net.link = LinkSpec::gigabit();
     cfg.network = Some(net);
     cfg.server_classes = (0..8).map(|i| (i % 2) as u32).collect();
     let report = Simulation::new(cfg).run();
     let net = report.network.as_ref().expect("network");
     assert!(net.packets_dropped > 0, "expected drops with a 4 kB buffer");
-    assert_eq!(report.jobs_completed, 100, "retries must recover all transfers");
+    assert_eq!(
+        report.jobs_completed, 100,
+        "retries must recover all transfers"
+    );
 }
 
 #[test]
@@ -105,7 +111,9 @@ fn pools_with_everything_active_behaves_like_plain_farm() {
 #[test]
 fn random_dag_jobs_over_camcube_packets() {
     let template = JobTemplate::RandomDag {
-        service: ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
+        service: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(5),
+        },
         layers: 3,
         max_width: 3,
         transfer_bytes: 30_000,
@@ -114,7 +122,10 @@ fn random_dag_jobs_over_camcube_packets() {
     cfg.arrivals = ArrivalConfig::Trace((0..60).map(|i| SimTime::from_millis(i * 20)).collect());
     let mut net = NetworkConfig::validation_star();
     net.topology = TopologySpec::CamCube { x: 2, y: 2, z: 2 };
-    net.comm = CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 };
+    net.comm = CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 1 << 20,
+    };
     cfg.network = Some(net);
     let report = Simulation::new(cfg).run();
     assert_eq!(report.jobs_completed, 60);
@@ -125,7 +136,7 @@ fn single_task_with_zero_byte_edges_never_touches_network() {
     // Control-only dependencies (0 bytes) must not create flows.
     let dag_template = {
         // chain with zero-byte edges
-        
+
         holdcsim_workload::dag::JobDag::builder()
             .task(TaskSpec::compute(SimDuration::from_millis(2)))
             .task(TaskSpec::compute(SimDuration::from_millis(2)))
@@ -146,7 +157,11 @@ fn single_task_with_zero_byte_edges_never_touches_network() {
     cfg.server_count = 16;
     let report = Simulation::new(cfg).run();
     assert_eq!(report.jobs_completed, 50);
-    assert_eq!(report.network.expect("net").flows, 0, "zero-byte edges made flows");
+    assert_eq!(
+        report.network.expect("net").flows,
+        0,
+        "zero-byte edges made flows"
+    );
 }
 
 #[test]
@@ -171,14 +186,25 @@ fn policies_actually_differ_in_placement() {
         let min = utils.iter().copied().fold(f64::MAX, f64::min);
         max - min
     };
-    assert!(spread(&pf) > spread(&rr) * 2.0, "pack {} rr {}", spread(&pf), spread(&rr));
+    assert!(
+        spread(&pf) > spread(&rr) * 2.0,
+        "pack {} rr {}",
+        spread(&pf),
+        spread(&rr)
+    );
 }
 
 #[test]
 fn bcube_and_flattened_butterfly_run_flows() {
     for (spec, servers) in [
         (TopologySpec::BCube { n: 2, levels: 2 }, 8),
-        (TopologySpec::FlattenedButterfly { k: 2, hosts_per_switch: 2 }, 8),
+        (
+            TopologySpec::FlattenedButterfly {
+                k: 2,
+                hosts_per_switch: 2,
+            },
+            8,
+        ),
     ] {
         let template = JobTemplate::two_tier(
             ServiceDist::Deterministic(SimDuration::from_millis(2)),

@@ -1,9 +1,10 @@
-//! Property-based fuzzing of the server state machine: random but
+//! Property-style fuzzing of the server state machine: random but
 //! causally-valid operation sequences must never panic, and the
-//! accounting invariants must hold at every step.
+//! accounting invariants must hold at every step. Cases are drawn from
+//! the kernel's deterministic [`SimRng`] so every failure reproduces
+//! from the fixed seed.
 
-use proptest::prelude::*;
-
+use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_server::policy::SleepPolicy;
 use holdcsim_server::server::{Band, Effect, Server, ServerConfig, ServerId, ServerMode};
@@ -35,17 +36,19 @@ fn policy_from(i: u8) -> SleepPolicy {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Drive a server with an arbitrary interleaving of submissions and
+/// due-event deliveries; assert it never wedges and its books balance.
+#[test]
+fn random_op_sequences_keep_invariants() {
+    let mut rng = SimRng::seed_from(0x5EED_F022);
+    for _case in 0..64 {
+        let policy_sel = rng.below(4) as u8;
+        let cores = 1 + rng.below(3) as u32;
+        let ops_n = 1 + rng.below(119) as usize;
+        let ops: Vec<(u8, u64)> = (0..ops_n)
+            .map(|_| (rng.below(4) as u8, 1 + rng.below(39)))
+            .collect();
 
-    /// Drive a server with an arbitrary interleaving of submissions and
-    /// due-event deliveries; assert it never wedges and its books balance.
-    #[test]
-    fn random_op_sequences_keep_invariants(
-        policy_sel in 0u8..4,
-        cores in 1u32..4,
-        ops in prop::collection::vec((0u8..4, 1u64..40), 1..120),
-    ) {
         let cfg = ServerConfig::new(cores).with_policy(policy_from(policy_sel));
         let mut server = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let mut now = SimTime::ZERO;
@@ -53,14 +56,22 @@ proptest! {
         let mut job = 0u64;
         let mut submitted = 0u64;
 
-        let mut absorb = |fx: &[Effect], now: SimTime, due: &mut Vec<Due>| {
+        let absorb = |fx: &[Effect], now: SimTime, due: &mut Vec<Due>| {
             for &e in fx {
                 match e {
-                    Effect::TaskStarted { core, completes_in, .. } => {
-                        due.push(Due::Complete { at: now + completes_in, core });
+                    Effect::TaskStarted {
+                        core, completes_in, ..
+                    } => {
+                        due.push(Due::Complete {
+                            at: now + completes_in,
+                            core,
+                        });
                     }
                     Effect::ArmTimer { after, gen } => {
-                        due.push(Due::Timer { at: now + after, gen });
+                        due.push(Due::Timer {
+                            at: now + after,
+                            gen,
+                        });
                     }
                     Effect::TransitionDoneIn { after } => {
                         due.push(Due::Transition { at: now + after });
@@ -70,15 +81,12 @@ proptest! {
         };
 
         for (kind, step_ms) in ops {
-            now = now + SimDuration::from_millis(step_ms);
+            now += SimDuration::from_millis(step_ms);
             if kind == 0 || due.is_empty() {
                 // Submit a fresh task.
                 job += 1;
                 submitted += 1;
-                let t = TaskHandle::new(
-                    TaskId::new(JobId(job), 0),
-                    SimDuration::from_millis(5),
-                );
+                let t = TaskHandle::new(TaskId::new(JobId(job), 0), SimDuration::from_millis(5));
                 let fx = server.submit(now, t);
                 absorb(&fx, now, &mut due);
             } else {
@@ -108,8 +116,8 @@ proptest! {
             }
 
             // --- invariants after every step ---
-            prop_assert!(server.busy_cores() <= server.core_count());
-            prop_assert!(server.power_w() >= 0.0);
+            assert!(server.busy_cores() <= server.core_count());
+            assert!(server.power_w() >= 0.0);
             let bands: f64 = [
                 Band::Active,
                 Band::Transition,
@@ -121,14 +129,14 @@ proptest! {
             .map(|&b| server.residency().fraction_in(b, now))
             .sum();
             if now > SimTime::ZERO {
-                prop_assert!((bands - 1.0).abs() < 1e-9, "bands sum {bands}");
+                assert!((bands - 1.0).abs() < 1e-9, "bands sum {bands}");
             }
             // Busy implies Active; asleep implies no busy cores.
             if server.busy_cores() > 0 {
-                prop_assert_eq!(server.mode(), ServerMode::Active);
+                assert_eq!(server.mode(), ServerMode::Active);
             }
             if !server.is_awake() {
-                prop_assert_eq!(server.busy_cores(), 0);
+                assert_eq!(server.busy_cores(), 0);
             }
         }
 
@@ -156,12 +164,12 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(server.tasks_completed(), submitted);
-        prop_assert_eq!(server.busy_cores(), 0);
-        prop_assert_eq!(server.queue_len(), 0);
+        assert_eq!(server.tasks_completed(), submitted);
+        assert_eq!(server.busy_cores(), 0);
+        assert_eq!(server.queue_len(), 0);
         // Energy is finite and monotone with the horizon.
         let e1 = server.energy_j(now);
         let e2 = server.energy_j(now + SimDuration::from_secs(1));
-        prop_assert!(e1.is_finite() && e2 > e1);
+        assert!(e1.is_finite() && e2 > e1);
     }
 }
