@@ -1,10 +1,12 @@
 //! Design-choice ablations (DESIGN.md §6): flow vs packet communication
 //! granularity, and unified vs per-core local queues.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Run with `cargo bench --bench ablations` (add `-- --quick` for a
+//! reduced sample count); compiled in CI via `cargo bench --no-run`.
 
 use holdcsim::config::{ArrivalConfig, CommModel, NetworkConfig, SimConfig};
 use holdcsim::sim::Simulation;
+use holdcsim_bench::{bench, quick_mode};
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_server::server::LocalQueueMode;
 use holdcsim_workload::presets::WorkloadPreset;
@@ -13,10 +15,14 @@ use holdcsim_workload::templates::JobTemplate;
 
 /// Fat-tree DAG workload once with flows, once with packets. The flow
 /// model should be dramatically cheaper in events for the same traffic.
-fn comm_granularity(c: &mut Criterion) {
+fn comm_granularity(samples: u32) {
     let template = JobTemplate::two_tier(
-        ServiceDist::Exponential { mean: SimDuration::from_millis(5) },
-        ServiceDist::Exponential { mean: SimDuration::from_millis(10) },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(5),
+        },
+        ServiceDist::Exponential {
+            mean: SimDuration::from_millis(10),
+        },
         300_000, // 300 kB per edge: 200 packets
     );
     let base = |comm: CommModel| {
@@ -36,22 +42,22 @@ fn comm_granularity(c: &mut Criterion) {
         cfg.network = Some(net);
         cfg
     };
-    let mut g = c.benchmark_group("comm_granularity");
-    g.sample_size(10);
-    g.bench_function("flow", |b| {
-        let cfg = base(CommModel::Flow);
-        b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
+    let flow_cfg = base(CommModel::Flow);
+    bench("comm_granularity/flow", samples, None, || {
+        Simulation::new(flow_cfg.clone()).run().events_processed
     });
-    g.bench_function("packet", |b| {
-        let cfg = base(CommModel::Packet { mtu: 1_500, buffer_bytes: 1 << 20 });
-        b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
+    let packet_cfg = base(CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 1 << 20,
     });
-    g.finish();
+    bench("comm_granularity/packet", samples, None, || {
+        Simulation::new(packet_cfg.clone()).run().events_processed
+    });
 }
 
 /// Unified vs per-core local queues ([37]'s tail-latency question); the
 /// bench reports runtime, the printed p99 shows the latency effect.
-fn local_queue(c: &mut Criterion) {
+fn local_queue(samples: u32) {
     let base = |mode: LocalQueueMode| {
         let mut cfg = SimConfig::server_farm(
             8,
@@ -71,18 +77,18 @@ fn local_queue(c: &mut Criterion) {
         uni.latency.p99 * 1e3,
         per.latency.p99 * 1e3
     );
-    let mut g = c.benchmark_group("local_queue");
-    g.sample_size(10);
-    g.bench_function("unified", |b| {
-        let cfg = base(LocalQueueMode::Unified);
-        b.iter(|| Simulation::new(cfg.clone()).run().jobs_completed);
+    let uni_cfg = base(LocalQueueMode::Unified);
+    bench("local_queue/unified", samples, None, || {
+        Simulation::new(uni_cfg.clone()).run().jobs_completed
     });
-    g.bench_function("per_core", |b| {
-        let cfg = base(LocalQueueMode::PerCore);
-        b.iter(|| Simulation::new(cfg.clone()).run().jobs_completed);
+    let per_cfg = base(LocalQueueMode::PerCore);
+    bench("local_queue/per_core", samples, None, || {
+        Simulation::new(per_cfg.clone()).run().jobs_completed
     });
-    g.finish();
 }
 
-criterion_group!(benches, comm_granularity, local_queue);
-criterion_main!(benches);
+fn main() {
+    let samples = if quick_mode() { 3 } else { 10 };
+    comm_granularity(samples);
+    local_queue(samples);
+}

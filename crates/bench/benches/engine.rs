@@ -1,37 +1,34 @@
 //! DES kernel microbenchmarks: calendar throughput and a dense M/M/1-style
 //! event chain — the raw event rate behind Table I's scalability.
+//!
+//! Run with `cargo bench --bench engine` (add `-- --quick` for a reduced
+//! sample count); compiled in CI via `cargo bench --no-run`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use holdcsim_bench::{bench, quick_mode};
 use holdcsim_des::engine::{Context, Engine, Model};
 use holdcsim_des::queue::EventQueue;
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
 
-fn queue_push_pop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn queue_push_pop(samples: u32) {
     for n in [1_000u64, 100_000] {
-        g.throughput(Throughput::Elements(n));
-        g.bench_function(format!("push_pop_{n}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut rng = SimRng::seed_from(1);
-                    let times: Vec<SimTime> =
-                        (0..n).map(|_| SimTime::from_nanos(rng.next_u64() >> 20)).collect();
-                    times
-                },
-                |times| {
-                    let mut q = EventQueue::new();
-                    for &t in &times {
-                        q.push(t, ());
-                    }
-                    while q.pop().is_some() {}
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_nanos(rng.next_u64() >> 20))
+            .collect();
+        bench(
+            &format!("event_queue/push_pop_{n}"),
+            samples,
+            Some(n),
+            || {
+                let mut q = EventQueue::new();
+                for &t in &times {
+                    q.push(t, ());
+                }
+                while q.pop().is_some() {}
+            },
+        );
     }
-    g.finish();
 }
 
 struct Pingpong {
@@ -50,24 +47,21 @@ impl Model for Pingpong {
     }
 }
 
-fn engine_event_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn engine_event_chain(samples: u32) {
     let n = 100_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("event_chain_100k", |b| {
-        b.iter(|| {
-            let mut e = Engine::new(Pingpong { remaining: n, rng: SimRng::seed_from(3) });
-            e.schedule_at(SimTime::ZERO, ());
-            e.run();
-            assert_eq!(e.events_processed(), n + 1);
+    bench("engine/event_chain_100k", samples, Some(n), || {
+        let mut e = Engine::new(Pingpong {
+            remaining: n,
+            rng: SimRng::seed_from(3),
         });
+        e.schedule_at(SimTime::ZERO, ());
+        e.run();
+        assert_eq!(e.events_processed(), n + 1);
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = queue_push_pop, engine_event_chain
+fn main() {
+    let samples = if quick_mode() { 3 } else { 20 };
+    queue_push_pop(samples);
+    engine_event_chain(samples);
 }
-criterion_main!(benches);

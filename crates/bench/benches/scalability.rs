@@ -1,19 +1,22 @@
 //! End-to-end scalability: events/second for full farm simulations at
 //! increasing server counts (Table I's >20 K-server claim; the 20 480
 //! point runs in the `table1_scalability` binary to keep `cargo bench`
-//! fast).
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//! fast, and `holdcsim bench-scale` records the tracked baseline).
+//!
+//! Run with `cargo bench --bench scalability` (add `-- --quick` for a
+//! reduced grid); compiled in CI via `cargo bench --no-run`.
 
 use holdcsim::config::{PolicyKind, SimConfig};
 use holdcsim::sim::Simulation;
+use holdcsim_bench::{bench, quick_mode};
 use holdcsim_des::time::SimDuration;
 use holdcsim_workload::presets::WorkloadPreset;
 
-fn farm_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scalability");
-    g.sample_size(10);
-    for servers in [100usize, 1_000, 4_000] {
+fn main() {
+    let quick = quick_mode();
+    let samples = if quick { 3 } else { 10 };
+    let sizes: &[usize] = if quick { &[100] } else { &[100, 1_000, 4_000] };
+    for &servers in sizes {
         // Fix the simulated horizon; jobs scale with the farm.
         let cfg = SimConfig::server_farm(
             servers,
@@ -25,13 +28,11 @@ fn farm_bench(c: &mut Criterion) {
         .with_policy(PolicyKind::RoundRobin);
         // Measure throughput in processed events.
         let events = Simulation::new(cfg.clone()).run().events_processed;
-        g.throughput(Throughput::Elements(events));
-        g.bench_function(format!("farm_{servers}"), |b| {
-            b.iter(|| Simulation::new(cfg.clone()).run().events_processed);
-        });
+        bench(
+            &format!("scalability/farm_{servers}"),
+            samples,
+            Some(events),
+            || Simulation::new(cfg.clone()).run().events_processed,
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, farm_bench);
-criterion_main!(benches);

@@ -601,16 +601,30 @@ pub struct ScalabilityPoint {
     pub jobs: u64,
 }
 
+/// Cores per server in the Table I scalability configuration.
+pub const SCALABILITY_CORES: u32 = 4;
+/// Utilization of the Table I scalability configuration.
+pub const SCALABILITY_RHO: f64 = 0.3;
+/// Workload preset of the Table I scalability configuration.
+pub const SCALABILITY_PRESET: WorkloadPreset = WorkloadPreset::WebSearch;
+/// Placement policy of the Table I scalability configuration.
+pub const SCALABILITY_POLICY: PolicyKind = PolicyKind::RoundRobin;
+
 /// Table I's scalability claim (>20 K servers): runs a server-only farm at
 /// the given sizes and measures event throughput.
 pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<ScalabilityPoint> {
     sizes
         .iter()
         .map(|&n| {
-            let cfg =
-                SimConfig::server_farm(n, 4, 0.3, WorkloadPreset::WebSearch.template(), duration)
-                    .with_seed(seed)
-                    .with_policy(PolicyKind::RoundRobin);
+            let cfg = SimConfig::server_farm(
+                n,
+                SCALABILITY_CORES,
+                SCALABILITY_RHO,
+                SCALABILITY_PRESET.template(),
+                duration,
+            )
+            .with_seed(seed)
+            .with_policy(SCALABILITY_POLICY);
             let t0 = Instant::now();
             let report = Simulation::new(cfg).run();
             let wall = t0.elapsed().as_secs_f64();

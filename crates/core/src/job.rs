@@ -2,6 +2,7 @@
 //! barriers, and completion detection (§III-C).
 
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use holdcsim_des::time::SimTime;
 use holdcsim_server::server::ServerId;
@@ -28,16 +29,34 @@ pub struct JobState {
 impl JobState {
     /// Creates tracking state for a job arriving at `arrived`.
     pub fn new(dag: JobDag, arrived: SimTime) -> Self {
-        let remaining_preds = dag.in_degrees();
-        let n = dag.len();
-        JobState {
-            remaining_preds,
-            assigned: vec![None; n],
-            pending_transfers: vec![0; n],
-            unfinished: n as u32,
+        let mut state = JobState {
+            remaining_preds: Vec::new(),
+            assigned: Vec::new(),
+            pending_transfers: Vec::new(),
+            unfinished: 0,
             dag,
             arrived,
+        };
+        state.reset(arrived);
+        state
+    }
+
+    /// Reinitializes the tracking state for the current `dag`, reusing all
+    /// allocations. Callers recycling a completed job's state rewrite
+    /// `dag` first (e.g. via `JobTemplate::generate_into`), then reset.
+    pub fn reset(&mut self, arrived: SimTime) {
+        let n = self.dag.len();
+        self.arrived = arrived;
+        self.remaining_preds.clear();
+        self.remaining_preds.resize(n, 0);
+        for e in self.dag.edges() {
+            self.remaining_preds[e.to as usize] += 1;
         }
+        self.assigned.clear();
+        self.assigned.resize(n, None);
+        self.pending_transfers.clear();
+        self.pending_transfers.resize(n, 0);
+        self.unfinished = n as u32;
     }
 
     /// Task indices ready at arrival (no predecessors).
@@ -47,9 +66,17 @@ impl JobState {
 
     /// Records that `task` finished; returns successors that became ready.
     pub fn finish_task(&mut self, task: u32) -> Vec<u32> {
+        let mut ready = Vec::new();
+        self.finish_task_into(task, &mut ready);
+        ready
+    }
+
+    /// Records that `task` finished, appending newly ready successors to
+    /// `ready` (the driver passes a reusable scratch buffer, keeping the
+    /// completion hot path allocation-free).
+    pub fn finish_task_into(&mut self, task: u32, ready: &mut Vec<u32>) {
         debug_assert!(self.unfinished > 0);
         self.unfinished -= 1;
-        let mut ready = Vec::new();
         for &s in self.dag.successors(task) {
             let r = &mut self.remaining_preds[s as usize];
             debug_assert!(*r > 0);
@@ -58,7 +85,6 @@ impl JobState {
                 ready.push(s);
             }
         }
-        ready
     }
 
     /// `true` once every task has finished.
@@ -96,13 +122,32 @@ impl JobState {
 }
 
 /// The table of in-flight jobs.
+///
+/// Job ids are allocated sequentially and jobs mostly complete in arrival
+/// order, so the table is a sliding window of slots rather than a hash
+/// map: lookups on the per-event hot path are a single index instead of a
+/// hash probe. Completed slots are reclaimed as the window's front drains.
 #[derive(Debug, Default)]
 pub struct JobTable {
-    jobs: HashMap<JobId, JobState>,
+    /// Slots for job ids in `[base, base + slots.len())`; completed jobs
+    /// leave a `None` until the front of the window drains past them.
+    slots: VecDeque<Option<JobState>>,
+    /// Id of the first tracked slot.
+    base: u64,
+    /// Straggler jobs compacted out of the dense window (ids below
+    /// `base`), so one long-running job cannot pin the window to
+    /// O(jobs submitted since).
+    overflow: HashMap<u64, JobState>,
     next_id: u64,
+    in_flight: usize,
     submitted: u64,
     completed: u64,
 }
+
+/// Dense-window slack before straggler compaction kicks in; mirrors the
+/// event calendar's policy (compaction only once the window is dominated
+/// by completed slots, so steady in-order completion never compacts).
+const COMPACT_SLACK: usize = 1024;
 
 impl JobTable {
     /// Creates an empty table.
@@ -118,9 +163,47 @@ impl JobTable {
     }
 
     /// Inserts a new job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not the most recently allocated id: jobs enter
+    /// the table in allocation order.
     pub fn insert(&mut self, id: JobId, state: JobState) {
+        assert_eq!(
+            id.0,
+            self.base + self.slots.len() as u64,
+            "jobs must be inserted in allocation order"
+        );
         self.submitted += 1;
-        self.jobs.insert(id, state);
+        self.in_flight += 1;
+        self.slots.push_back(Some(state));
+        if self.slots.len() > 4 * self.in_flight + COMPACT_SLACK {
+            self.compact();
+        }
+    }
+
+    /// Moves sparse straggler jobs at the front of a completion-dominated
+    /// window into `overflow`, bounding the window to O(in-flight).
+    /// Amortized O(1) per insert.
+    fn compact(&mut self) {
+        let keep = 2 * self.in_flight + COMPACT_SLACK / 2;
+        while self.slots.len() > keep {
+            let Some(slot) = self.slots.pop_front() else {
+                break;
+            };
+            if let Some(state) = slot {
+                self.overflow.insert(self.base, state);
+            }
+            self.base += 1;
+        }
+    }
+
+    fn slot_index(&self, id: JobId) -> usize {
+        debug_assert!(
+            id.0 >= self.base && id.0 < self.base + self.slots.len() as u64,
+            "job not in flight"
+        );
+        (id.0 - self.base) as usize
     }
 
     /// The job with this id.
@@ -129,7 +212,11 @@ impl JobTable {
     ///
     /// Panics if the job is not in flight.
     pub fn get_mut(&mut self, id: JobId) -> &mut JobState {
-        self.jobs.get_mut(&id).expect("job not in flight")
+        if id.0 < self.base {
+            return self.overflow.get_mut(&id.0).expect("job not in flight");
+        }
+        let idx = self.slot_index(id);
+        self.slots[idx].as_mut().expect("job not in flight")
     }
 
     /// Shared access.
@@ -138,18 +225,36 @@ impl JobTable {
     ///
     /// Panics if the job is not in flight.
     pub fn get(&self, id: JobId) -> &JobState {
-        self.jobs.get(&id).expect("job not in flight")
+        if id.0 < self.base {
+            return self.overflow.get(&id.0).expect("job not in flight");
+        }
+        let idx = self.slot_index(id);
+        self.slots[idx].as_ref().expect("job not in flight")
     }
 
     /// Removes a completed job, returning its state.
     pub fn remove_completed(&mut self, id: JobId) -> JobState {
+        let state = if id.0 < self.base {
+            self.overflow.remove(&id.0).expect("job not in flight")
+        } else {
+            let idx = self.slot_index(id);
+            let taken = self.slots[idx].take().expect("job not in flight");
+            // Trim the drained front so the window tracks the in-flight
+            // span.
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            taken
+        };
         self.completed += 1;
-        self.jobs.remove(&id).expect("job not in flight")
+        self.in_flight -= 1;
+        state
     }
 
     /// Jobs currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.jobs.len()
+        self.in_flight
     }
 
     /// Jobs ever submitted.
@@ -165,7 +270,14 @@ impl JobTable {
     /// Tasks pending across all in-flight jobs (running + queued + waiting
     /// transfers) — the global load signal.
     pub fn total_unfinished_tasks(&self) -> u64 {
-        self.jobs.values().map(|j| j.unfinished as u64).sum()
+        let dense: u64 = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|j| j.unfinished as u64)
+            .sum();
+        let sparse: u64 = self.overflow.values().map(|j| j.unfinished as u64).sum();
+        dense + sparse
     }
 }
 
@@ -234,6 +346,42 @@ mod tests {
         assert_eq!(js.assignment(0), None);
         js.assign(0, ServerId(3));
         assert_eq!(js.assignment(0), Some(ServerId(3)));
+    }
+
+    #[test]
+    fn straggler_job_does_not_pin_the_window() {
+        // One never-finishing job at the window front while thousands of
+        // later jobs complete: the window must compact the straggler into
+        // the sparse overflow instead of growing per job submitted.
+        let mut t = JobTable::new();
+        let straggler = t.alloc_id();
+        t.insert(straggler, JobState::new(chain3(), SimTime::ZERO));
+        for _ in 0..20_000 {
+            let id = t.alloc_id();
+            t.insert(id, JobState::new(chain3(), SimTime::ZERO));
+            let js = t.get_mut(id);
+            js.finish_task(0);
+            js.finish_task(1);
+            js.finish_task(2);
+            t.remove_completed(id);
+        }
+        assert_eq!(t.in_flight(), 1);
+        assert!(
+            t.slots.len() < 2 * COMPACT_SLACK + 16,
+            "window should compact behind the straggler, got {} slots",
+            t.slots.len()
+        );
+        // The compacted job is still fully addressable.
+        assert_eq!(t.get(straggler).dag.len(), 3);
+        assert_eq!(t.total_unfinished_tasks(), 3);
+        let js = t.get_mut(straggler);
+        js.finish_task(0);
+        js.finish_task(1);
+        js.finish_task(2);
+        assert!(t.get(straggler).is_complete());
+        t.remove_completed(straggler);
+        assert_eq!(t.in_flight(), 0);
+        assert!(t.overflow.is_empty(), "overflow drained");
     }
 
     #[test]

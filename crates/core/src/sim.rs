@@ -7,7 +7,7 @@ use std::collections::{BTreeSet, HashMap};
 use holdcsim_des::engine::{Context, Engine, Model};
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
-use holdcsim_network::ids::{FlowId, LinkId, PacketId};
+use holdcsim_network::ids::{FlowId, LinkId, NodeId, PacketId};
 use holdcsim_network::packet::{segment, Packet, TxOutcome};
 use holdcsim_sched::policy::{
     ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
@@ -17,7 +17,7 @@ use holdcsim_sched::pools::{PoolAction, PoolManager};
 use holdcsim_sched::provisioning::{ProvisionAction, ProvisioningController};
 use holdcsim_sched::queue::GlobalQueue;
 use holdcsim_server::policy::SleepPolicy;
-use holdcsim_server::server::{Effect, Server, ServerConfig, ServerId};
+use holdcsim_server::server::{Effect, EffectBuf, Server, ServerConfig, ServerId};
 use holdcsim_server::task::TaskHandle;
 use holdcsim_workload::arrivals::{ArrivalProcess, Mmpp2Arrivals, PoissonArrivals, TraceArrivals};
 use holdcsim_workload::ids::{JobId, TaskId};
@@ -62,6 +62,11 @@ pub enum DcEvent {
     FlowsAdvance {
         /// Flow-table generation this event was scheduled against.
         gen: u64,
+    },
+    /// A flow whose start was delayed by switch wake latency is admitted.
+    FlowAdmit {
+        /// The raw flow id.
+        flow: u64,
     },
     /// A packet arrived at its next node.
     PacketArrive {
@@ -116,12 +121,34 @@ pub struct Datacenter {
     jobs: JobTable,
     policy: Box<dyn GlobalPolicy>,
     global_queue: GlobalQueue,
+    /// Placement-eligible servers, ascending by id. Maintained
+    /// incrementally by controller decisions; never rebuilt per placement.
     eligible: Vec<ServerId>,
+    /// `eligible_mask[i]` ⇔ `ServerId(i)` is in `eligible` (O(1) probes).
+    eligible_mask: Vec<bool>,
+    /// Scratch for the class/free-core-filtered candidate list (reused
+    /// across placements; no per-placement allocation).
+    scratch_candidates: Vec<ServerId>,
+    /// Scratch for a task's data-source servers (reused across placements).
+    scratch_srcs: Vec<ServerId>,
+    /// Scratch for newly ready task indices (reused across events).
+    scratch_ready: Vec<u32>,
+    /// Recycled job states: completed jobs return here so arrivals reuse
+    /// their DAG and bookkeeping allocations.
+    job_pool: Vec<JobState>,
+    /// Server-indexed NetworkAware wake-cost table (reused; only entries
+    /// for the current candidate set are meaningful).
+    cost_scratch: Vec<f64>,
+    /// Reusable effect buffer threaded through every server call.
+    fx: EffectBuf,
     controller: Option<Controller>,
     net: Option<NetState>,
     next_flow_id: u64,
     next_packet_id: u64,
     flow_meta: HashMap<FlowId, (JobId, u32, Vec<LinkId>)>,
+    /// Flows waiting out switch wake latency before admission:
+    /// raw flow id → `(src host, dst host, bytes)`.
+    pending_flows: HashMap<u64, (NodeId, NodeId, u64)>,
     packet_slots: Vec<Option<PacketSt>>,
     free_slots: Vec<usize>,
     /// Outstanding packets per `(job, consumer task, producer task)` edge.
@@ -231,11 +258,19 @@ impl Datacenter {
             policy,
             global_queue: GlobalQueue::new(),
             eligible: Vec::new(),
+            eligible_mask: vec![false; cfg.server_count],
+            scratch_candidates: Vec::new(),
+            scratch_srcs: Vec::new(),
+            scratch_ready: Vec::new(),
+            job_pool: Vec::new(),
+            cost_scratch: vec![0.0; cfg.server_count],
+            fx: EffectBuf::new(),
             controller,
             net,
             next_flow_id: 0,
             next_packet_id: 0,
             flow_meta: HashMap::new(),
+            pending_flows: HashMap::new(),
             packet_slots: Vec::new(),
             free_slots: Vec::new(),
             transfer_packets: HashMap::new(),
@@ -244,7 +279,7 @@ impl Datacenter {
             metrics,
             cfg,
         };
-        dc.refresh_eligible();
+        dc.rebuild_eligible();
         dc
     }
 
@@ -282,23 +317,55 @@ impl Datacenter {
         self.servers.iter().map(|s| s.pending()).sum::<usize>() + self.global_queue.len()
     }
 
+    /// Per-server tasks committed by the placer but still waiting on
+    /// inbound transfers (indexed by server id) — these hold a core
+    /// reservation that capacity checks must honor.
+    pub fn committed(&self) -> &[u32] {
+        &self.committed
+    }
+
     // ------------------------------------------------------------------
     // Placement
     // ------------------------------------------------------------------
 
-    fn refresh_eligible(&mut self) {
+    /// Rebuilds the eligibility set from scratch (initialization and
+    /// controller bring-up only; steady-state updates are incremental).
+    fn rebuild_eligible(&mut self) {
         self.eligible = match &self.controller {
             Some(Controller::Provisioning { parked, .. }) => (0..self.servers.len() as u32)
                 .map(ServerId)
                 .filter(|id| !parked.contains(id))
                 .collect(),
-            Some(Controller::Pools { mgr }) => mgr.active(),
+            Some(Controller::Pools { mgr }) => mgr.active_iter().collect(),
             None => (0..self.servers.len() as u32).map(ServerId).collect(),
         };
+        self.eligible_mask.fill(false);
+        for &id in &self.eligible {
+            self.eligible_mask[id.0 as usize] = true;
+        }
+    }
+
+    /// Adds or removes one server from the eligibility set, keeping
+    /// `eligible` sorted ascending (the order every rebuild produced).
+    fn set_eligible(&mut self, id: ServerId, on: bool) {
+        let i = id.0 as usize;
+        if self.eligible_mask[i] == on {
+            return;
+        }
+        self.eligible_mask[i] = on;
+        match self.eligible.binary_search(&id) {
+            Ok(pos) if !on => {
+                self.eligible.remove(pos);
+            }
+            Err(pos) if on => {
+                self.eligible.insert(pos, id);
+            }
+            _ => {}
+        }
     }
 
     fn is_eligible(&self, id: ServerId) -> bool {
-        self.eligible.contains(&id)
+        self.eligible_mask[id.0 as usize]
     }
 
     /// Chooses a server for a task whose data sources are `srcs`, honoring
@@ -310,42 +377,64 @@ impl Datacenter {
         seed: u64,
     ) -> Option<ServerId> {
         let use_gq = self.cfg.use_global_queue;
-        let class_ok = |id: ServerId| -> bool {
-            match (class, self.cfg.server_classes.is_empty()) {
-                (Some(c), false) => self.cfg.server_classes[id.0 as usize] == c,
-                _ => true,
-            }
-        };
-        // Network-aware placement needs per-candidate wake costs.
-        let costs: Option<HashMap<ServerId, f64>> = match (&self.cfg.policy, self.net.as_mut()) {
-            (PolicyKind::NetworkAware, Some(net)) => Some(
-                self.eligible
-                    .iter()
-                    .map(|&id| (id, net.wake_cost(srcs, id, seed)))
-                    .collect(),
-            ),
-            _ => None,
-        };
         // Fast path: no class constraint and no free-core filter means the
         // eligible list can be borrowed as-is (O(1) placement for O(1)
         // policies — the Table I scalability path).
         let needs_filter = use_gq || (class.is_some() && !self.cfg.server_classes.is_empty());
-        let filtered: Vec<ServerId>;
+        if needs_filter {
+            let Datacenter {
+                eligible,
+                scratch_candidates,
+                servers,
+                committed,
+                cfg,
+                ..
+            } = self;
+            scratch_candidates.clear();
+            scratch_candidates.extend(
+                eligible
+                    .iter()
+                    .copied()
+                    .filter(|&id| match (class, cfg.server_classes.is_empty()) {
+                        (Some(c), false) => cfg.server_classes[id.0 as usize] == c,
+                        _ => true,
+                    })
+                    .filter(|&id| {
+                        if !use_gq {
+                            return true;
+                        }
+                        // Free capacity counts tasks committed to the
+                        // server but still awaiting inbound transfers.
+                        let s = &servers[id.0 as usize];
+                        s.is_awake() && s.busy_cores() + committed[id.0 as usize] < s.core_count()
+                    }),
+            );
+        }
+        // Network-aware placement needs per-candidate wake costs; fill the
+        // server-indexed scratch table for exactly the candidate set.
+        let use_costs = matches!(self.cfg.policy, PolicyKind::NetworkAware) && self.net.is_some();
+        if use_costs {
+            let n = if needs_filter {
+                self.scratch_candidates.len()
+            } else {
+                self.eligible.len()
+            };
+            for i in 0..n {
+                let id = if needs_filter {
+                    self.scratch_candidates[i]
+                } else {
+                    self.eligible[i]
+                };
+                let c = self
+                    .net
+                    .as_mut()
+                    .expect("checked above")
+                    .wake_cost(srcs, id, seed);
+                self.cost_scratch[id.0 as usize] = c;
+            }
+        }
         let candidates: &[ServerId] = if needs_filter {
-            filtered = self
-                .eligible
-                .iter()
-                .copied()
-                .filter(|&id| class_ok(id))
-                .filter(|&id| {
-                    if !use_gq {
-                        return true;
-                    }
-                    let s = &self.servers[id.0 as usize];
-                    s.is_awake() && s.busy_cores() < s.core_count()
-                })
-                .collect();
-            &filtered
+            &self.scratch_candidates
         } else {
             &self.eligible
         };
@@ -353,18 +442,22 @@ impl Datacenter {
             return None;
         }
         let view = ClusterView::with_committed(&self.servers, &self.committed);
-        match costs {
-            Some(table) => {
-                let probe = CostTable(&table);
-                self.policy.select(&view, candidates, &probe)
-            }
-            None => self.policy.select(&view, candidates, &NoNetworkCost),
+        if use_costs {
+            let probe = CostTable(&self.cost_scratch);
+            self.policy.select(&view, candidates, &probe)
+        } else {
+            self.policy.select(&view, candidates, &NoNetworkCost)
         }
     }
 
     /// Places (or queues) task `t` of `job`, which just became ready.
     fn place_or_queue(&mut self, ctx: &mut Context<'_, DcEvent>, job: JobId, t: u32) {
-        let (handle, srcs, class) = {
+        // The source list lives in a reusable scratch buffer; it is taken
+        // out for the duration of the call so `select_server` can borrow
+        // `self` mutably.
+        let mut srcs = std::mem::take(&mut self.scratch_srcs);
+        srcs.clear();
+        let (handle, class) = {
             let js = self.jobs.get(job);
             let spec = js.dag.task(t);
             let handle = TaskHandle {
@@ -372,15 +465,17 @@ impl Datacenter {
                 service: spec.service,
                 intensity: spec.intensity,
             };
-            let srcs: Vec<ServerId> = js
-                .dag
-                .predecessors(t)
-                .iter()
-                .filter_map(|&p| js.assignment(p))
-                .collect();
-            (handle, srcs, spec.server_class)
+            srcs.extend(
+                js.dag
+                    .predecessors(t)
+                    .iter()
+                    .filter_map(|&p| js.assignment(p)),
+            );
+            (handle, spec.server_class)
         };
-        match self.select_server(&srcs, class, job.0 ^ u64::from(t) << 48) {
+        let picked = self.select_server(&srcs, class, job.0 ^ u64::from(t) << 48);
+        self.scratch_srcs = srcs;
+        match picked {
             Some(sid) => self.assign_and_transfer(ctx, job, t, handle, sid),
             None => self.global_queue.push(ctx.now(), handle),
         }
@@ -447,13 +542,23 @@ impl Datacenter {
                 let route = net
                     .route_between(src, dst, fid.0)
                     .expect("topology is connected");
+                // Waking LPI ports starts now; the flow may not move data
+                // until the slowest port along the route is back up, so its
+                // admission is delayed by the worst wake latency (matching
+                // the packet model, which pads each transmission start).
+                let mut wake = SimDuration::ZERO;
                 for &l in &route.links {
-                    net.wake_link(now, l);
+                    wake = wake.max(net.wake_link(now, l));
                 }
                 let (hs, hd) = (net.host_of(src), net.host_of(dst));
-                net.flows.add_flow(now, fid, hs, hd, &route.links, bytes);
                 self.flow_meta.insert(fid, (job, t, route.links.clone()));
-                self.resched_flows(ctx);
+                if wake.is_zero() {
+                    net.flows.add_flow(now, fid, hs, hd, &route.links, bytes);
+                    self.resched_flows(ctx);
+                } else {
+                    self.pending_flows.insert(fid.0, (hs, hd, bytes));
+                    ctx.schedule_in(wake, DcEvent::FlowAdmit { flow: fid.0 });
+                }
             }
             CommModel::Packet { mtu, .. } => {
                 let net = self.net.as_mut().expect("checked above");
@@ -580,6 +685,35 @@ impl Datacenter {
         }
     }
 
+    /// Admits a flow whose start was held back by switch wake latency.
+    fn on_flow_admit(&mut self, ctx: &mut Context<'_, DcEvent>, flow: u64) {
+        let now = ctx.now();
+        let fid = FlowId(flow);
+        let links = &self
+            .flow_meta
+            .get(&fid)
+            .expect("pending flow has metadata")
+            .2;
+        let net = self.net.as_mut().expect("flows without network");
+        // A pending flow occupies no links yet, so an LpiCheck firing
+        // inside the wake window can have re-slept a route port. Re-wake
+        // the route; any residual latency delays admission again.
+        let mut wake = SimDuration::ZERO;
+        for &l in links {
+            wake = wake.max(net.wake_link(now, l));
+        }
+        if !wake.is_zero() {
+            ctx.schedule_in(wake, DcEvent::FlowAdmit { flow });
+            return;
+        }
+        let (hs, hd, bytes) = self
+            .pending_flows
+            .remove(&flow)
+            .expect("pending flow has admission state");
+        net.flows.add_flow(now, fid, hs, hd, links, bytes);
+        self.resched_flows(ctx);
+    }
+
     fn resched_flows(&mut self, ctx: &mut Context<'_, DcEvent>) {
         let net = self.net.as_ref().expect("flows without network");
         if let Some((gen, at)) = net.flows.next_completion(ctx.now()) {
@@ -671,8 +805,8 @@ impl Datacenter {
         if let Some((req, _)) = self.net.as_ref().and_then(|n| n.ingress_bytes) {
             self.touch_access_port(ctx, sid, req);
         }
-        let fx = self.servers[sid.0 as usize].submit(ctx.now(), handle);
-        self.apply_effects(ctx, sid, &fx);
+        self.servers[sid.0 as usize].submit(ctx.now(), handle, &mut self.fx);
+        Self::apply_effects(ctx, sid, &self.fx);
     }
 
     /// Marks `sid`'s access-link switch port active for a transmission of
@@ -693,8 +827,11 @@ impl Datacenter {
         }
     }
 
-    fn apply_effects(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &[Effect]) {
-        for &e in fx {
+    /// Schedules the follow-up events for the effects a server call left in
+    /// `fx`. Associated (not `&mut self`) so the reusable buffer can be
+    /// borrowed from `self` at every call site without conflict.
+    fn apply_effects(ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &EffectBuf) {
+        for &e in fx.as_slice() {
             match e {
                 Effect::TaskStarted {
                     core,
@@ -728,18 +865,23 @@ impl Datacenter {
         expected: TaskId,
     ) {
         let now = ctx.now();
-        let (tid, fx) = self.servers[sid.0 as usize].complete(now, core);
+        let tid = self.servers[sid.0 as usize].complete(now, core, &mut self.fx);
         debug_assert_eq!(tid, expected, "completion event routed to wrong core");
-        self.apply_effects(ctx, sid, &fx);
+        Self::apply_effects(ctx, sid, &self.fx);
         // Response traffic back up the access link, if modeled.
         if let Some((_, resp)) = self.net.as_ref().and_then(|n| n.ingress_bytes) {
             self.touch_access_port(ctx, sid, resp);
         }
         // DAG bookkeeping.
-        let ready = self.jobs.get_mut(tid.job).finish_task(tid.index);
-        for t in ready {
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        ready.clear();
+        self.jobs
+            .get_mut(tid.job)
+            .finish_task_into(tid.index, &mut ready);
+        for &t in &ready {
             self.place_or_queue(ctx, tid.job, t);
         }
+        self.scratch_ready = ready;
         if self.jobs.get(tid.job).is_complete() {
             let js = self.jobs.remove_completed(tid.job);
             // Steady-state statistics: skip jobs that arrived in warm-up.
@@ -748,6 +890,8 @@ impl Datacenter {
                     .latency
                     .record(now.saturating_duration_since(js.arrived).as_secs_f64());
             }
+            // Recycle the state so the next arrival reuses its allocations.
+            self.job_pool.push(js);
         }
         self.pull_global_queue(ctx, sid);
     }
@@ -758,7 +902,11 @@ impl Datacenter {
         }
         loop {
             let s = &self.servers[sid.0 as usize];
-            if !(s.is_awake() && s.busy_cores() < s.core_count()) {
+            // Capacity must count tasks already committed to this server
+            // and awaiting inbound transfers, or the pull loop over-commits
+            // beyond the core count.
+            let claimed = s.busy_cores() + self.committed[sid.0 as usize];
+            if !(s.is_awake() && claimed < s.core_count()) {
                 return;
             }
             // Only pull tasks this server's class may run.
@@ -789,14 +937,28 @@ impl Datacenter {
 
     fn on_job_arrival(&mut self, ctx: &mut Context<'_, DcEvent>) {
         let now = ctx.now();
-        let dag = self.cfg.template.generate(&mut self.rng_workload);
         let id = self.jobs.alloc_id();
-        let state = JobState::new(dag, now);
-        let ready = state.initial_ready();
+        let state = match self.job_pool.pop() {
+            Some(mut recycled) => {
+                self.cfg
+                    .template
+                    .generate_into(&mut self.rng_workload, &mut recycled.dag);
+                recycled.reset(now);
+                recycled
+            }
+            None => {
+                let dag = self.cfg.template.generate(&mut self.rng_workload);
+                JobState::new(dag, now)
+            }
+        };
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        ready.clear();
+        ready.extend_from_slice(state.dag.roots());
         self.jobs.insert(id, state);
-        for t in ready {
+        for &t in &ready {
             self.place_or_queue(ctx, id, t);
         }
+        self.scratch_ready = ready;
         self.schedule_next_arrival(ctx);
     }
 
@@ -884,8 +1046,7 @@ impl Datacenter {
             Some(Controller::Pools { mgr }) => {
                 // Pool load counts only the active pool's pending work.
                 let active_pending: usize = mgr
-                    .active()
-                    .iter()
+                    .active_iter()
                     .map(|id| self.servers[id.0 as usize].pending())
                     .sum();
                 match mgr.decide(active_pending as f64 + self.global_queue.len() as f64) {
@@ -906,36 +1067,38 @@ impl Datacenter {
             Decision::Park(id) => {
                 // Parked servers simply stop receiving work; their own
                 // sleep policy (delay timer) decides when they descend.
-                self.refresh_eligible();
-                let _ = id;
+                self.set_eligible(id, false);
             }
             Decision::Unpark(id) => {
-                let fx =
-                    self.servers[id.0 as usize].set_policy(now, self.cfg.policy_for(id.0 as usize));
-                self.apply_effects(ctx, id, &fx);
-                let fx = self.servers[id.0 as usize].request_wake(now);
-                self.apply_effects(ctx, id, &fx);
-                self.refresh_eligible();
+                self.servers[id.0 as usize].set_policy(
+                    now,
+                    self.cfg.policy_for(id.0 as usize),
+                    &mut self.fx,
+                );
+                Self::apply_effects(ctx, id, &self.fx);
+                self.servers[id.0 as usize].request_wake(now, &mut self.fx);
+                Self::apply_effects(ctx, id, &self.fx);
+                self.set_eligible(id, true);
             }
             Decision::Promote(id) => {
                 let pool_policy = match &self.controller {
                     Some(Controller::Pools { mgr }) => mgr.active_pool_policy(),
                     _ => unreachable!("promotion without pools"),
                 };
-                let fx = self.servers[id.0 as usize].set_policy(now, pool_policy);
-                self.apply_effects(ctx, id, &fx);
-                let fx = self.servers[id.0 as usize].request_wake(now);
-                self.apply_effects(ctx, id, &fx);
-                self.refresh_eligible();
+                self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
+                Self::apply_effects(ctx, id, &self.fx);
+                self.servers[id.0 as usize].request_wake(now, &mut self.fx);
+                Self::apply_effects(ctx, id, &self.fx);
+                self.set_eligible(id, true);
             }
             Decision::Demote(id) => {
                 let pool_policy = match &self.controller {
                     Some(Controller::Pools { mgr }) => mgr.sleep_pool_policy(),
                     _ => unreachable!("demotion without pools"),
                 };
-                let fx = self.servers[id.0 as usize].set_policy(now, pool_policy);
-                self.apply_effects(ctx, id, &fx);
-                self.refresh_eligible();
+                self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
+                Self::apply_effects(ctx, id, &self.fx);
+                self.set_eligible(id, false);
             }
             Decision::None => return false,
         }
@@ -968,20 +1131,15 @@ impl Datacenter {
         // Pool members adopt their pool policies (arms sleep-pool timers).
         if let Some(Controller::Pools { mgr }) = &self.controller {
             let actions: Vec<(ServerId, SleepPolicy)> = mgr
-                .active()
-                .into_iter()
+                .active_iter()
                 .map(|id| (id, mgr.active_pool_policy()))
-                .chain(
-                    mgr.sleeping()
-                        .into_iter()
-                        .map(|id| (id, mgr.sleep_pool_policy())),
-                )
+                .chain(mgr.sleeping_iter().map(|id| (id, mgr.sleep_pool_policy())))
                 .collect();
             for (id, pol) in actions {
-                let fx = self.servers[id.0 as usize].set_policy(now, pol);
-                self.apply_effects(ctx, id, &fx);
+                self.servers[id.0 as usize].set_policy(now, pol, &mut self.fx);
+                Self::apply_effects(ctx, id, &self.fx);
             }
-            self.refresh_eligible();
+            self.rebuild_eligible();
         } else {
             // Arm any configured delay timers for servers that start idle.
             let policies: Vec<SleepPolicy> = (0..self.servers.len())
@@ -989,8 +1147,8 @@ impl Datacenter {
                 .collect();
             for (i, pol) in policies.into_iter().enumerate() {
                 if pol.deep_after.is_some() {
-                    let fx = self.servers[i].set_policy(now, pol);
-                    self.apply_effects(ctx, ServerId(i as u32), &fx);
+                    self.servers[i].set_policy(now, pol, &mut self.fx);
+                    Self::apply_effects(ctx, ServerId(i as u32), &self.fx);
                 }
             }
         }
@@ -1018,15 +1176,16 @@ impl Model for Datacenter {
                 self.on_task_complete(ctx, server, core, task)
             }
             DcEvent::ServerTimer { server, gen } => {
-                let fx = self.servers[server.0 as usize].timer_fired(ctx.now(), gen);
-                self.apply_effects(ctx, server, &fx);
+                self.servers[server.0 as usize].timer_fired(ctx.now(), gen, &mut self.fx);
+                Self::apply_effects(ctx, server, &self.fx);
             }
             DcEvent::ServerTransition { server } => {
-                let fx = self.servers[server.0 as usize].transition_done(ctx.now());
-                self.apply_effects(ctx, server, &fx);
+                self.servers[server.0 as usize].transition_done(ctx.now(), &mut self.fx);
+                Self::apply_effects(ctx, server, &self.fx);
                 self.pull_global_queue(ctx, server);
             }
             DcEvent::FlowsAdvance { gen } => self.on_flows_advance(ctx, gen),
+            DcEvent::FlowAdmit { flow } => self.on_flow_admit(ctx, flow),
             DcEvent::PacketArrive { slot } => self.on_packet_arrive(ctx, slot),
             DcEvent::PacketRetry { slot } => self.send_packet(ctx, slot),
             DcEvent::LpiCheck { switch, port } => self.on_lpi_check(ctx, switch, port),
@@ -1036,11 +1195,13 @@ impl Model for Datacenter {
     }
 }
 
-struct CostTable<'a>(&'a HashMap<ServerId, f64>);
+/// A server-indexed wake-cost table over the driver's reusable scratch
+/// vector; only entries for the current candidate set are meaningful.
+struct CostTable<'a>(&'a [f64]);
 
 impl NetworkCost for CostTable<'_> {
     fn wake_cost(&self, server: ServerId) -> f64 {
-        self.0.get(&server).copied().unwrap_or(0.0)
+        self.0[server.0 as usize]
     }
 }
 
@@ -1093,6 +1254,13 @@ impl Simulation {
     /// Read access to the model (for tests and custom harnesses).
     pub fn datacenter(&self) -> &Datacenter {
         self.engine.model()
+    }
+
+    /// Advances the simulation clock to `at` (events at exactly `at` are
+    /// processed), for mid-run inspection via
+    /// [`datacenter`](Self::datacenter) before [`run`](Self::run).
+    pub fn run_to(&mut self, at: SimTime) {
+        self.engine.run_until(at);
     }
 
     /// Runs to the configured horizon and produces the report.

@@ -2,12 +2,16 @@
 //!
 //! Events at the same timestamp pop in insertion (FIFO) order, which makes
 //! simulations deterministic regardless of heap internals. Cancellation is
-//! O(1) amortized: cancelled entries are remembered in a set and skipped when
-//! they reach the top ("lazy deletion"), so no heap surgery is ever needed.
+//! O(1): every token's lifecycle (live → cancelled/consumed) is tracked in
+//! a dense ring of per-sequence states, so cancelled entries are skipped
+//! when they reach the top ("lazy deletion") without any heap surgery —
+//! and, unlike a hash-set of cancelled sequences, the hot pop path costs
+//! one array index per event instead of a hash probe.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
@@ -54,6 +58,17 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifecycle of one issued sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqState {
+    /// Still in the heap, will fire unless cancelled.
+    Live,
+    /// Cancelled before firing; its heap entry is skipped on pop.
+    Cancelled,
+    /// Fired (or its cancelled entry was skipped); no longer in the heap.
+    Dead,
+}
+
 /// A cancellable min-priority queue of `(SimTime, E)` pairs with FIFO
 /// tie-breaking.
 ///
@@ -75,9 +90,26 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// State of every sequence in `[seq_base, next_seq)`; sequences below
+    /// `seq_base` are `Dead` unless listed in `overflow`. The front is
+    /// trimmed as sequences die, so the ring spans only the live "window"
+    /// of the calendar.
+    states: VecDeque<SeqState>,
+    /// First sequence whose state is still tracked in `states`.
+    seq_base: u64,
+    /// Sparse states below `seq_base`: long-lived entries compacted out
+    /// of the dense window (rare — one per far-future event), so a single
+    /// slow timer cannot pin the window to O(total events pushed).
+    overflow: HashMap<u64, SeqState>,
+    /// Cancelled entries still sitting in the heap.
+    cancelled_pending: usize,
     next_seq: u64,
 }
+
+/// Dense-window slack: compaction triggers only once the window exceeds
+/// this many entries beyond four windows' worth of heap population, so
+/// steady-state churn (window ≈ outstanding events) never compacts.
+const COMPACT_SLACK: usize = 1024;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -90,7 +122,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            states: VecDeque::new(),
+            seq_base: 0,
+            overflow: HashMap::new(),
+            cancelled_pending: 0,
             next_seq: 0,
         }
     }
@@ -99,25 +134,91 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.states.push_back(SeqState::Live);
+        if self.states.len() > 4 * self.heap.len() + COMPACT_SLACK {
+            self.compact();
+        }
         self.heap.push(Entry { at, seq, event });
         EventToken(seq)
+    }
+
+    /// Shrinks the dense window when it is dominated by dead entries: the
+    /// sparse survivors at its front (long-lived events the calendar has
+    /// churned far past) move to the `overflow` map. Amortized O(1) per
+    /// push; never triggered while the window is mostly alive.
+    fn compact(&mut self) {
+        let keep = 2 * self.heap.len() + COMPACT_SLACK / 2;
+        while self.states.len() > keep {
+            let Some(state) = self.states.pop_front() else {
+                break;
+            };
+            if state != SeqState::Dead {
+                self.overflow.insert(self.seq_base, state);
+            }
+            self.seq_base += 1;
+        }
+    }
+
+    /// The lifecycle state of `seq`.
+    fn state_of(&self, seq: u64) -> SeqState {
+        if seq >= self.seq_base {
+            self.states[(seq - self.seq_base) as usize]
+        } else {
+            self.overflow.get(&seq).copied().unwrap_or(SeqState::Dead)
+        }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the token had not already fired or been cancelled.
-    /// Cancelling an already-popped token is a harmless no-op (`false`).
+    /// Cancelling an already-popped or already-cancelled token is a
+    /// harmless no-op (`false`).
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if token.0 >= self.next_seq {
-            return false;
+            return false; // never issued
         }
-        self.cancelled.insert(token.0)
+        if token.0 < self.seq_base {
+            // Compacted out of the dense window: sparse path.
+            match self.overflow.get_mut(&token.0) {
+                Some(state @ SeqState::Live) => {
+                    *state = SeqState::Cancelled;
+                    self.cancelled_pending += 1;
+                    true
+                }
+                _ => false, // already dead, cancelled, or long gone
+            }
+        } else {
+            let idx = (token.0 - self.seq_base) as usize;
+            if self.states[idx] != SeqState::Live {
+                return false; // already fired or cancelled
+            }
+            self.states[idx] = SeqState::Cancelled;
+            self.cancelled_pending += 1;
+            true
+        }
+    }
+
+    /// Marks `seq` dead and trims the leading run of dead states.
+    fn retire(&mut self, seq: u64) {
+        if seq < self.seq_base {
+            self.overflow.remove(&seq);
+            return;
+        }
+        let idx = (seq - self.seq_base) as usize;
+        self.states[idx] = SeqState::Dead;
+        while let Some(&SeqState::Dead) = self.states.front() {
+            self.states.pop_front();
+            self.seq_base += 1;
+        }
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let cancelled = self.state_of(entry.seq) == SeqState::Cancelled;
+            self.retire(entry.seq);
+            if cancelled {
+                self.cancelled_pending -= 1;
                 continue;
             }
             return Some((entry.at, entry.event));
@@ -128,10 +229,11 @@ impl<E> EventQueue<E> {
     /// The timestamp of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if self.cancelled_pending > 0 && self.state_of(entry.seq) == SeqState::Cancelled {
                 let seq = entry.seq;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.retire(seq);
+                self.cancelled_pending -= 1;
                 continue;
             }
             return Some(entry.at);
@@ -141,7 +243,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled_pending
     }
 
     /// `true` if no live events remain.
@@ -152,7 +254,10 @@ impl<E> EventQueue<E> {
     /// Removes all events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.states.clear();
+        self.overflow.clear();
+        self.seq_base = self.next_seq;
+        self.cancelled_pending = 0;
     }
 }
 
@@ -206,6 +311,39 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_noop() {
+        // Regression: cancelling an already-fired token used to insert its
+        // seq into the cancelled set and return `true`, underflowing
+        // `len()` on the next accounting.
+        let mut q = EventQueue::new();
+        let tok = q.push(SimTime::from_nanos(1), "a");
+        q.push(SimTime::from_nanos(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "a")));
+        assert!(!q.cancel(tok), "token already fired");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), "b")));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // Still a no-op once the queue has fully drained.
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn cancel_after_fire_out_of_seq_order() {
+        // Fired sequence numbers are not contiguous (pops follow time, not
+        // insertion): retiring must handle a fired high seq before a live
+        // low seq.
+        let mut q = EventQueue::new();
+        let slow = q.push(SimTime::from_nanos(100), "slow"); // seq 0
+        let fast = q.push(SimTime::from_nanos(1), "fast"); // seq 1
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "fast")));
+        assert!(!q.cancel(fast), "fired token");
+        assert!(q.cancel(slow), "still-live token");
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let tok = q.push(SimTime::from_nanos(5), "x");
@@ -225,5 +363,73 @@ mod tests {
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_after_clear_keeps_tokens_unique() {
+        let mut q = EventQueue::new();
+        let before = q.push(SimTime::from_nanos(1), 1);
+        q.clear();
+        let after = q.push(SimTime::from_nanos(1), 2);
+        assert_ne!(before, after);
+        assert!(!q.cancel(before), "cleared token is dead");
+        assert!(q.cancel(after));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_event_does_not_pin_the_state_window() {
+        // A single long-lived event must not hold the dense state window
+        // open while millions of near events churn past: once the window
+        // is dominated by dead entries it compacts, parking the anchor in
+        // the sparse overflow with full cancel/fire semantics intact.
+        let mut q = EventQueue::new();
+        let anchor = q.push(SimTime::from_secs(1_000_000), u64::MAX);
+        for i in 0..200_000u64 {
+            q.push(SimTime::from_nanos(i), i);
+            q.pop();
+        }
+        assert!(
+            q.states.len() < 2 * COMPACT_SLACK + 16,
+            "window should compact behind the anchor, got {} entries",
+            q.states.len()
+        );
+        assert_eq!(q.len(), 1);
+        // The compacted anchor still cancels exactly once.
+        assert!(q.cancel(anchor));
+        assert!(!q.cancel(anchor));
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        assert!(q.overflow.is_empty(), "overflow drained after the pop");
+    }
+
+    #[test]
+    fn compacted_event_still_fires() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(100), u64::MAX);
+        for i in 0..50_000u64 {
+            q.push(SimTime::from_nanos(i), i);
+            q.pop();
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_secs(100), u64::MAX)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn state_window_trims_behind_fired_events() {
+        // A long-lived event keeps the window open; everything behind it is
+        // trimmed once it fires.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(100), u64::MAX); // the anchor
+        for i in 0..1_000u64 {
+            q.push(SimTime::from_nanos(i), i);
+        }
+        for _ in 0..1_000 {
+            q.pop();
+        }
+        // Only the anchor (seq 0) holds the window; span is next_seq range.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(u64::MAX));
+        assert_eq!(q.states.len(), 0, "window fully trimmed");
     }
 }

@@ -9,6 +9,8 @@
 //!                [--replications N] [--duration S] [--seed S]
 //!                [--threads N] [--out DIR] [--name NAME]
 //! holdcsim fig <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
+//! holdcsim bench-scale [--sizes 16,128,1024] [--duration S] [--seed S]
+//!                [--repeats N] [--out PATH]
 //! ```
 
 use std::collections::HashMap;
@@ -19,6 +21,7 @@ use holdcsim::config::{PolicyKind, SimConfig};
 use holdcsim::sim::Simulation;
 use holdcsim_des::time::SimDuration;
 use holdcsim_harness::artifacts;
+use holdcsim_harness::bench_scale::{self, BenchScaleConfig};
 use holdcsim_harness::exec::{default_threads, run_plan};
 use holdcsim_harness::figs::{self, FigScale};
 use holdcsim_harness::grid::SweepPlan;
@@ -34,10 +37,16 @@ USAGE:
                    [--replications N] [--duration SECS] [--seed S]
                    [--threads N] [--out DIR] [--name NAME]
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
+    holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS] [--seed S]
+                   [--repeats N] [--out PATH]
 
 Policies: round-robin, least-loaded, pack-first, random, network-aware.
 Presets:  web-search, web-serving, provisioning.
 Taus:     seconds, or `active-idle` for the no-sleep arm.
+
+`bench-scale` runs the Table I configuration at each farm size, measures
+wall-clock events/second (best of --repeats), and writes the JSON perf
+baseline (default ./BENCH_scalability.json).
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -262,12 +271,39 @@ fn cmd_fig(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &["sizes", "duration", "seed", "repeats", "out"])?;
+    let mut cfg = BenchScaleConfig::default();
+    if let Some(s) = opts.get("sizes") {
+        cfg.sizes = parse_list(s, |x| parse_num(x, "server count"))?;
+        if cfg.sizes.is_empty() {
+            return Err("`--sizes` needs at least one size".into());
+        }
+    }
+    if let Some(s) = opts.get("duration") {
+        cfg.duration = SimDuration::from_secs_f64(parse_num(s, "duration")?);
+    }
+    if let Some(s) = opts.get("seed") {
+        cfg.seed = parse_num(s, "seed")?;
+    }
+    if let Some(s) = opts.get("repeats") {
+        cfg.repeats = parse_num(s, "repeats")?;
+    }
+    if let Some(s) = opts.get("out") {
+        cfg.out = PathBuf::from(s);
+    }
+    let path = bench_scale::run_bench_scale(&cfg).map_err(|e| e.to_string())?;
+    eprintln!("[bench-scale] wrote {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("fig") => cmd_fig(&args[1..]),
+        Some("bench-scale") => cmd_bench_scale(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())

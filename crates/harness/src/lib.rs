@@ -21,9 +21,12 @@
 //!   `holdcsim::export`.
 //! * [`figs`] — the paper's figures re-expressed as plans/parallel runs,
 //!   backing the `holdcsim fig <n>` CLI subcommand.
+//! * [`bench_scale`] — the Table I scalability sweep as a perf baseline:
+//!   events/second per farm size, written to `BENCH_scalability.json` so
+//!   hot-path regressions are visible PR over PR.
 //!
 //! The `holdcsim` binary (`src/bin/holdcsim.rs`) exposes `run`, `sweep`,
-//! and `fig` subcommands over all of this.
+//! `fig`, and `bench-scale` subcommands over all of this.
 //!
 //! ## Example: a 24-trial grid, in parallel, with confidence intervals
 //!
@@ -49,6 +52,7 @@
 
 pub mod agg;
 pub mod artifacts;
+pub mod bench_scale;
 pub mod exec;
 pub mod figs;
 pub mod grid;

@@ -277,7 +277,7 @@ fn rank_key(view: &ClusterView<'_>, id: ServerId, net: &dyn NetworkCost) -> (u8,
 mod tests {
     use super::*;
     use holdcsim_des::time::{SimDuration, SimTime};
-    use holdcsim_server::server::ServerConfig;
+    use holdcsim_server::server::{EffectBuf, ServerConfig};
     use holdcsim_server::task::TaskHandle;
     use holdcsim_workload::ids::{JobId, TaskId};
 
@@ -294,12 +294,13 @@ mod tests {
     }
 
     fn load(servers: &mut [Server], id: ServerId, tasks: u64) {
+        let mut fx = EffectBuf::new();
         for k in 0..tasks {
             let t = TaskHandle::new(
                 TaskId::new(JobId(id.0 as u64 * 100 + k), 0),
                 SimDuration::from_millis(10),
             );
-            servers[id.0 as usize].submit(SimTime::ZERO, t);
+            servers[id.0 as usize].submit(SimTime::ZERO, t, &mut fx);
         }
     }
 

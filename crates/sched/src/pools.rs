@@ -99,6 +99,16 @@ impl PoolManager {
         self.sleeping.iter().copied().collect()
     }
 
+    /// Iterates the active pool ascending by id without allocating.
+    pub fn active_iter(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Iterates the sleep pool ascending by id without allocating.
+    pub fn sleeping_iter(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.sleeping.iter().copied()
+    }
+
     /// `true` if `id` is currently in the active pool.
     pub fn is_active(&self, id: ServerId) -> bool {
         self.active.contains(&id)

@@ -16,7 +16,8 @@
 //!
 //! let mut server = Server::new(SimTime::ZERO, ServerId(0), ServerConfig::new(4));
 //! let task = TaskHandle::new(TaskId::new(JobId(1), 0), SimDuration::from_millis(5));
-//! let effects = server.submit(SimTime::ZERO, task);
+//! let mut effects = EffectBuf::new();
+//! server.submit(SimTime::ZERO, task, &mut effects);
 //! assert_eq!(effects.len(), 1);
 //! ```
 
@@ -28,14 +29,16 @@ pub mod server;
 pub mod task;
 
 pub use policy::{DeepState, IdleDescent, SleepPolicy};
-pub use server::{Band, Effect, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode};
+pub use server::{
+    Band, Effect, EffectBuf, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode,
+};
 pub use task::TaskHandle;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::policy::{DeepState, IdleDescent, SleepPolicy};
     pub use crate::server::{
-        Band, Effect, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode,
+        Band, Effect, EffectBuf, LocalQueueMode, Server, ServerConfig, ServerId, ServerMode,
     };
     pub use crate::task::TaskHandle;
 }

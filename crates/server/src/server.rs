@@ -3,8 +3,9 @@
 //! and CPU/DRAM/platform energy accounting.
 //!
 //! A [`Server`] is a passive state machine: the simulation driver calls it
-//! with the current time and schedules the [`Effect`]s it returns. This
-//! keeps the model engine-agnostic and directly unit-testable.
+//! with the current time and a reusable [`EffectBuf`], then schedules the
+//! [`Effect`]s left in the buffer. This keeps the model engine-agnostic,
+//! directly unit-testable, and allocation-free on the per-event hot path.
 
 use std::collections::VecDeque;
 
@@ -116,6 +117,100 @@ pub enum Effect {
         /// Transition latency.
         after: SimDuration,
     },
+}
+
+/// Inline capacity of an [`EffectBuf`]: covers a full dispatch burst on a
+/// typical server (one `TaskStarted` per core) without touching the heap.
+const INLINE_EFFECTS: usize = 8;
+
+/// Placeholder for unused inline slots (never observable).
+const NO_EFFECT: Effect = Effect::TransitionDoneIn {
+    after: SimDuration::ZERO,
+};
+
+/// A reusable buffer of [`Effect`]s: a hand-rolled inline array that spills
+/// to the heap only on bursts larger than [`INLINE_EFFECTS`].
+///
+/// The driving loop owns one buffer and passes it to every server call, so
+/// the per-event hot path performs no allocation. Server methods clear the
+/// buffer on entry; the caller reads [`as_slice`](Self::as_slice) (or
+/// derefs — the buffer derefs to `[Effect]`) afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_server::server::{Effect, EffectBuf};
+/// use holdcsim_des::time::SimDuration;
+///
+/// let mut buf = EffectBuf::new();
+/// buf.push(Effect::TransitionDoneIn { after: SimDuration::from_millis(1) });
+/// assert_eq!(buf.len(), 1);
+/// assert!(matches!(buf[0], Effect::TransitionDoneIn { .. }));
+/// buf.clear();
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EffectBuf {
+    /// Occupied inline slots (0 once spilled).
+    len: usize,
+    inline: [Effect; INLINE_EFFECTS],
+    /// Overflow storage; when non-empty it holds *all* effects in order.
+    spill: Vec<Effect>,
+}
+
+impl Default for EffectBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EffectBuf {
+    /// Creates an empty buffer (no heap allocation).
+    pub fn new() -> Self {
+        EffectBuf {
+            len: 0,
+            inline: [NO_EFFECT; INLINE_EFFECTS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Empties the buffer, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Appends an effect.
+    pub fn push(&mut self, e: Effect) {
+        if !self.spill.is_empty() {
+            self.spill.push(e);
+        } else if self.len < INLINE_EFFECTS {
+            self.inline[self.len] = e;
+            self.len += 1;
+        } else {
+            // First overflow: move the inline prefix so `spill` holds all.
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+            self.spill.push(e);
+            self.len = 0;
+        }
+    }
+
+    /// The buffered effects in push order.
+    pub fn as_slice(&self) -> &[Effect] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for EffectBuf {
+    type Target = [Effect];
+
+    fn deref(&self) -> &[Effect] {
+        self.as_slice()
+    }
 }
 
 /// Configuration for one server.
@@ -247,14 +342,15 @@ impl LocalQueues {
 /// # Examples
 ///
 /// ```
-/// use holdcsim_server::server::{Effect, Server, ServerConfig, ServerId, ServerMode};
+/// use holdcsim_server::server::{Effect, EffectBuf, Server, ServerConfig, ServerId, ServerMode};
 /// use holdcsim_server::task::TaskHandle;
 /// use holdcsim_des::time::{SimDuration, SimTime};
 /// use holdcsim_workload::ids::{JobId, TaskId};
 ///
 /// let mut s = Server::new(SimTime::ZERO, ServerId(0), ServerConfig::new(4));
 /// let task = TaskHandle::new(TaskId::new(JobId(1), 0), SimDuration::from_millis(5));
-/// let effects = s.submit(SimTime::ZERO, task);
+/// let mut effects = EffectBuf::new();
+/// s.submit(SimTime::ZERO, task, &mut effects);
 /// assert!(matches!(effects[0], Effect::TaskStarted { core: 0, .. }));
 /// assert_eq!(s.mode(), ServerMode::Active);
 /// ```
@@ -458,17 +554,18 @@ impl Server {
     // Driving API
     // ------------------------------------------------------------------
 
-    /// Submits a task at `now`.
-    pub fn submit(&mut self, now: SimTime, task: TaskHandle) -> Vec<Effect> {
+    /// Submits a task at `now`. Clears `fx` and fills it with the follow-up
+    /// effects the driver must schedule.
+    pub fn submit(&mut self, now: SimTime, task: TaskHandle, fx: &mut EffectBuf) {
+        fx.clear();
         self.timer_gen += 1; // any activity cancels a pending descent
-        let mut effects = Vec::new();
         self.queues.push(task);
         match self.mode {
             ServerMode::Active | ServerMode::Idle | ServerMode::ShallowSleep => {
-                self.dispatch_free_cores(now, &mut effects);
+                self.dispatch_free_cores(now, fx);
             }
             ServerMode::DeepSleep(_) => {
-                self.begin_resume(now, &mut effects);
+                self.begin_resume(now, fx);
             }
             ServerMode::Suspending(_) => {
                 self.wake_after_suspend = true;
@@ -476,49 +573,47 @@ impl Server {
             ServerMode::Resuming => {}
         }
         self.note_load(now);
-        effects
     }
 
     /// Reports that the task on `core` finished at `now`; returns the
-    /// finished task id and follow-up effects.
+    /// finished task id and clears/fills `fx` with follow-up effects.
     ///
     /// # Panics
     ///
     /// Panics if `core` is not running a task.
-    pub fn complete(&mut self, now: SimTime, core: u32) -> (TaskId, Vec<Effect>) {
+    pub fn complete(&mut self, now: SimTime, core: u32, fx: &mut EffectBuf) -> TaskId {
+        fx.clear();
         let finished = self.running[core as usize]
             .take()
             .expect("completion for an idle core");
         self.tasks_completed += 1;
-        let mut effects = Vec::new();
         // Pull follow-on work for this core (it is warm: no wake padding).
         if let Some(next) = self.queues.pop_for(core) {
             let completes_in = next.execution_time(self.speed_ratio() * self.core_speed(core));
             self.running[core as usize] = Some(next);
-            effects.push(Effect::TaskStarted {
+            fx.push(Effect::TaskStarted {
                 core,
                 id: next.id,
                 completes_in,
             });
         } else if self.busy_cores() == 0 && self.queue_len() == 0 {
-            self.descend_idle(now, &mut effects);
+            self.descend_idle(now, fx);
         }
         self.note_load(now);
-        (finished.id, effects)
+        finished.id
     }
 
     /// The idle delay timer armed with `gen` fired at `now`.
-    pub fn timer_fired(&mut self, now: SimTime, gen: u64) -> Vec<Effect> {
-        let mut effects = Vec::new();
+    pub fn timer_fired(&mut self, now: SimTime, gen: u64, fx: &mut EffectBuf) {
+        fx.clear();
         if gen != self.timer_gen {
-            return effects; // stale: activity intervened
+            return; // stale: activity intervened
         }
         if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep) && self.pending() == 0 {
             if let Some((_, deep)) = self.cfg.policy.deep_after {
-                self.begin_suspend(now, deep, &mut effects);
+                self.begin_suspend(now, deep, fx);
             }
         }
-        effects
     }
 
     /// A suspend or resume transition completed at `now`.
@@ -526,8 +621,8 @@ impl Server {
     /// # Panics
     ///
     /// Panics if no transition was in flight.
-    pub fn transition_done(&mut self, now: SimTime) -> Vec<Effect> {
-        let mut effects = Vec::new();
+    pub fn transition_done(&mut self, now: SimTime, fx: &mut EffectBuf) {
+        fx.clear();
         match self.mode {
             ServerMode::Suspending(s) => {
                 if self.queue_len() > 0 || self.wake_after_suspend {
@@ -535,7 +630,7 @@ impl Server {
                     // completed, now immediately resume.
                     self.set_mode(now, ServerMode::DeepSleep(s));
                     self.deep_sleeps += 1;
-                    self.begin_resume(now, &mut effects);
+                    self.begin_resume(now, fx);
                 } else {
                     self.set_mode(now, ServerMode::DeepSleep(s));
                     self.deep_sleeps += 1;
@@ -544,50 +639,46 @@ impl Server {
             ServerMode::Resuming => {
                 self.resumes += 1;
                 self.set_mode(now, ServerMode::Idle);
-                self.dispatch_free_cores(now, &mut effects);
+                self.dispatch_free_cores(now, fx);
                 if self.busy_cores() == 0 && self.queue_len() == 0 {
-                    self.descend_idle(now, &mut effects);
+                    self.descend_idle(now, fx);
                 }
             }
             other => panic!("transition_done in non-transitional mode {other:?}"),
         }
         self.note_load(now);
-        effects
     }
 
     /// Control-plane: ask the server to enter deep sleep now (pool
     /// managers). No-op unless it is awake and workless.
-    pub fn request_deep_sleep(&mut self, now: SimTime, deep: DeepState) -> Vec<Effect> {
-        let mut effects = Vec::new();
+    pub fn request_deep_sleep(&mut self, now: SimTime, deep: DeepState, fx: &mut EffectBuf) {
+        fx.clear();
         if self.mode.is_awake() && self.pending() == 0 {
             self.timer_gen += 1;
-            self.begin_suspend(now, deep, &mut effects);
+            self.begin_suspend(now, deep, fx);
         }
-        effects
     }
 
     /// Control-plane: wake the server from deep sleep (pool managers,
     /// provisioning). No-op if it is already awake or resuming.
-    pub fn request_wake(&mut self, now: SimTime) -> Vec<Effect> {
-        let mut effects = Vec::new();
+    pub fn request_wake(&mut self, now: SimTime, fx: &mut EffectBuf) {
+        fx.clear();
         match self.mode {
-            ServerMode::DeepSleep(_) => self.begin_resume(now, &mut effects),
+            ServerMode::DeepSleep(_) => self.begin_resume(now, fx),
             ServerMode::Suspending(_) => self.wake_after_suspend = true,
             _ => {}
         }
-        effects
     }
 
     /// Control-plane: swap the sleep policy at `now` (WASP pool moves).
     /// Re-evaluates idleness under the new policy.
-    pub fn set_policy(&mut self, now: SimTime, policy: SleepPolicy) -> Vec<Effect> {
+    pub fn set_policy(&mut self, now: SimTime, policy: SleepPolicy, fx: &mut EffectBuf) {
+        fx.clear();
         self.cfg.policy = policy;
-        let mut effects = Vec::new();
         if matches!(self.mode, ServerMode::Idle | ServerMode::ShallowSleep) && self.pending() == 0 {
             self.timer_gen += 1;
-            self.descend_idle(now, &mut effects);
+            self.descend_idle(now, fx);
         }
-        effects
     }
 
     /// Control-plane: change the P-state (takes effect for subsequently
@@ -633,7 +724,7 @@ impl Server {
         }
     }
 
-    fn dispatch_free_cores(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
+    fn dispatch_free_cores(&mut self, now: SimTime, effects: &mut EffectBuf) {
         let pad = self.dispatch_pad();
         let speed = self.speed_ratio();
         let mut dispatched = false;
@@ -662,7 +753,7 @@ impl Server {
         }
     }
 
-    fn descend_idle(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
+    fn descend_idle(&mut self, now: SimTime, effects: &mut EffectBuf) {
         match self.cfg.policy.idle_descent {
             IdleDescent::StayIdle => self.set_mode(now, ServerMode::Idle),
             IdleDescent::ShallowSleep => self.set_mode(now, ServerMode::ShallowSleep),
@@ -682,7 +773,7 @@ impl Server {
         }
     }
 
-    fn begin_suspend(&mut self, now: SimTime, deep: DeepState, effects: &mut Vec<Effect>) {
+    fn begin_suspend(&mut self, now: SimTime, deep: DeepState, effects: &mut EffectBuf) {
         debug_assert!(self.mode.is_awake());
         self.wake_after_suspend = false;
         self.set_mode(now, ServerMode::Suspending(deep.system_state()));
@@ -691,7 +782,7 @@ impl Server {
         });
     }
 
-    fn begin_resume(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
+    fn begin_resume(&mut self, now: SimTime, effects: &mut EffectBuf) {
         let ServerMode::DeepSleep(s) = self.mode else {
             panic!("resume from non-sleep mode {:?}", self.mode);
         };
@@ -809,10 +900,54 @@ mod tests {
         Server::new(SimTime::ZERO, ServerId(0), ServerConfig::new(cores))
     }
 
+    // Vec-returning wrappers over the EffectBuf driving API keep the
+    // state-machine assertions below readable.
+    fn submit(s: &mut Server, now: SimTime, t: TaskHandle) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.submit(now, t, &mut b);
+        b.to_vec()
+    }
+
+    fn complete(s: &mut Server, now: SimTime, core: u32) -> (TaskId, Vec<Effect>) {
+        let mut b = EffectBuf::new();
+        let id = s.complete(now, core, &mut b);
+        (id, b.to_vec())
+    }
+
+    fn timer_fired(s: &mut Server, now: SimTime, gen: u64) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.timer_fired(now, gen, &mut b);
+        b.to_vec()
+    }
+
+    fn transition_done(s: &mut Server, now: SimTime) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.transition_done(now, &mut b);
+        b.to_vec()
+    }
+
+    fn request_deep_sleep(s: &mut Server, now: SimTime, deep: DeepState) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.request_deep_sleep(now, deep, &mut b);
+        b.to_vec()
+    }
+
+    fn request_wake(s: &mut Server, now: SimTime) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.request_wake(now, &mut b);
+        b.to_vec()
+    }
+
+    fn set_policy(s: &mut Server, now: SimTime, p: SleepPolicy) -> Vec<Effect> {
+        let mut b = EffectBuf::new();
+        s.set_policy(now, p, &mut b);
+        b.to_vec()
+    }
+
     #[test]
     fn submit_starts_task_on_free_core() {
         let mut s = active_idle_server(2);
-        let fx = s.submit(SimTime::ZERO, th(1, 10));
+        let fx = submit(&mut s, SimTime::ZERO, th(1, 10));
         assert_eq!(fx.len(), 1);
         let Effect::TaskStarted {
             core, completes_in, ..
@@ -833,11 +968,11 @@ mod tests {
     #[test]
     fn excess_tasks_queue_and_chain_on_completion() {
         let mut s = active_idle_server(1);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let fx = s.submit(SimTime::from_millis(1), th(2, 5));
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let fx = submit(&mut s, SimTime::from_millis(1), th(2, 5));
         assert!(fx.is_empty(), "no free core: queue only");
         assert_eq!(s.queue_len(), 1);
-        let (done, fx) = s.complete(SimTime::from_millis(10), 0);
+        let (done, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         assert_eq!(done, TaskId::new(JobId(1), 0));
         assert_eq!(fx.len(), 1);
         assert!(matches!(fx[0], Effect::TaskStarted { core: 0, .. }));
@@ -848,8 +983,8 @@ mod tests {
     #[test]
     fn active_idle_never_arms_timer() {
         let mut s = active_idle_server(1);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         assert!(fx.is_empty());
         assert_eq!(s.mode(), ServerMode::Idle);
     }
@@ -859,20 +994,20 @@ mod tests {
         let cfg =
             ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         let [Effect::ArmTimer { after, gen }] = fx[..] else {
             panic!("{fx:?}")
         };
         assert_eq!(after, SimDuration::from_secs(1));
         let t_fire = SimTime::from_millis(1_010);
-        let fx = s.timer_fired(t_fire, gen);
+        let fx = timer_fired(&mut s, t_fire, gen);
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!("{fx:?}")
         };
         assert_eq!(after, SimDuration::from_millis(500)); // suspend latency
         assert!(matches!(s.mode(), ServerMode::Suspending(SystemState::S3)));
-        let fx = s.transition_done(t_fire + after);
+        let fx = transition_done(&mut s, t_fire + after);
         assert!(fx.is_empty());
         assert_eq!(s.mode(), ServerMode::DeepSleep(SystemState::S3));
         assert_eq!(s.sleep_counts(), (1, 0));
@@ -883,14 +1018,14 @@ mod tests {
         let cfg =
             ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         let [Effect::ArmTimer { gen, .. }] = fx[..] else {
             panic!()
         };
         // New work arrives before the timer fires.
-        s.submit(SimTime::from_millis(500), th(2, 10));
-        let fx = s.timer_fired(SimTime::from_millis(1_010), gen);
+        submit(&mut s, SimTime::from_millis(500), th(2, 10));
+        let fx = timer_fired(&mut s, SimTime::from_millis(1_010), gen);
         assert!(fx.is_empty());
         assert_eq!(s.mode(), ServerMode::Active);
     }
@@ -900,27 +1035,27 @@ mod tests {
         let cfg = ServerConfig::new(1)
             .with_policy(SleepPolicy::delay_timer(SimDuration::from_millis(100)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         let [Effect::ArmTimer { gen, .. }] = fx[..] else {
             panic!()
         };
-        let fx = s.timer_fired(SimTime::from_millis(110), gen);
+        let fx = timer_fired(&mut s, SimTime::from_millis(110), gen);
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!()
         };
         let t_asleep = SimTime::from_millis(110) + after;
-        s.transition_done(t_asleep);
+        transition_done(&mut s, t_asleep);
         // A task arrives while asleep.
         let t_arrive = SimTime::from_secs(10);
-        let fx = s.submit(t_arrive, th(2, 10));
+        let fx = submit(&mut s, t_arrive, th(2, 10));
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!("{fx:?}")
         };
         assert_eq!(after, SimDuration::from_secs(4)); // resume latency
         assert_eq!(s.mode(), ServerMode::Resuming);
         // Resume completes: queued task dispatches.
-        let fx = s.transition_done(t_arrive + after);
+        let fx = transition_done(&mut s, t_arrive + after);
         assert_eq!(fx.len(), 1);
         assert!(matches!(fx[0], Effect::TaskStarted { .. }));
         assert_eq!(s.mode(), ServerMode::Active);
@@ -932,17 +1067,17 @@ mod tests {
         let cfg = ServerConfig::new(1)
             .with_policy(SleepPolicy::delay_timer(SimDuration::from_millis(100)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         let [Effect::ArmTimer { gen, .. }] = fx[..] else {
             panic!()
         };
-        s.timer_fired(SimTime::from_millis(110), gen);
+        timer_fired(&mut s, SimTime::from_millis(110), gen);
         // Mid-suspend arrival: no new transition event; it queues.
-        let fx = s.submit(SimTime::from_millis(200), th(2, 10));
+        let fx = submit(&mut s, SimTime::from_millis(200), th(2, 10));
         assert!(fx.is_empty());
         // Suspend finishes at 610 ms → immediately resumes.
-        let fx = s.transition_done(SimTime::from_millis(610));
+        let fx = transition_done(&mut s, SimTime::from_millis(610));
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!("{fx:?}")
         };
@@ -955,7 +1090,7 @@ mod tests {
         let cfg = ServerConfig::new(2).with_policy(SleepPolicy::shallow_only());
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         assert_eq!(s.mode(), ServerMode::ShallowSleep);
-        let fx = s.submit(SimTime::ZERO, th(1, 10));
+        let fx = submit(&mut s, SimTime::ZERO, th(1, 10));
         let [Effect::TaskStarted { completes_in, .. }] = fx[..] else {
             panic!()
         };
@@ -965,7 +1100,7 @@ mod tests {
             SimDuration::from_millis(10) + SimDuration::from_micros(800)
         );
         // Returns to shallow sleep when idle again.
-        let (_, _) = s.complete(SimTime::from_millis(11), 0);
+        let (_, _) = complete(&mut s, SimTime::from_millis(11), 0);
         assert_eq!(s.mode(), ServerMode::ShallowSleep);
     }
 
@@ -973,17 +1108,17 @@ mod tests {
     fn request_deep_sleep_and_wake_roundtrip() {
         let cfg = ServerConfig::new(1).with_policy(SleepPolicy::shallow_only());
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        let fx = s.request_deep_sleep(SimTime::from_secs(1), DeepState::SuspendToRam);
+        let fx = request_deep_sleep(&mut s, SimTime::from_secs(1), DeepState::SuspendToRam);
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!()
         };
-        s.transition_done(SimTime::from_secs(1) + after);
+        transition_done(&mut s, SimTime::from_secs(1) + after);
         assert_eq!(s.mode(), ServerMode::DeepSleep(SystemState::S3));
-        let fx = s.request_wake(SimTime::from_secs(10));
+        let fx = request_wake(&mut s, SimTime::from_secs(10));
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!()
         };
-        let fx = s.transition_done(SimTime::from_secs(10) + after);
+        let fx = transition_done(&mut s, SimTime::from_secs(10) + after);
         assert!(fx.is_empty());
         // No work: descends straight back per policy.
         assert_eq!(s.mode(), ServerMode::ShallowSleep);
@@ -992,8 +1127,8 @@ mod tests {
     #[test]
     fn request_deep_sleep_refused_with_work() {
         let mut s = active_idle_server(1);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let fx = s.request_deep_sleep(SimTime::from_millis(1), DeepState::SuspendToRam);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let fx = request_deep_sleep(&mut s, SimTime::from_millis(1), DeepState::SuspendToRam);
         assert!(fx.is_empty());
         assert_eq!(s.mode(), ServerMode::Active);
     }
@@ -1003,13 +1138,13 @@ mod tests {
         let cfg = ServerConfig::new(2).with_queue_mode(LocalQueueMode::PerCore);
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         // Fill both cores, then queue two more: they split across queues.
-        s.submit(SimTime::ZERO, th(1, 10));
-        s.submit(SimTime::ZERO, th(2, 10));
-        s.submit(SimTime::ZERO, th(3, 10));
-        s.submit(SimTime::ZERO, th(4, 10));
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        submit(&mut s, SimTime::ZERO, th(2, 10));
+        submit(&mut s, SimTime::ZERO, th(3, 10));
+        submit(&mut s, SimTime::ZERO, th(4, 10));
         assert_eq!(s.queue_len(), 2);
         // Completing core 0 pulls from core 0's own queue.
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         assert_eq!(fx.len(), 1);
         assert!(matches!(fx[0], Effect::TaskStarted { core: 0, .. }));
         assert_eq!(s.queue_len(), 1);
@@ -1027,19 +1162,19 @@ mod tests {
             "idle {idle_w}"
         );
         // One busy core raises power by (busy − C1) + DRAM step.
-        s.submit(SimTime::ZERO, th(1, 10));
+        submit(&mut s, SimTime::ZERO, th(1, 10));
         let one_busy = s.power_w();
         assert!(one_busy > idle_w);
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         let [Effect::ArmTimer { gen, .. }] = fx[..] else {
             panic!()
         };
         // Deep sleep power is tiny.
-        let fx = s.timer_fired(SimTime::from_secs(2), gen);
+        let fx = timer_fired(&mut s, SimTime::from_secs(2), gen);
         let [Effect::TransitionDoneIn { after }] = fx[..] else {
             panic!()
         };
-        s.transition_done(SimTime::from_secs(2) + after);
+        transition_done(&mut s, SimTime::from_secs(2) + after);
         let sleep_w = s.power_w();
         assert!(
             (sleep_w - (profile.platform.s3_w + profile.dram.self_refresh_w)).abs() < 1e-9,
@@ -1051,7 +1186,7 @@ mod tests {
     #[test]
     fn energy_breakdown_sums_to_total() {
         let mut s = active_idle_server(4);
-        s.submit(SimTime::ZERO, th(1, 100));
+        submit(&mut s, SimTime::ZERO, th(1, 100));
         let now = SimTime::from_millis(50);
         let total = s.energy_j(now);
         let parts = s.cpu_energy_j(now) + s.dram_energy_j(now) + s.platform_energy_j(now);
@@ -1064,8 +1199,8 @@ mod tests {
         let cfg =
             ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::from_secs(1)));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 1_000));
-        s.complete(SimTime::from_secs(1), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 1_000));
+        complete(&mut s, SimTime::from_secs(1), 0);
         let now = SimTime::from_secs(2);
         let active = s.residency().time_in_through(Band::Active, now);
         let idle = s.residency().time_in_through(Band::Idle, now);
@@ -1076,8 +1211,8 @@ mod tests {
     #[test]
     fn utilization_tracks_busy_fraction() {
         let mut s = active_idle_server(2);
-        s.submit(SimTime::ZERO, th(1, 1_000));
-        s.complete(SimTime::from_secs(1), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 1_000));
+        complete(&mut s, SimTime::from_secs(1), 0);
         // 1 of 2 cores busy for 1 s, then idle for 1 s: util = 0.25 at t=2.
         let u = s.utilization(SimTime::from_secs(2));
         assert!((u - 0.25).abs() < 1e-9, "util {u}");
@@ -1087,7 +1222,8 @@ mod tests {
     fn set_policy_reevaluates_idleness() {
         let mut s = active_idle_server(1);
         assert_eq!(s.mode(), ServerMode::Idle);
-        let fx = s.set_policy(
+        let fx = set_policy(
+            &mut s,
             SimTime::from_secs(1),
             SleepPolicy::shallow_then_deep(SimDuration::from_secs(5)),
         );
@@ -1099,8 +1235,8 @@ mod tests {
     fn zero_tau_descends_immediately() {
         let cfg = ServerConfig::new(1).with_policy(SleepPolicy::delay_timer(SimDuration::ZERO));
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        s.submit(SimTime::ZERO, th(1, 10));
-        let (_, fx) = s.complete(SimTime::from_millis(10), 0);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        let (_, fx) = complete(&mut s, SimTime::from_millis(10), 0);
         assert!(
             matches!(fx[..], [Effect::TransitionDoneIn { .. }]),
             "{fx:?}"
@@ -1112,7 +1248,7 @@ mod tests {
     #[should_panic(expected = "completion for an idle core")]
     fn complete_on_idle_core_panics() {
         let mut s = active_idle_server(1);
-        s.complete(SimTime::ZERO, 0);
+        complete(&mut s, SimTime::ZERO, 0);
     }
 
     #[test]
@@ -1120,7 +1256,7 @@ mod tests {
         // Core 1 is the "big" core (2x); it must be chosen first.
         let cfg = ServerConfig::new(2).with_core_speeds(vec![0.5, 2.0]);
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        let fx = s.submit(SimTime::ZERO, th(1, 10));
+        let fx = submit(&mut s, SimTime::ZERO, th(1, 10));
         let [Effect::TaskStarted {
             core, completes_in, ..
         }] = fx[..]
@@ -1134,7 +1270,7 @@ mod tests {
             SimDuration::from_millis(5) + SimDuration::from_micros(2)
         );
         // Second task lands on the little core and runs 2x slower.
-        let fx = s.submit(SimTime::ZERO, th(2, 10));
+        let fx = submit(&mut s, SimTime::ZERO, th(2, 10));
         let [Effect::TaskStarted {
             core, completes_in, ..
         }] = fx[..]
@@ -1151,9 +1287,9 @@ mod tests {
         let cfg = ServerConfig::new(2).with_core_speeds(vec![1.0, 2.0]);
         let mut s = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let idle = s.power_w();
-        s.submit(SimTime::ZERO, th(1, 10)); // big core first: 4x busy power
+        submit(&mut s, SimTime::ZERO, th(1, 10)); // big core first: 4x busy power
         let big = s.power_w() - idle;
-        s.submit(SimTime::ZERO, th(2, 10)); // little core: 1x busy power
+        submit(&mut s, SimTime::ZERO, th(2, 10)); // little core: 1x busy power
         let both = s.power_w() - idle;
         let busy_w = profile.core.c0_busy_w;
         let idle_c1 = profile
@@ -1191,10 +1327,10 @@ mod tests {
         // 2 sockets x 2 cores; one task occupies socket 0 only.
         let cfg = ServerConfig::new(4).with_sockets(2);
         let mut dual = Server::new(SimTime::ZERO, ServerId(0), cfg);
-        dual.submit(SimTime::ZERO, th(1, 10));
+        submit(&mut dual, SimTime::ZERO, th(1, 10));
         let cfg1 = ServerConfig::new(4);
         let mut single = Server::new(SimTime::ZERO, ServerId(1), cfg1);
-        single.submit(SimTime::ZERO, th(1, 10));
+        submit(&mut single, SimTime::ZERO, th(1, 10));
         // Dual socket: pc0 (busy socket) + pc2 (napping socket);
         // single socket: pc0. Everything else matches.
         let delta = dual.power_w() - single.power_w();
@@ -1203,8 +1339,8 @@ mod tests {
             "expected one extra PC2 uncore, got {delta}"
         );
         // Loading the second socket raises it to PC0.
-        dual.submit(SimTime::ZERO, th(2, 10));
-        dual.submit(SimTime::ZERO, th(3, 10)); // fills socket 0, spills to 1
+        submit(&mut dual, SimTime::ZERO, th(2, 10));
+        submit(&mut dual, SimTime::ZERO, th(3, 10)); // fills socket 0, spills to 1
         let both_busy = dual.power_w() - single.power_w();
         assert!(
             both_busy > delta,

@@ -131,6 +131,22 @@ impl JobDag {
         }
     }
 
+    /// Rebuilds this DAG in place as a single-task job, reusing the
+    /// existing allocations (the simulator's job-recycling hot path).
+    pub fn reset_single(&mut self, task: TaskSpec) {
+        self.tasks.clear();
+        self.tasks.push(task);
+        self.edges.clear();
+        self.successors.clear();
+        self.successors.push(Vec::new());
+        self.predecessors.clear();
+        self.predecessors.push(Vec::new());
+        self.roots.clear();
+        self.roots.push(0);
+        self.topo_order.clear();
+        self.topo_order.push(0);
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()

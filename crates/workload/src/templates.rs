@@ -92,6 +92,20 @@ impl JobTemplate {
         }
     }
 
+    /// Stamps out one job DAG into `dag`, reusing its allocations where the
+    /// template shape allows (single-task jobs — the scalability hot path);
+    /// other shapes fall back to [`generate`](Self::generate).
+    pub fn generate_into(&self, rng: &mut SimRng, dag: &mut JobDag) {
+        match self {
+            JobTemplate::SingleTask { service, intensity } => dag.reset_single(TaskSpec {
+                service: service.sample(rng),
+                intensity: *intensity,
+                server_class: None,
+            }),
+            other => *dag = other.generate(rng),
+        }
+    }
+
     /// Stamps out one job DAG, sampling all service times.
     pub fn generate(&self, rng: &mut SimRng) -> JobDag {
         match self {

@@ -145,8 +145,10 @@ fn dvfs_slows_execution_and_cuts_core_power() {
     let mut slow = mk(0);
     let mut fast = mk(profile.pstates.len() - 1);
     let t = TaskHandle::new(TaskId::new(JobId(1), 0), SimDuration::from_millis(10));
-    let fx_slow = slow.submit(T::ZERO, t);
-    let fx_fast = fast.submit(T::ZERO, t);
+    let mut fx_slow = EffectBuf::new();
+    let mut fx_fast = EffectBuf::new();
+    slow.submit(T::ZERO, t, &mut fx_slow);
+    fast.submit(T::ZERO, t, &mut fx_fast);
     let d = |fx: &[Effect]| match fx[0] {
         Effect::TaskStarted { completes_in, .. } => completes_in,
         _ => panic!(),

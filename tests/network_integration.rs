@@ -136,6 +136,132 @@ fn network_reports_are_deterministic() {
     assert!((na.switch_energy_j - nb.switch_energy_j).abs() < 1e-9);
 }
 
+/// A two-server star where the two-tier job's tiers are pinned to
+/// different servers by class, so every job crosses the network exactly
+/// once with a deterministic service floor.
+fn pinned_star_cfg(comm: CommModel, bytes: u64, arrive: SimTime, secs: u64) -> SimConfig {
+    let template = JobTemplate::two_tier(
+        ServiceDist::Deterministic(SimDuration::from_millis(5)),
+        ServiceDist::Deterministic(SimDuration::from_millis(10)),
+        bytes,
+    );
+    let mut cfg = SimConfig::server_farm(2, 4, 0.2, template, SimDuration::from_secs(secs));
+    cfg.server_classes = vec![0, 1];
+    cfg.arrivals = ArrivalConfig::Trace(vec![arrive]);
+    let mut net = NetworkConfig::fat_tree(4);
+    net.topology = TopologySpec::Star;
+    net.link = LinkSpec::gigabit();
+    net.comm = comm;
+    net.lpi_hold = None;
+    net.ingress_bytes = None;
+    cfg.network = Some(net);
+    cfg
+}
+
+#[test]
+fn flow_through_asleep_switch_pays_wake_latency() {
+    // One flow at t = 2 s. With LPI enabled, the star switch's ports have
+    // been asleep since shortly after t = 0, so the flow may not start
+    // until the slowest port along its route wakes; with LPI disabled, it
+    // starts immediately. Same seed, same services — the entire latency
+    // difference is the wake cost the flow model used to drop.
+    let arrive = SimTime::from_secs(2);
+    let mut asleep = pinned_star_cfg(CommModel::Flow, 125_000, arrive, 4);
+    asleep.network.as_mut().expect("net").lpi_hold = Some(SimDuration::from_millis(1));
+    let awake = pinned_star_cfg(CommModel::Flow, 125_000, arrive, 4);
+    let r_asleep = Simulation::new(asleep).run();
+    let r_awake = Simulation::new(awake).run();
+    assert_eq!(r_asleep.jobs_completed, 1);
+    assert_eq!(r_awake.jobs_completed, 1);
+    let (la, lw) = (r_asleep.latency.mean, r_awake.latency.mean);
+    assert!(
+        la > lw + 1e-6,
+        "asleep-path flow must be measurably slower: asleep {la} vs awake {lw}"
+    );
+    assert!(
+        la < lw + 0.05,
+        "wake cost is bounded by the port/linecard wake latencies: {la} vs {lw}"
+    );
+}
+
+/// Property: for a single uncontended transfer over an all-awake star,
+/// the Packet and Flow communication models agree on transfer latency
+/// within segmentation tolerance (last-packet store-and-forward, partial
+/// final segment, and per-hop link latency are the only divergences).
+#[test]
+fn packet_and_flow_agree_on_uncontended_transfer() {
+    const MTU: u64 = 1_500;
+    const RATE: f64 = 1e9;
+    let link_lat = 5e-6; // LinkSpec::gigabit() per-traversal latency
+    let mut rng = holdcsim_des::rng::SimRng::seed_from(0xF10F);
+    for _ in 0..6 {
+        let bytes = 50_000 + rng.below(1_000_000);
+        let arrive = SimTime::from_millis(1 + rng.below(500));
+        let flow = Simulation::new(pinned_star_cfg(CommModel::Flow, bytes, arrive, 6)).run();
+        let packet = Simulation::new(pinned_star_cfg(
+            CommModel::Packet {
+                mtu: MTU,
+                buffer_bytes: 8 << 20,
+            },
+            bytes,
+            arrive,
+            6,
+        ))
+        .run();
+        assert_eq!(flow.jobs_completed, 1, "flow lost the job ({bytes} B)");
+        assert_eq!(packet.jobs_completed, 1, "packet lost the job ({bytes} B)");
+        let (lf, lp) = (flow.latency.mean, packet.latency.mean);
+        // One extra MTU of store-and-forward, the partial tail segment,
+        // and two link traversals bound the models' divergence.
+        let tolerance = 3.0 * (MTU as f64 * 8.0 / RATE) + 4.0 * link_lat + 1e-5;
+        assert!(
+            (lf - lp).abs() <= tolerance,
+            "flow {lf} vs packet {lp} for {bytes} B exceeds tolerance {tolerance}"
+        );
+    }
+}
+
+#[test]
+fn global_queue_pull_never_overcommits_cores() {
+    // Fan-out jobs over a star with the global queue: every placement and
+    // every pull must count the tasks already committed to a server (core
+    // reservations held while inbound transfers land). Sample the invariant
+    // `busy + committed <= cores` throughout the run.
+    let template = JobTemplate::FanOutFanIn {
+        root: ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        leaf: ServiceDist::Deterministic(SimDuration::from_millis(6)),
+        agg: ServiceDist::Deterministic(SimDuration::from_millis(2)),
+        width: 8,
+        transfer_bytes: 4_000_000, // ~32 ms per edge on 1 GbE, worse shared
+    };
+    let mut cfg = SimConfig::server_farm(2, 2, 0.6, template, SimDuration::from_secs(30));
+    cfg.use_global_queue = true;
+    cfg.arrivals =
+        ArrivalConfig::Trace((0..40).map(|i| SimTime::from_millis(1 + i * 25)).collect());
+    let mut net = NetworkConfig::fat_tree(4);
+    net.topology = TopologySpec::Star;
+    net.comm = CommModel::Flow;
+    cfg.network = Some(net);
+    let mut sim = Simulation::new(cfg);
+    for step in 1..=2_000u64 {
+        sim.run_to(SimTime::from_millis(step * 10));
+        let dc = sim.datacenter();
+        for (s, &committed) in dc.servers().iter().zip(dc.committed()) {
+            assert!(
+                s.busy_cores() + committed <= s.core_count(),
+                "server {} over-committed at {} ms: busy {} + committed {} > {} cores",
+                s.id(),
+                step * 10,
+                s.busy_cores(),
+                committed,
+                s.core_count()
+            );
+        }
+    }
+    let report = sim.run();
+    assert_eq!(report.jobs_completed, 40);
+}
+
 #[test]
 fn fan_out_jobs_traverse_network() {
     let template = JobTemplate::FanOutFanIn {

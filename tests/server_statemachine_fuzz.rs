@@ -7,7 +7,9 @@
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_server::policy::SleepPolicy;
-use holdcsim_server::server::{Band, Effect, Server, ServerConfig, ServerId, ServerMode};
+use holdcsim_server::server::{
+    Band, Effect, EffectBuf, Server, ServerConfig, ServerId, ServerMode,
+};
 use holdcsim_server::task::TaskHandle;
 use holdcsim_workload::ids::{JobId, TaskId};
 
@@ -53,6 +55,7 @@ fn random_op_sequences_keep_invariants() {
         let mut server = Server::new(SimTime::ZERO, ServerId(0), cfg);
         let mut now = SimTime::ZERO;
         let mut due: Vec<Due> = Vec::new();
+        let mut fx = EffectBuf::new();
         let mut job = 0u64;
         let mut submitted = 0u64;
 
@@ -87,7 +90,7 @@ fn random_op_sequences_keep_invariants() {
                 job += 1;
                 submitted += 1;
                 let t = TaskHandle::new(TaskId::new(JobId(job), 0), SimDuration::from_millis(5));
-                let fx = server.submit(now, t);
+                server.submit(now, t, &mut fx);
                 absorb(&fx, now, &mut due);
             } else {
                 // Deliver the earliest obligation (events fire in order).
@@ -101,15 +104,15 @@ fn random_op_sequences_keep_invariants() {
                 now = now.max(d.at());
                 match d {
                     Due::Complete { core, .. } => {
-                        let (_, fx) = server.complete(now, core);
+                        server.complete(now, core, &mut fx);
                         absorb(&fx, now, &mut due);
                     }
                     Due::Timer { gen, .. } => {
-                        let fx = server.timer_fired(now, gen);
+                        server.timer_fired(now, gen, &mut fx);
                         absorb(&fx, now, &mut due);
                     }
                     Due::Transition { .. } => {
-                        let fx = server.transition_done(now);
+                        server.transition_done(now, &mut fx);
                         absorb(&fx, now, &mut due);
                     }
                 }
@@ -151,15 +154,15 @@ fn random_op_sequences_keep_invariants() {
             now = now.max(d.at());
             match d {
                 Due::Complete { core, .. } => {
-                    let (_, fx) = server.complete(now, core);
+                    server.complete(now, core, &mut fx);
                     absorb(&fx, now, &mut due);
                 }
                 Due::Timer { gen, .. } => {
-                    let fx = server.timer_fired(now, gen);
+                    server.timer_fired(now, gen, &mut fx);
                     absorb(&fx, now, &mut due);
                 }
                 Due::Transition { .. } => {
-                    let fx = server.transition_done(now);
+                    server.transition_done(now, &mut fx);
                     absorb(&fx, now, &mut due);
                 }
             }
