@@ -7,7 +7,7 @@
 //! paper-vs-measured outcomes.
 //!
 //! Binaries accept `--quick` to run a reduced-scale version (useful in CI).
-//! Benchmarks use the [`bench`] mini-harness below (best-of-N wall-clock
+//! Benchmarks use the [`bench()`] mini-harness below (best-of-N wall-clock
 //! timing via `std::time::Instant`), so `cargo bench` needs no external
 //! benchmarking crate and CI's `cargo bench --no-run` keeps the sources
 //! compiling.

@@ -101,7 +101,7 @@ pub struct NetworkConfig {
     pub lpi_hold: Option<SimDuration>,
     /// Use Adaptive Link Rate instead of LPI for idle ports: rather than
     /// entering Low Power Idle, an idle port negotiates down to the lowest
-    /// ALR ladder rate (Gunaratne et al. [25]).
+    /// ALR ladder rate (Gunaratne et al. \[25\]).
     pub use_alr: bool,
     /// Model front-end ingress traffic: every task dispatch sends a
     /// request of `.0` bytes down the server's access link and every

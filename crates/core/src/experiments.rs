@@ -208,7 +208,7 @@ impl DualTimerResult {
 /// timer runs on the same provisioned farm as Fig. 5; the dual-timer
 /// scheme prioritizes its high-τ pool via the consolidating dispatcher
 /// (a hot pool sized to the load keeps a long timer; the rest sleep
-/// quickly after bursts — [69]'s split).
+/// quickly after bursts — \[69\]'s split).
 pub fn fig6_configs(
     preset: WorkloadPreset,
     rho: f64,
@@ -637,6 +637,123 @@ pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<Sca
             }
         })
         .collect()
+}
+
+/// One network-heavy scalability measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct NetScalabilityPoint {
+    /// Simulated servers.
+    pub servers: usize,
+    /// Communication model of this arm (`"flow"` or `"packet"`).
+    pub comm: &'static str,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+    /// Jobs completed.
+    pub jobs: u64,
+}
+
+/// Fan-out width of the network scalability configuration (each job is a
+/// scatter-gather DAG with this many leaves — `2 × width` network edges).
+pub const NET_SCALABILITY_FANOUT: u32 = 8;
+/// Bytes per DAG edge of the network scalability configuration (~44
+/// MTU-sized packets per edge in packet mode).
+pub const NET_SCALABILITY_BYTES: u64 = 64 * 1024;
+/// Utilization of the network scalability configuration.
+pub const NET_SCALABILITY_RHO: f64 = 0.3;
+
+/// The job template of the network scalability configuration: a
+/// high-fan-out scatter-gather job (web-search style) whose every edge
+/// crosses the fat tree under round-robin placement.
+pub fn net_scalability_template() -> JobTemplate {
+    JobTemplate::FanOutFanIn {
+        root: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(1),
+        },
+        leaf: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(2),
+        },
+        agg: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(1),
+        },
+        width: NET_SCALABILITY_FANOUT,
+        transfer_bytes: NET_SCALABILITY_BYTES,
+    }
+}
+
+/// The smallest even fat-tree parameter `k` whose `k³/4` hosts cover `n`
+/// servers.
+pub fn fat_tree_k_for(n: usize) -> usize {
+    let mut k = 4;
+    while k * k * k / 4 < n {
+        k += 2;
+    }
+    k
+}
+
+/// The configuration of one network scalability arm.
+pub fn net_scalability_config(
+    servers: usize,
+    comm: crate::config::CommModel,
+    duration: SimDuration,
+    seed: u64,
+) -> SimConfig {
+    let mut cfg = SimConfig::server_farm(
+        servers,
+        SCALABILITY_CORES,
+        NET_SCALABILITY_RHO,
+        net_scalability_template(),
+        duration,
+    )
+    .with_seed(seed)
+    .with_policy(SCALABILITY_POLICY);
+    let mut net = NetworkConfig::fat_tree(fat_tree_k_for(servers));
+    net.comm = comm;
+    cfg.network = Some(net);
+    cfg
+}
+
+/// The network-heavy companion to [`scalability`]: the same farm driven
+/// by high-fan-out scatter-gather jobs over a fat tree, once per
+/// communication model. This is the stress case for the network hot path
+/// (a transfer-table operation per packet arrival / flow completion and a
+/// route per transfer), where the event rate is dominated by the network,
+/// not the servers.
+pub fn net_scalability(
+    sizes: &[usize],
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<NetScalabilityPoint> {
+    let mut points = Vec::with_capacity(sizes.len() * 2);
+    for &n in sizes {
+        for (comm, label) in [
+            (crate::config::CommModel::Flow, "flow"),
+            (
+                crate::config::CommModel::Packet {
+                    mtu: 1_500,
+                    buffer_bytes: 1 << 20,
+                },
+                "packet",
+            ),
+        ] {
+            let cfg = net_scalability_config(n, comm, duration, seed);
+            let t0 = Instant::now();
+            let report = Simulation::new(cfg).run();
+            let wall = t0.elapsed().as_secs_f64();
+            points.push(NetScalabilityPoint {
+                servers: n,
+                comm: label,
+                events: report.events_processed,
+                wall_s: wall,
+                events_per_s: report.events_processed as f64 / wall.max(1e-9),
+                jobs: report.jobs_completed,
+            });
+        }
+    }
+    points
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Plot-ready CSV/JSON rendering of [`SimReport`](crate::report::SimReport)
+//! Plot-ready CSV/JSON rendering of [`SimReport`]
 //! contents — the hand-rolled exporter that replaces a serde dependency
 //! (DESIGN.md §3). The [`JsonObj`] builder is also the substrate for the
 //! `holdcsim-harness` JSONL trial artifacts.

@@ -1,9 +1,7 @@
 //! Job lifecycle tracking: DAG readiness counting, placement, transfer
 //! barriers, and completion detection (§III-C).
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
-
+use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::SimTime;
 use holdcsim_server::server::ServerId;
 use holdcsim_workload::dag::JobDag;
@@ -124,30 +122,17 @@ impl JobState {
 /// The table of in-flight jobs.
 ///
 /// Job ids are allocated sequentially and jobs mostly complete in arrival
-/// order, so the table is a sliding window of slots rather than a hash
-/// map: lookups on the per-event hot path are a single index instead of a
-/// hash probe. Completed slots are reclaimed as the window's front drains.
+/// order — exactly the lifetime pattern [`SlotWindow`] is built for — so
+/// lookups on the per-event hot path are a single index instead of a hash
+/// probe, and one long-running straggler job cannot pin the window (it
+/// compacts into the window's sparse overflow).
 #[derive(Debug, Default)]
 pub struct JobTable {
-    /// Slots for job ids in `[base, base + slots.len())`; completed jobs
-    /// leave a `None` until the front of the window drains past them.
-    slots: VecDeque<Option<JobState>>,
-    /// Id of the first tracked slot.
-    base: u64,
-    /// Straggler jobs compacted out of the dense window (ids below
-    /// `base`), so one long-running job cannot pin the window to
-    /// O(jobs submitted since).
-    overflow: HashMap<u64, JobState>,
-    next_id: u64,
-    in_flight: usize,
+    /// In-flight jobs, keyed by job id (the window issues the ids).
+    window: SlotWindow<JobState>,
     submitted: u64,
     completed: u64,
 }
-
-/// Dense-window slack before straggler compaction kicks in; mirrors the
-/// event calendar's policy (compaction only once the window is dominated
-/// by completed slots, so steady in-order completion never compacts).
-const COMPACT_SLACK: usize = 1024;
 
 impl JobTable {
     /// Creates an empty table.
@@ -155,11 +140,11 @@ impl JobTable {
         Self::default()
     }
 
-    /// Allocates the next job id.
+    /// The next job id. Ids are finalized by the matching
+    /// [`insert`](Self::insert), which must follow before the next
+    /// allocation.
     pub fn alloc_id(&mut self) -> JobId {
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        id
+        JobId(self.window.next_key())
     }
 
     /// Inserts a new job.
@@ -169,41 +154,9 @@ impl JobTable {
     /// Panics if `id` was not the most recently allocated id: jobs enter
     /// the table in allocation order.
     pub fn insert(&mut self, id: JobId, state: JobState) {
-        assert_eq!(
-            id.0,
-            self.base + self.slots.len() as u64,
-            "jobs must be inserted in allocation order"
-        );
+        let key = self.window.insert(state);
+        assert_eq!(key, id.0, "jobs must be inserted in allocation order");
         self.submitted += 1;
-        self.in_flight += 1;
-        self.slots.push_back(Some(state));
-        if self.slots.len() > 4 * self.in_flight + COMPACT_SLACK {
-            self.compact();
-        }
-    }
-
-    /// Moves sparse straggler jobs at the front of a completion-dominated
-    /// window into `overflow`, bounding the window to O(in-flight).
-    /// Amortized O(1) per insert.
-    fn compact(&mut self) {
-        let keep = 2 * self.in_flight + COMPACT_SLACK / 2;
-        while self.slots.len() > keep {
-            let Some(slot) = self.slots.pop_front() else {
-                break;
-            };
-            if let Some(state) = slot {
-                self.overflow.insert(self.base, state);
-            }
-            self.base += 1;
-        }
-    }
-
-    fn slot_index(&self, id: JobId) -> usize {
-        debug_assert!(
-            id.0 >= self.base && id.0 < self.base + self.slots.len() as u64,
-            "job not in flight"
-        );
-        (id.0 - self.base) as usize
     }
 
     /// The job with this id.
@@ -212,11 +165,7 @@ impl JobTable {
     ///
     /// Panics if the job is not in flight.
     pub fn get_mut(&mut self, id: JobId) -> &mut JobState {
-        if id.0 < self.base {
-            return self.overflow.get_mut(&id.0).expect("job not in flight");
-        }
-        let idx = self.slot_index(id);
-        self.slots[idx].as_mut().expect("job not in flight")
+        self.window.get_mut(id.0).expect("job not in flight")
     }
 
     /// Shared access.
@@ -225,36 +174,19 @@ impl JobTable {
     ///
     /// Panics if the job is not in flight.
     pub fn get(&self, id: JobId) -> &JobState {
-        if id.0 < self.base {
-            return self.overflow.get(&id.0).expect("job not in flight");
-        }
-        let idx = self.slot_index(id);
-        self.slots[idx].as_ref().expect("job not in flight")
+        self.window.get(id.0).expect("job not in flight")
     }
 
     /// Removes a completed job, returning its state.
     pub fn remove_completed(&mut self, id: JobId) -> JobState {
-        let state = if id.0 < self.base {
-            self.overflow.remove(&id.0).expect("job not in flight")
-        } else {
-            let idx = self.slot_index(id);
-            let taken = self.slots[idx].take().expect("job not in flight");
-            // Trim the drained front so the window tracks the in-flight
-            // span.
-            while let Some(None) = self.slots.front() {
-                self.slots.pop_front();
-                self.base += 1;
-            }
-            taken
-        };
+        let state = self.window.remove(id.0).expect("job not in flight");
         self.completed += 1;
-        self.in_flight -= 1;
         state
     }
 
     /// Jobs currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.in_flight
+        self.window.len()
     }
 
     /// Jobs ever submitted.
@@ -270,14 +202,7 @@ impl JobTable {
     /// Tasks pending across all in-flight jobs (running + queued + waiting
     /// transfers) — the global load signal.
     pub fn total_unfinished_tasks(&self) -> u64 {
-        let dense: u64 = self
-            .slots
-            .iter()
-            .flatten()
-            .map(|j| j.unfinished as u64)
-            .sum();
-        let sparse: u64 = self.overflow.values().map(|j| j.unfinished as u64).sum();
-        dense + sparse
+        self.window.iter().map(|(_, j)| j.unfinished as u64).sum()
     }
 }
 
@@ -367,9 +292,9 @@ mod tests {
         }
         assert_eq!(t.in_flight(), 1);
         assert!(
-            t.slots.len() < 2 * COMPACT_SLACK + 16,
+            t.window.dense_len() < 2 * holdcsim_des::slot_window::COMPACT_SLACK + 16,
             "window should compact behind the straggler, got {} slots",
-            t.slots.len()
+            t.window.dense_len()
         );
         // The compacted job is still fully addressable.
         assert_eq!(t.get(straggler).dag.len(), 3);
@@ -381,7 +306,7 @@ mod tests {
         assert!(t.get(straggler).is_complete());
         t.remove_completed(straggler);
         assert_eq!(t.in_flight(), 0);
-        assert!(t.overflow.is_empty(), "overflow drained");
+        assert_eq!(t.window.overflow_len(), 0, "overflow drained");
     }
 
     #[test]

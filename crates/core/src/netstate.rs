@@ -2,12 +2,13 @@
 //! switch power devices, with the index structures the event loop needs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::flow::FlowNet;
 use holdcsim_network::ids::{LinkId, NodeId};
 use holdcsim_network::packet::PacketNet;
-use holdcsim_network::routing::{Route, Router};
+use holdcsim_network::routing::{ecmp_bucket, Route, Router};
 use holdcsim_network::switch::SwitchDevice;
 use holdcsim_network::topologies::{
     bcube, camcube, fat_tree, flattened_butterfly, star, BuiltTopology,
@@ -49,6 +50,13 @@ pub struct NetState {
 }
 
 impl NetState {
+    /// ECMP spreading ways for inter-server routes: distinct seeds map to
+    /// at most this many route choices per server pair (covering the core
+    /// multiplicity of fat trees up to k = 8), which bounds the router's
+    /// shared-route cache at `hosts² × 16` entries and lets steady-state
+    /// transfers hit it quickly.
+    pub const ECMP_WAYS: u64 = 16;
+
     /// Builds the network per `cfg`, sized to cover `server_count` hosts.
     ///
     /// # Panics
@@ -100,7 +108,17 @@ impl NetState {
                 }
             }
         }
-        let router = Router::new();
+        let mut router = Router::new();
+        // Cover the whole bounded route key space (hosts² × ECMP ways)
+        // when it fits in memory, so sustained all-pairs traffic cannot
+        // thrash the shared-route cache; past ~4M entries (≥ 512 hosts)
+        // fall back to the capped wholesale-drop behavior.
+        let hosts_n = built.hosts.len() as u64;
+        let key_space = hosts_n
+            .saturating_mul(hosts_n)
+            .saturating_mul(Self::ECMP_WAYS)
+            .min(1 << 22);
+        router.set_route_cache_cap(key_space as usize);
         let flows = FlowNet::new(&topology);
         let buffer = match cfg.comm {
             CommModel::Packet { buffer_bytes, .. } => buffer_bytes,
@@ -129,10 +147,16 @@ impl NetState {
         self.hosts[server.0 as usize]
     }
 
-    /// Routes between two servers' hosts (ECMP-seeded by `seed`).
-    pub fn route_between(&mut self, a: ServerId, b: ServerId, seed: u64) -> Option<Route> {
+    /// Routes between two servers' hosts, ECMP-spread by `seed`.
+    ///
+    /// The seed is folded into one of [`NetState::ECMP_WAYS`] buckets
+    /// (like a switch hashing the flow tuple into a bounded next-hop
+    /// table), so the router's shared-route cache serves steady-state
+    /// transfers without a path walk or a `Route` allocation.
+    pub fn route_between(&mut self, a: ServerId, b: ServerId, seed: u64) -> Option<Arc<Route>> {
         let (ha, hb) = (self.host_of(a), self.host_of(b));
-        self.router.route(&self.topology, ha, hb, seed)
+        self.router
+            .route_shared(&self.topology, ha, hb, ecmp_bucket(seed, Self::ECMP_WAYS))
     }
 
     /// Switch-side `(switch index, port)` endpoints of `link`.

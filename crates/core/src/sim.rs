@@ -2,13 +2,16 @@
 //! servers, scheduling, controllers, and the network together, and the
 //! [`Simulation`] front end that runs it and produces a [`SimReport`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use holdcsim_des::engine::{Context, Engine, Model};
 use holdcsim_des::rng::SimRng;
+use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::{SimDuration, SimTime};
-use holdcsim_network::ids::{FlowId, LinkId, NodeId, PacketId};
-use holdcsim_network::packet::{segment, Packet, TxOutcome};
+use holdcsim_network::ids::{FlowId, NodeId, PacketId};
+use holdcsim_network::packet::{Packet, TxOutcome};
+use holdcsim_network::routing::Route;
 use holdcsim_sched::policy::{
     ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
     Random, RoundRobin,
@@ -94,10 +97,29 @@ pub enum DcEvent {
 #[derive(Debug)]
 struct PacketSt {
     packet: Packet,
-    job: JobId,
-    task: u32,
-    /// Producer task index: packet counters are per DAG edge.
-    src_task: u32,
+    /// Slot in `transfer_slots` for the DAG edge this packet belongs to.
+    xfer: u64,
+}
+
+/// One in-flight flow-model transfer (slot key = raw flow id).
+#[derive(Debug)]
+struct FlowSt {
+    /// The (shared) route the flow occupies.
+    route: Arc<Route>,
+    /// Admission state while the flow waits out switch wake latency:
+    /// `(src host, dst host, bytes)`, taken on admission.
+    pending: Option<(NodeId, NodeId, u64)>,
+    /// Slot in `dispatch_slots` for the consumer task.
+    dispatch: u64,
+}
+
+/// One in-flight packet-model transfer (a DAG edge's packet burst).
+#[derive(Debug)]
+struct TransferSt {
+    /// Packets still in flight on this edge.
+    remaining: u64,
+    /// Slot in `dispatch_slots` for the consumer task.
+    dispatch: u64,
 }
 
 #[derive(Debug)]
@@ -143,17 +165,20 @@ pub struct Datacenter {
     fx: EffectBuf,
     controller: Option<Controller>,
     net: Option<NetState>,
-    next_flow_id: u64,
     next_packet_id: u64,
-    flow_meta: HashMap<FlowId, (JobId, u32, Vec<LinkId>)>,
-    /// Flows waiting out switch wake latency before admission:
-    /// raw flow id → `(src host, dst host, bytes)`.
-    pending_flows: HashMap<u64, (NodeId, NodeId, u64)>,
+    /// Live flows, keyed by raw flow id (the window issues the ids):
+    /// flow-completion and admission events index instead of hashing.
+    flow_slots: SlotWindow<FlowSt>,
     packet_slots: Vec<Option<PacketSt>>,
     free_slots: Vec<usize>,
-    /// Outstanding packets per `(job, consumer task, producer task)` edge.
-    transfer_packets: HashMap<(u64, u32, u32), u64>,
-    pending_dispatch: HashMap<(u64, u32), (ServerId, TaskHandle)>,
+    /// Outstanding packet bursts per DAG edge; packets carry their slot.
+    transfer_slots: SlotWindow<TransferSt>,
+    /// Placed tasks awaiting inbound transfers; flows/transfers carry
+    /// their slot, so completion never hashes a `(job, task)` key.
+    dispatch_slots: SlotWindow<(ServerId, TaskHandle)>,
+    /// Scratch for a task's inbound cross-server edges (reused across
+    /// placements; no per-transfer allocation).
+    scratch_inbound: Vec<(u32, u64, ServerId)>,
     /// Per-server tasks committed but still waiting on inbound transfers.
     committed: Vec<u32>,
     metrics: Metrics,
@@ -267,14 +292,13 @@ impl Datacenter {
             fx: EffectBuf::new(),
             controller,
             net,
-            next_flow_id: 0,
             next_packet_id: 0,
-            flow_meta: HashMap::new(),
-            pending_flows: HashMap::new(),
+            flow_slots: SlotWindow::new(),
             packet_slots: Vec::new(),
             free_slots: Vec::new(),
-            transfer_packets: HashMap::new(),
-            pending_dispatch: HashMap::new(),
+            transfer_slots: SlotWindow::new(),
+            dispatch_slots: SlotWindow::new(),
+            scratch_inbound: Vec::new(),
             committed: vec![0; cfg.server_count],
             metrics,
             cfg,
@@ -477,7 +501,8 @@ impl Datacenter {
         self.scratch_srcs = srcs;
         match picked {
             Some(sid) => self.assign_and_transfer(ctx, job, t, handle, sid),
-            None => self.global_queue.push(ctx.now(), handle),
+            // The class rides along so class-aware pulls are O(1).
+            None => self.global_queue.push_classed(ctx.now(), handle, class),
         }
     }
 
@@ -492,42 +517,41 @@ impl Datacenter {
         sid: ServerId,
     ) {
         self.jobs.get_mut(job).assign(t, sid);
-        // Inbound edges that actually cross the network.
-        let inbound: Vec<(u32, u64, ServerId)> = if self.net.is_some() {
+        // Inbound edges that actually cross the network (reusable scratch
+        // buffer, taken out so `start_transfer` can borrow `self`).
+        let mut inbound = std::mem::take(&mut self.scratch_inbound);
+        inbound.clear();
+        if self.net.is_some() {
             let js = self.jobs.get(job);
-            js.dag
-                .predecessors(t)
-                .iter()
-                .filter_map(|&p| {
-                    let bytes = js.dag.edge_bytes(p, t)?;
-                    let src = js.assignment(p)?;
-                    (bytes > 0 && src != sid).then_some((p, bytes, src))
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+            inbound.extend(js.dag.predecessors(t).iter().filter_map(|&p| {
+                let bytes = js.dag.edge_bytes(p, t)?;
+                let src = js.assignment(p)?;
+                (bytes > 0 && src != sid).then_some((p, bytes, src))
+            }));
+        }
         if inbound.is_empty() {
+            self.scratch_inbound = inbound;
             self.dispatch(ctx, sid, handle);
             return;
         }
         self.jobs
             .get_mut(job)
             .add_transfers(t, inbound.len() as u32);
-        self.pending_dispatch.insert((job.0, t), (sid, handle));
+        let dispatch = self.dispatch_slots.insert((sid, handle));
         self.committed[sid.0 as usize] += 1;
-        for (p, bytes, src) in inbound {
-            self.start_transfer(ctx, job, t, p, src, sid, bytes);
+        for &(_, bytes, src) in &inbound {
+            self.start_transfer(ctx, dispatch, job, t, src, sid, bytes);
         }
+        self.scratch_inbound = inbound;
     }
 
     #[allow(clippy::too_many_arguments)]
     fn start_transfer(
         &mut self,
         ctx: &mut Context<'_, DcEvent>,
+        dispatch: u64,
         job: JobId,
         t: u32,
-        src_task: u32,
         src: ServerId,
         dst: ServerId,
         bytes: u64,
@@ -536,8 +560,7 @@ impl Datacenter {
         let comm = self.net.as_ref().expect("transfer without network").comm;
         match comm {
             CommModel::Flow => {
-                let fid = FlowId(self.next_flow_id);
-                self.next_flow_id += 1;
+                let fid = FlowId(self.flow_slots.next_key());
                 let net = self.net.as_mut().expect("checked above");
                 let route = net
                     .route_between(src, dst, fid.0)
@@ -551,12 +574,22 @@ impl Datacenter {
                     wake = wake.max(net.wake_link(now, l));
                 }
                 let (hs, hd) = (net.host_of(src), net.host_of(dst));
-                self.flow_meta.insert(fid, (job, t, route.links.clone()));
                 if wake.is_zero() {
                     net.flows.add_flow(now, fid, hs, hd, &route.links, bytes);
+                    let key = self.flow_slots.insert(FlowSt {
+                        route,
+                        pending: None,
+                        dispatch,
+                    });
+                    debug_assert_eq!(key, fid.0);
                     self.resched_flows(ctx);
                 } else {
-                    self.pending_flows.insert(fid.0, (hs, hd, bytes));
+                    let key = self.flow_slots.insert(FlowSt {
+                        route,
+                        pending: Some((hs, hd, bytes)),
+                        dispatch,
+                    });
+                    debug_assert_eq!(key, fid.0);
                     ctx.schedule_in(wake, DcEvent::FlowAdmit { flow: fid.0 });
                 }
             }
@@ -565,32 +598,23 @@ impl Datacenter {
                 let route = net
                     .route_between(src, dst, job.0 ^ u64::from(t))
                     .expect("topology is connected");
-                let segs = segment(bytes, mtu);
-                let n = segs.len() as u64;
-                if n == 0 {
-                    // Zero-byte edge over the network: instant.
-                    if self.jobs.get_mut(job).transfer_done(t) {
-                        let (sid, handle) = self
-                            .pending_dispatch
-                            .remove(&(job.0, t))
-                            .expect("pending dispatch");
-                        self.committed[sid.0 as usize] -= 1;
-                        self.dispatch(ctx, sid, handle);
-                    }
-                    return;
-                }
-                *self
-                    .transfer_packets
-                    .entry((job.0, t, src_task))
-                    .or_insert(0) += n;
-                for b in segs {
+                // Packetize arithmetically (no segment vector): `full`
+                // MTU-sized packets plus a possible short tail.
+                let full = bytes / mtu;
+                let tail = bytes % mtu;
+                let n = full + u64::from(tail > 0);
+                debug_assert!(n > 0, "inbound edges carry bytes");
+                let xfer = self.transfer_slots.insert(TransferSt {
+                    remaining: n,
+                    dispatch,
+                });
+                for i in 0..n {
+                    let b = if i < full { mtu } else { tail };
                     let pid = PacketId(self.next_packet_id);
                     self.next_packet_id += 1;
                     let st = PacketSt {
-                        packet: Packet::new(pid, b, route.clone()),
-                        job,
-                        task: t,
-                        src_task,
+                        packet: Packet::new(pid, b, Arc::clone(&route)),
+                        xfer,
                     };
                     let slot = match self.free_slots.pop() {
                         Some(s) => {
@@ -605,6 +629,23 @@ impl Datacenter {
                     self.send_packet(ctx, slot);
                 }
             }
+        }
+    }
+
+    /// One DAG edge fully delivered: counts it against the consumer task's
+    /// transfer barrier and dispatches once every inbound edge has landed.
+    fn finish_edge(&mut self, ctx: &mut Context<'_, DcEvent>, dispatch: u64) {
+        let (job, task) = {
+            let (_, handle) = self.dispatch_slots.get(dispatch).expect("pending dispatch");
+            (handle.id.job, handle.id.index)
+        };
+        if self.jobs.get_mut(job).transfer_done(task) {
+            let (sid, handle) = self
+                .dispatch_slots
+                .remove(dispatch)
+                .expect("pending dispatch");
+            self.committed[sid.0 as usize] -= 1;
+            self.dispatch(ctx, sid, handle);
         }
     }
 
@@ -664,53 +705,42 @@ impl Datacenter {
         }
         let st = self.packet_slots[slot].take().expect("live packet slot");
         self.free_slots.push(slot);
-        let key = (st.job.0, st.task, st.src_task);
-        let remaining = self
-            .transfer_packets
-            .get_mut(&key)
+        let tr = self
+            .transfer_slots
+            .get_mut(st.xfer)
             .expect("transfer accounting");
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.transfer_packets.remove(&key);
+        tr.remaining -= 1;
+        if tr.remaining == 0 {
+            let dispatch = tr.dispatch;
+            self.transfer_slots.remove(st.xfer);
             // This *edge* is fully delivered; the task starts once all its
             // inbound edges have landed.
-            if self.jobs.get_mut(st.job).transfer_done(st.task) {
-                let (sid, handle) = self
-                    .pending_dispatch
-                    .remove(&(st.job.0, st.task))
-                    .expect("pending dispatch");
-                self.committed[sid.0 as usize] -= 1;
-                self.dispatch(ctx, sid, handle);
-            }
+            self.finish_edge(ctx, dispatch);
         }
     }
 
     /// Admits a flow whose start was held back by switch wake latency.
     fn on_flow_admit(&mut self, ctx: &mut Context<'_, DcEvent>, flow: u64) {
         let now = ctx.now();
-        let fid = FlowId(flow);
-        let links = &self
-            .flow_meta
-            .get(&fid)
-            .expect("pending flow has metadata")
-            .2;
-        let net = self.net.as_mut().expect("flows without network");
+        let Datacenter {
+            flow_slots, net, ..
+        } = self;
+        let st = flow_slots.get_mut(flow).expect("pending flow has state");
+        let net = net.as_mut().expect("flows without network");
         // A pending flow occupies no links yet, so an LpiCheck firing
         // inside the wake window can have re-slept a route port. Re-wake
         // the route; any residual latency delays admission again.
         let mut wake = SimDuration::ZERO;
-        for &l in links {
+        for &l in &st.route.links {
             wake = wake.max(net.wake_link(now, l));
         }
         if !wake.is_zero() {
             ctx.schedule_in(wake, DcEvent::FlowAdmit { flow });
             return;
         }
-        let (hs, hd, bytes) = self
-            .pending_flows
-            .remove(&flow)
-            .expect("pending flow has admission state");
-        net.flows.add_flow(now, fid, hs, hd, links, bytes);
+        let (hs, hd, bytes) = st.pending.take().expect("pending flow has admission state");
+        net.flows
+            .add_flow(now, FlowId(flow), hs, hd, &st.route.links, bytes);
         self.resched_flows(ctx);
     }
 
@@ -731,14 +761,14 @@ impl Datacenter {
         let done = net.flows.take_completed();
         let hold = net.lpi_hold;
         for c in &done {
-            let (job, task, links) = self
-                .flow_meta
-                .remove(&c.id)
-                .expect("completed flow has metadata");
+            let st = self
+                .flow_slots
+                .remove(c.id.0)
+                .expect("completed flow has state");
             // Freed links may now idle their ports.
             if let Some(hold) = hold {
                 let net = self.net.as_ref().expect("still here");
-                for &l in &links {
+                for &l in &st.route.links {
                     if net.flows.flows_on_link(l) == 0 {
                         for (swi, port) in net.switch_ports_of_link(l) {
                             ctx.schedule_in(hold, DcEvent::LpiCheck { switch: swi, port });
@@ -746,14 +776,7 @@ impl Datacenter {
                     }
                 }
             }
-            if self.jobs.get_mut(job).transfer_done(task) {
-                let (sid, handle) = self
-                    .pending_dispatch
-                    .remove(&(job.0, task))
-                    .expect("pending dispatch");
-                self.committed[sid.0 as usize] -= 1;
-                self.dispatch(ctx, sid, handle);
-            }
+            self.finish_edge(ctx, st.dispatch);
         }
         if self.net.is_some() {
             self.resched_flows(ctx);
@@ -909,19 +932,14 @@ impl Datacenter {
             if !(s.is_awake() && claimed < s.core_count()) {
                 return;
             }
-            // Only pull tasks this server's class may run.
-            let popped = {
-                let jobs = &self.jobs;
-                let classes = &self.cfg.server_classes;
-                self.global_queue.pop_matching(ctx.now(), |t| {
-                    match (
-                        jobs.get(t.id.job).dag.task(t.id.index).server_class,
-                        classes.is_empty(),
-                    ) {
-                        (Some(c), false) => classes[sid.0 as usize] == c,
-                        _ => true,
-                    }
-                })
+            // Only pull tasks this server's class may run: with no class
+            // map every task is eligible (plain FIFO pop); otherwise the
+            // per-class sub-queue indices make the pull O(1).
+            let popped = if self.cfg.server_classes.is_empty() {
+                self.global_queue.pop(ctx.now())
+            } else {
+                self.global_queue
+                    .pop_eligible(ctx.now(), self.cfg.server_classes[sid.0 as usize])
             };
             let Some((handle, _waited)) = popped else {
                 return;
@@ -1392,5 +1410,79 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"jobs_completed\""));
         assert!(report.summary().contains("jobs:"));
+    }
+
+    /// A network run exercising every slot-indexed table at once: two-tier
+    /// jobs (every edge crosses the fat tree), server classes (per-class
+    /// global-queue sub-queues), the global queue (dispatch slots under
+    /// commitment), and the chosen communication model (flow slots or
+    /// transfer slots).
+    fn slot_indexed_cfg(comm: CommModel) -> SimConfig {
+        use holdcsim_workload::service::ServiceDist;
+        use holdcsim_workload::templates::JobTemplate;
+        let template = JobTemplate::two_tier(
+            ServiceDist::Exponential {
+                mean: SimDuration::from_millis(4),
+            },
+            ServiceDist::Exponential {
+                mean: SimDuration::from_millis(6),
+            },
+            48_000,
+        );
+        let mut cfg = SimConfig::server_farm(8, 2, 0.5, template, SimDuration::from_secs(3));
+        cfg.server_classes = (0..8).map(|i| (i % 2) as u32).collect();
+        cfg.use_global_queue = true;
+        let mut net = crate::config::NetworkConfig::fat_tree(4);
+        net.comm = comm;
+        cfg.network = Some(net);
+        cfg
+    }
+
+    #[test]
+    fn packet_mode_fixed_seed_reports_are_bitwise_identical() {
+        let comm = CommModel::Packet {
+            mtu: 1_500,
+            buffer_bytes: 1 << 20,
+        };
+        let a = Simulation::new(slot_indexed_cfg(comm)).run();
+        let b = Simulation::new(slot_indexed_cfg(comm)).run();
+        assert_eq!(a.to_json(), b.to_json(), "same seed, same report bytes");
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.jobs_completed > 500, "jobs {}", a.jobs_completed);
+        let net = a.network.as_ref().expect("network report");
+        assert!(
+            net.packets_forwarded > 10_000,
+            "transfers really packetized"
+        );
+    }
+
+    #[test]
+    fn flow_mode_fixed_seed_reports_are_bitwise_identical() {
+        let a = Simulation::new(slot_indexed_cfg(CommModel::Flow)).run();
+        let b = Simulation::new(slot_indexed_cfg(CommModel::Flow)).run();
+        assert_eq!(a.to_json(), b.to_json(), "same seed, same report bytes");
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.jobs_completed > 500, "jobs {}", a.jobs_completed);
+        let net = a.network.as_ref().expect("network report");
+        assert!(net.flows > 1_000, "transfers really flowed");
+    }
+
+    #[test]
+    fn steady_state_routes_come_from_the_cache() {
+        // With bounded ECMP buckets the route cache must serve the steady
+        // state: misses are bounded by (pairs × ways), hits grow with the
+        // transfer count.
+        let mut sim = Simulation::new(slot_indexed_cfg(CommModel::Flow));
+        sim.run_to(SimTime::ZERO + SimDuration::from_secs(3));
+        let (hits, misses) = sim
+            .datacenter()
+            .net()
+            .expect("network configured")
+            .router
+            .route_cache_stats();
+        assert!(
+            hits > 4 * misses,
+            "route cache should serve steady-state transfers: {hits} hits / {misses} misses"
+        );
     }
 }

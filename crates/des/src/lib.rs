@@ -3,7 +3,9 @@
 //! The discrete-event simulation kernel underpinning HolDCSim-RS: a
 //! deterministic event calendar with cancellable timers, an engine driving a
 //! user-supplied [`engine::Model`], a reproducible random-number generator,
-//! and the statistics toolkit the simulator reports with.
+//! the generic [`slot_window::SlotWindow`] behind every hot-path table
+//! (sequentially-keyed, hash-free, straggler-compacting), and the
+//! statistics toolkit the simulator reports with.
 //!
 //! Everything here is domain-agnostic: no servers, switches, or jobs — those
 //! live in the crates layered on top.
@@ -82,10 +84,12 @@ pub mod analysis;
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod slot_window;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Context, Engine, Model};
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
+pub use slot_window::SlotWindow;
 pub use time::{SimDuration, SimTime};

@@ -3,16 +3,18 @@
 //! Events at the same timestamp pop in insertion (FIFO) order, which makes
 //! simulations deterministic regardless of heap internals. Cancellation is
 //! O(1): every token's lifecycle (live → cancelled/consumed) is tracked in
-//! a dense ring of per-sequence states, so cancelled entries are skipped
-//! when they reach the top ("lazy deletion") without any heap surgery —
-//! and, unlike a hash-set of cancelled sequences, the hot pop path costs
-//! one array index per event instead of a hash probe.
+//! a [`SlotWindow`] of per-sequence states, so cancelled entries are
+//! skipped when they reach the top ("lazy deletion") without any heap
+//! surgery — and, unlike a hash-set of cancelled sequences, the hot pop
+//! path costs one array index per event instead of a hash probe. The
+//! window's straggler compaction keeps one far-future timer from pinning
+//! per-sequence state for every event pushed since (see
+//! [`crate::slot_window`] for the shared machinery).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
-use std::collections::VecDeque;
 
+use crate::slot_window::SlotWindow;
 use crate::time::SimTime;
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
@@ -58,15 +60,14 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Lifecycle of one issued sequence number.
+/// Lifecycle of one issued sequence number still in the heap. A sequence
+/// absent from the window has fired (or its cancelled entry was skipped).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SeqState {
     /// Still in the heap, will fire unless cancelled.
     Live,
     /// Cancelled before firing; its heap entry is skipped on pop.
     Cancelled,
-    /// Fired (or its cancelled entry was skipped); no longer in the heap.
-    Dead,
 }
 
 /// A cancellable min-priority queue of `(SimTime, E)` pairs with FIFO
@@ -90,26 +91,13 @@ enum SeqState {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// State of every sequence in `[seq_base, next_seq)`; sequences below
-    /// `seq_base` are `Dead` unless listed in `overflow`. The front is
-    /// trimmed as sequences die, so the ring spans only the live "window"
-    /// of the calendar.
-    states: VecDeque<SeqState>,
-    /// First sequence whose state is still tracked in `states`.
-    seq_base: u64,
-    /// Sparse states below `seq_base`: long-lived entries compacted out
-    /// of the dense window (rare — one per far-future event), so a single
-    /// slow timer cannot pin the window to O(total events pushed).
-    overflow: HashMap<u64, SeqState>,
+    /// State of every sequence still in the heap; sequence numbers are the
+    /// window's keys, so retiring a fired/skipped entry is a window
+    /// removal and token uniqueness falls out of key monotonicity.
+    window: SlotWindow<SeqState>,
     /// Cancelled entries still sitting in the heap.
     cancelled_pending: usize,
-    next_seq: u64,
 }
-
-/// Dense-window slack: compaction triggers only once the window exceeds
-/// this many entries beyond four windows' worth of heap population, so
-/// steady-state churn (window ≈ outstanding events) never compacts.
-const COMPACT_SLACK: usize = 1024;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -122,50 +110,16 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            states: VecDeque::new(),
-            seq_base: 0,
-            overflow: HashMap::new(),
+            window: SlotWindow::new(),
             cancelled_pending: 0,
-            next_seq: 0,
         }
     }
 
     /// Schedules `event` to fire at `at`, returning a cancellation token.
     pub fn push(&mut self, at: SimTime, event: E) -> EventToken {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.states.push_back(SeqState::Live);
-        if self.states.len() > 4 * self.heap.len() + COMPACT_SLACK {
-            self.compact();
-        }
+        let seq = self.window.insert(SeqState::Live);
         self.heap.push(Entry { at, seq, event });
         EventToken(seq)
-    }
-
-    /// Shrinks the dense window when it is dominated by dead entries: the
-    /// sparse survivors at its front (long-lived events the calendar has
-    /// churned far past) move to the `overflow` map. Amortized O(1) per
-    /// push; never triggered while the window is mostly alive.
-    fn compact(&mut self) {
-        let keep = 2 * self.heap.len() + COMPACT_SLACK / 2;
-        while self.states.len() > keep {
-            let Some(state) = self.states.pop_front() else {
-                break;
-            };
-            if state != SeqState::Dead {
-                self.overflow.insert(self.seq_base, state);
-            }
-            self.seq_base += 1;
-        }
-    }
-
-    /// The lifecycle state of `seq`.
-    fn state_of(&self, seq: u64) -> SeqState {
-        if seq >= self.seq_base {
-            self.states[(seq - self.seq_base) as usize]
-        } else {
-            self.overflow.get(&seq).copied().unwrap_or(SeqState::Dead)
-        }
     }
 
     /// Cancels a previously scheduled event.
@@ -174,50 +128,23 @@ impl<E> EventQueue<E> {
     /// Cancelling an already-popped or already-cancelled token is a
     /// harmless no-op (`false`).
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
-            return false; // never issued
-        }
-        if token.0 < self.seq_base {
-            // Compacted out of the dense window: sparse path.
-            match self.overflow.get_mut(&token.0) {
-                Some(state @ SeqState::Live) => {
-                    *state = SeqState::Cancelled;
-                    self.cancelled_pending += 1;
-                    true
-                }
-                _ => false, // already dead, cancelled, or long gone
+        match self.window.get_mut(token.0) {
+            Some(state @ SeqState::Live) => {
+                *state = SeqState::Cancelled;
+                self.cancelled_pending += 1;
+                true
             }
-        } else {
-            let idx = (token.0 - self.seq_base) as usize;
-            if self.states[idx] != SeqState::Live {
-                return false; // already fired or cancelled
-            }
-            self.states[idx] = SeqState::Cancelled;
-            self.cancelled_pending += 1;
-            true
-        }
-    }
-
-    /// Marks `seq` dead and trims the leading run of dead states.
-    fn retire(&mut self, seq: u64) {
-        if seq < self.seq_base {
-            self.overflow.remove(&seq);
-            return;
-        }
-        let idx = (seq - self.seq_base) as usize;
-        self.states[idx] = SeqState::Dead;
-        while let Some(&SeqState::Dead) = self.states.front() {
-            self.states.pop_front();
-            self.seq_base += 1;
+            // Already cancelled, already fired, or never issued.
+            _ => false,
         }
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            let cancelled = self.state_of(entry.seq) == SeqState::Cancelled;
-            self.retire(entry.seq);
-            if cancelled {
+            let state = self.window.remove(entry.seq);
+            debug_assert!(state.is_some(), "heap entry without window state");
+            if state == Some(SeqState::Cancelled) {
                 self.cancelled_pending -= 1;
                 continue;
             }
@@ -229,10 +156,12 @@ impl<E> EventQueue<E> {
     /// The timestamp of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled_pending > 0 && self.state_of(entry.seq) == SeqState::Cancelled {
+            if self.cancelled_pending > 0
+                && self.window.get(entry.seq) == Some(&SeqState::Cancelled)
+            {
                 let seq = entry.seq;
                 self.heap.pop();
-                self.retire(seq);
+                self.window.remove(seq);
                 self.cancelled_pending -= 1;
                 continue;
             }
@@ -254,9 +183,7 @@ impl<E> EventQueue<E> {
     /// Removes all events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.states.clear();
-        self.overflow.clear();
-        self.seq_base = self.next_seq;
+        self.window.clear();
         self.cancelled_pending = 0;
     }
 }
@@ -264,6 +191,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slot_window::COMPACT_SLACK;
 
     #[test]
     fn pops_in_time_order() {
@@ -390,9 +318,9 @@ mod tests {
             q.pop();
         }
         assert!(
-            q.states.len() < 2 * COMPACT_SLACK + 16,
+            q.window.dense_len() < 2 * COMPACT_SLACK + 16,
             "window should compact behind the anchor, got {} entries",
-            q.states.len()
+            q.window.dense_len()
         );
         assert_eq!(q.len(), 1);
         // The compacted anchor still cancels exactly once.
@@ -400,7 +328,7 @@ mod tests {
         assert!(!q.cancel(anchor));
         assert_eq!(q.len(), 0);
         assert_eq!(q.pop(), None);
-        assert!(q.overflow.is_empty(), "overflow drained after the pop");
+        assert_eq!(q.window.overflow_len(), 0, "overflow drained after the pop");
     }
 
     #[test]
@@ -430,6 +358,6 @@ mod tests {
         // Only the anchor (seq 0) holds the window; span is next_seq range.
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some(u64::MAX));
-        assert_eq!(q.states.len(), 0, "window fully trimmed");
+        assert_eq!(q.window.dense_len(), 0, "window fully trimmed");
     }
 }

@@ -139,7 +139,7 @@ impl SimRng {
         -u.ln() / rate
     }
 
-    /// A Bernoulli trial that succeeds with probability `p` (clamped to [0,1]).
+    /// A Bernoulli trial that succeeds with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform_f64() < p.clamp(0.0, 1.0)
     }

@@ -14,8 +14,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use holdcsim::experiments::{
-    scalability, ScalabilityPoint, SCALABILITY_CORES, SCALABILITY_POLICY, SCALABILITY_PRESET,
-    SCALABILITY_RHO,
+    net_scalability, scalability, NetScalabilityPoint, ScalabilityPoint, NET_SCALABILITY_BYTES,
+    NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO, SCALABILITY_CORES, SCALABILITY_POLICY,
+    SCALABILITY_PRESET, SCALABILITY_RHO,
 };
 use holdcsim::export::JsonObj;
 use holdcsim_des::time::SimDuration;
@@ -26,6 +27,14 @@ pub const DEFAULT_SIZES: &[usize] = &[16, 128, 1024];
 /// The default simulated horizon per grid point.
 pub const DEFAULT_DURATION: SimDuration = SimDuration::from_secs(2);
 
+/// The default farm sizes of the network-heavy grid (fat trees of
+/// k = 4 and k = 8).
+pub const DEFAULT_NET_SIZES: &[usize] = &[16, 128];
+
+/// The default simulated horizon per network-heavy point (network events
+/// are ~three orders of magnitude denser than the server-only grid's).
+pub const DEFAULT_NET_DURATION: SimDuration = SimDuration::from_millis(200);
+
 /// Configuration for one bench-scale run.
 #[derive(Debug, Clone)]
 pub struct BenchScaleConfig {
@@ -33,6 +42,11 @@ pub struct BenchScaleConfig {
     pub sizes: Vec<usize>,
     /// Simulated horizon per size.
     pub duration: SimDuration,
+    /// Farm sizes of the network-heavy grid (empty = skip the network
+    /// arms).
+    pub net_sizes: Vec<usize>,
+    /// Simulated horizon per network-heavy point.
+    pub net_duration: SimDuration,
     /// Root seed.
     pub seed: u64,
     /// Repetitions per size; the *best* wall-clock time is kept, the
@@ -47,6 +61,8 @@ impl Default for BenchScaleConfig {
         BenchScaleConfig {
             sizes: DEFAULT_SIZES.to_vec(),
             duration: DEFAULT_DURATION,
+            net_sizes: DEFAULT_NET_SIZES.to_vec(),
+            net_duration: DEFAULT_NET_DURATION,
             seed: 42,
             repeats: 3,
             out: PathBuf::from("BENCH_scalability.json"),
@@ -54,24 +70,37 @@ impl Default for BenchScaleConfig {
     }
 }
 
-/// Renders the `BENCH_scalability.json` document for `points`.
+/// Renders the `BENCH_scalability.json` document for `points` (the
+/// server-only grid) and `net_points` (the network-heavy grid).
 ///
-/// Schema (one object):
+/// Schema (one object; see README "Performance baseline" for the field
+/// glossary):
 ///
 /// ```json
 /// {
 ///   "bench": "scalability",
 ///   "config": {"cores_per_server": 4, "rho": 0.3, "preset": "web-search",
 ///              "policy": "round-robin", "sim_duration_s": 2.0,
-///              "seed": 42, "repeats": 3},
+///              "seed": 42, "repeats": 3,
+///              "network": {"rho": 0.3, "fanout": 8, "edge_bytes": 65536,
+///                          "sim_duration_s": 0.2}},
 ///   "points": [
 ///     {"servers": 16, "events": 15169, "jobs": 7583,
 ///      "wall_s": 0.004, "events_per_s": 3490224.0},
 ///     ...
+///   ],
+///   "network_points": [
+///     {"servers": 16, "comm": "flow", "events": 120000, "jobs": 800,
+///      "wall_s": 0.05, "events_per_s": 2400000.0},
+///     ...
 ///   ]
 /// }
 /// ```
-pub fn render_json(cfg: &BenchScaleConfig, points: &[ScalabilityPoint]) -> String {
+pub fn render_json(
+    cfg: &BenchScaleConfig,
+    points: &[ScalabilityPoint],
+    net_points: &[NetScalabilityPoint],
+) -> String {
     // The config block mirrors the actual Table I constants so the
     // committed baseline can never drift from what was measured.
     let policy = match SCALABILITY_POLICY {
@@ -81,6 +110,12 @@ pub fn render_json(cfg: &BenchScaleConfig, points: &[ScalabilityPoint]) -> Strin
         holdcsim::config::PolicyKind::Random => "random",
         holdcsim::config::PolicyKind::NetworkAware => "network-aware",
     };
+    let network = JsonObj::new()
+        .num("rho", NET_SCALABILITY_RHO)
+        .int("fanout", u64::from(NET_SCALABILITY_FANOUT))
+        .int("edge_bytes", NET_SCALABILITY_BYTES)
+        .num("sim_duration_s", cfg.net_duration.as_secs_f64())
+        .finish();
     let config = JsonObj::new()
         .int("cores_per_server", u64::from(SCALABILITY_CORES))
         .num("rho", SCALABILITY_RHO)
@@ -94,6 +129,7 @@ pub fn render_json(cfg: &BenchScaleConfig, points: &[ScalabilityPoint]) -> Strin
         .num("sim_duration_s", cfg.duration.as_secs_f64())
         .int("seed", cfg.seed)
         .int("repeats", cfg.repeats as u64)
+        .raw("network", &network)
         .finish();
     let mut rows = String::from("[");
     for (i, p) in points.iter().enumerate() {
@@ -110,21 +146,41 @@ pub fn render_json(cfg: &BenchScaleConfig, points: &[ScalabilityPoint]) -> Strin
         let _ = write!(rows, "{row}");
     }
     rows.push(']');
+    let mut net_rows = String::from("[");
+    for (i, p) in net_points.iter().enumerate() {
+        if i > 0 {
+            net_rows.push(',');
+        }
+        let row = JsonObj::new()
+            .int("servers", p.servers as u64)
+            .str("comm", p.comm)
+            .int("events", p.events)
+            .int("jobs", p.jobs)
+            .num("wall_s", p.wall_s)
+            .num("events_per_s", p.events_per_s)
+            .finish();
+        let _ = write!(net_rows, "{row}");
+    }
+    net_rows.push(']');
     let doc = JsonObj::new()
         .str("bench", "scalability")
         .raw("config", &config)
         .raw("points", &rows)
+        .raw("network_points", &net_rows)
         .finish();
     format!("{doc}\n")
 }
 
-/// Runs the sweep, keeping the best wall-clock repetition per size.
-pub fn measure(cfg: &BenchScaleConfig) -> Vec<ScalabilityPoint> {
+/// Runs the sweep, keeping the best wall-clock repetition per grid point.
+pub fn measure(cfg: &BenchScaleConfig) -> (Vec<ScalabilityPoint>, Vec<NetScalabilityPoint>) {
     let mut best: Vec<ScalabilityPoint> = Vec::with_capacity(cfg.sizes.len());
+    let mut net_best: Vec<NetScalabilityPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
+        let net_pts = net_scalability(&cfg.net_sizes, cfg.net_duration, cfg.seed);
         if rep == 0 {
             best = pts;
+            net_best = net_pts;
             continue;
         }
         for (b, p) in best.iter_mut().zip(pts) {
@@ -133,24 +189,36 @@ pub fn measure(cfg: &BenchScaleConfig) -> Vec<ScalabilityPoint> {
                 *b = p;
             }
         }
+        for (b, p) in net_best.iter_mut().zip(net_pts) {
+            debug_assert_eq!(b.events, p.events, "same seed, same event count");
+            if p.wall_s < b.wall_s {
+                *b = p;
+            }
+        }
     }
-    best
+    (best, net_best)
 }
 
 /// Runs bench-scale and writes the baseline file; returns its path.
 pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
     eprintln!(
-        "[bench-scale] sizes {:?}, {} simulated per size, {} repeats",
-        cfg.sizes, cfg.duration, cfg.repeats
+        "[bench-scale] sizes {:?} ({} each), network sizes {:?} ({} each), {} repeats",
+        cfg.sizes, cfg.duration, cfg.net_sizes, cfg.net_duration, cfg.repeats
     );
-    let points = measure(cfg);
+    let (points, net_points) = measure(cfg);
     for p in &points {
         eprintln!(
             "[bench-scale] {:>6} servers: {:>9} events in {:.3} s -> {:.0} events/s",
             p.servers, p.events, p.wall_s, p.events_per_s
         );
     }
-    write_baseline(&cfg.out, cfg, &points)?;
+    for p in &net_points {
+        eprintln!(
+            "[bench-scale] {:>6} servers ({:>6}): {:>9} events in {:.3} s -> {:.0} events/s",
+            p.servers, p.comm, p.events, p.wall_s, p.events_per_s
+        );
+    }
+    write_baseline(&cfg.out, cfg, &points, &net_points)?;
     Ok(cfg.out.clone())
 }
 
@@ -159,8 +227,9 @@ pub fn write_baseline(
     path: &Path,
     cfg: &BenchScaleConfig,
     points: &[ScalabilityPoint],
+    net_points: &[NetScalabilityPoint],
 ) -> io::Result<()> {
-    std::fs::write(path, render_json(cfg, points))
+    std::fs::write(path, render_json(cfg, points, net_points))
 }
 
 #[cfg(test)]
@@ -171,6 +240,8 @@ mod tests {
         BenchScaleConfig {
             sizes: vec![4],
             duration: SimDuration::from_millis(50),
+            net_sizes: vec![4],
+            net_duration: SimDuration::from_millis(20),
             seed: 7,
             repeats: 2,
             out: std::env::temp_dir().join(format!("BENCH_test_{}.json", std::process::id())),
@@ -180,22 +251,36 @@ mod tests {
     #[test]
     fn measure_keeps_event_counts_stable() {
         let cfg = tiny();
-        let pts = measure(&cfg);
+        let (pts, net_pts) = measure(&cfg);
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
+        // One flow arm and one packet arm per network size.
+        assert_eq!(net_pts.len(), 2);
+        assert_eq!((net_pts[0].comm, net_pts[1].comm), ("flow", "packet"));
+        assert!(net_pts.iter().all(|p| p.events > 0));
+        assert!(
+            net_pts[1].events > net_pts[0].events,
+            "packetized transfers generate more events than flows"
+        );
     }
 
     #[test]
     fn json_has_schema_fields() {
         let cfg = tiny();
-        let pts = measure(&cfg);
-        let json = render_json(&cfg, &pts);
+        let (pts, net_pts) = measure(&cfg);
+        let json = render_json(&cfg, &pts, &net_pts);
         for key in [
             "\"bench\":\"scalability\"",
             "\"config\":",
+            "\"network\":",
+            "\"fanout\":",
+            "\"edge_bytes\":",
             "\"points\":",
+            "\"network_points\":",
             "\"servers\":4",
+            "\"comm\":\"flow\"",
+            "\"comm\":\"packet\"",
             "\"events\":",
             "\"events_per_s\":",
             "\"wall_s\":",

@@ -37,16 +37,19 @@ USAGE:
                    [--replications N] [--duration SECS] [--seed S]
                    [--threads N] [--out DIR] [--name NAME]
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
-    holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS] [--seed S]
-                   [--repeats N] [--out PATH]
+    holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
+                   [--net-sizes 16,128 | none] [--net-duration SECS]
+                   [--seed S] [--repeats N] [--out PATH]
 
 Policies: round-robin, least-loaded, pack-first, random, network-aware.
 Presets:  web-search, web-serving, provisioning.
 Taus:     seconds, or `active-idle` for the no-sleep arm.
 
-`bench-scale` runs the Table I configuration at each farm size, measures
-wall-clock events/second (best of --repeats), and writes the JSON perf
-baseline (default ./BENCH_scalability.json).
+`bench-scale` runs the Table I configuration at each farm size plus a
+network-heavy fat-tree grid (high-fan-out DAGs, flow and packet comm
+models) at each --net-sizes size (`none` skips the network arms),
+measures wall-clock events/second (best of --repeats), and writes the
+JSON perf baseline (default ./BENCH_scalability.json).
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -272,7 +275,18 @@ fn cmd_fig(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, &["sizes", "duration", "seed", "repeats", "out"])?;
+    let opts = parse_opts(
+        args,
+        &[
+            "sizes",
+            "duration",
+            "net-sizes",
+            "net-duration",
+            "seed",
+            "repeats",
+            "out",
+        ],
+    )?;
     let mut cfg = BenchScaleConfig::default();
     if let Some(s) = opts.get("sizes") {
         cfg.sizes = parse_list(s, |x| parse_num(x, "server count"))?;
@@ -282,6 +296,16 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = opts.get("duration") {
         cfg.duration = SimDuration::from_secs_f64(parse_num(s, "duration")?);
+    }
+    if let Some(s) = opts.get("net-sizes") {
+        cfg.net_sizes = if s == "none" {
+            Vec::new()
+        } else {
+            parse_list(s, |x| parse_num(x, "server count"))?
+        };
+    }
+    if let Some(s) = opts.get("net-duration") {
+        cfg.net_duration = SimDuration::from_secs_f64(parse_num(s, "net-duration")?);
     }
     if let Some(s) = opts.get("seed") {
         cfg.seed = parse_num(s, "seed")?;

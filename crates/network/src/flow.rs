@@ -7,9 +7,14 @@
 //! flow arrival/departure; the driving simulation keeps a single pending
 //! completion event guarded by [`FlowNet::generation`] (stale events are
 //! ignored, the standard lazy-cancellation pattern).
+//!
+//! Flow states live in a [`SlotWindow`] (no hash probe per lookup), the
+//! recompute touches only links that actually carry flows, and all of its
+//! working sets are persistent scratch buffers — steady-state admission
+//! and completion perform no allocation (flow states, including their
+//! route vectors, are recycled through a pool).
 
-use std::collections::HashMap;
-
+use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::{SimDuration, SimTime};
 
 use crate::ids::{FlowId, LinkId, NodeId};
@@ -18,6 +23,8 @@ use crate::topology::Topology;
 /// One active flow's state.
 #[derive(Debug, Clone)]
 struct FlowState {
+    /// The caller's flow id, echoed back in [`CompletedFlow`].
+    id: FlowId,
     links: Vec<LinkId>,
     remaining_bits: f64,
     rate_bps: f64,
@@ -26,6 +33,8 @@ struct FlowState {
     dst: NodeId,
     started: SimTime,
     total_bits: f64,
+    /// Scratch flag of the progressive-filling recompute.
+    fixed: bool,
 }
 
 /// A completed flow, as reported by [`FlowNet::take_completed`].
@@ -67,11 +76,30 @@ pub struct CompletedFlow {
 #[derive(Debug)]
 pub struct FlowNet {
     capacity_bps: Vec<f64>,
-    flows: HashMap<FlowId, FlowState>,
-    flows_per_link: Vec<Vec<FlowId>>,
+    /// Active flows, keyed by admission order (internal keys — callers
+    /// address flows by their [`FlowId`], carried inside the state).
+    flows: SlotWindow<FlowState>,
+    flows_per_link: Vec<Vec<u64>>,
+    /// Link indices that may carry flows, lazily pruned in `recompute` —
+    /// the working set of the fair-share solve (sparse traffic touches a
+    /// tiny fraction of a large fabric's links).
+    used_links: Vec<usize>,
+    used_mask: Vec<bool>,
     generation: u64,
     completed: Vec<CompletedFlow>,
     total_admitted: u64,
+    /// Recycled flow states: completed flows return here so admissions
+    /// reuse their route-vector allocations.
+    pool: Vec<FlowState>,
+    /// Residual capacity per link during a recompute (persistent scratch,
+    /// refreshed only for used links).
+    scratch_cap: Vec<f64>,
+    /// Unfixed-flow count per link during a recompute.
+    scratch_cnt: Vec<usize>,
+    /// Flows fixed at the current bottleneck.
+    scratch_fixed: Vec<u64>,
+    /// Flows detected complete in the current advance.
+    scratch_done: Vec<u64>,
 }
 
 impl FlowNet {
@@ -85,11 +113,18 @@ impl FlowNet {
         let n = capacity_bps.len();
         FlowNet {
             capacity_bps,
-            flows: HashMap::new(),
+            flows: SlotWindow::new(),
             flows_per_link: vec![Vec::new(); n],
+            used_links: Vec::new(),
+            used_mask: vec![false; n],
             generation: 0,
             completed: Vec::new(),
             total_admitted: 0,
+            pool: Vec::new(),
+            scratch_cap: vec![0.0; n],
+            scratch_cnt: vec![0; n],
+            scratch_fixed: Vec::new(),
+            scratch_done: Vec::new(),
         }
     }
 
@@ -113,23 +148,42 @@ impl FlowNet {
     ) -> u64 {
         assert!(!links.is_empty(), "flow with empty route");
         assert!(bytes > 0, "flow with no data");
-        self.settle(now);
-        let prev = self.flows.insert(
-            id,
-            FlowState {
-                links: links.to_vec(),
-                remaining_bits: bytes as f64 * 8.0,
-                rate_bps: 0.0,
-                last_update: now,
-                src,
-                dst,
-                started: now,
-                total_bits: bytes as f64 * 8.0,
-            },
+        debug_assert!(
+            self.flows.iter().all(|(_, f)| f.id != id),
+            "flow id {id} reused while active"
         );
-        assert!(prev.is_none(), "flow id {id} reused while active");
+        self.settle(now);
+        let mut st = self.pool.pop().unwrap_or_else(|| FlowState {
+            id,
+            links: Vec::new(),
+            remaining_bits: 0.0,
+            rate_bps: 0.0,
+            last_update: now,
+            src,
+            dst,
+            started: now,
+            total_bits: 0.0,
+            fixed: false,
+        });
+        st.id = id;
+        st.links.clear();
+        st.links.extend_from_slice(links);
+        st.remaining_bits = bytes as f64 * 8.0;
+        st.rate_bps = 0.0;
+        st.last_update = now;
+        st.src = src;
+        st.dst = dst;
+        st.started = now;
+        st.total_bits = bytes as f64 * 8.0;
+        st.fixed = false;
+        let key = self.flows.insert(st);
         for &l in links {
-            self.flows_per_link[l.0 as usize].push(id);
+            let li = l.0 as usize;
+            if !self.used_mask[li] {
+                self.used_mask[li] = true;
+                self.used_links.push(li);
+            }
+            self.flows_per_link[li].push(key);
         }
         self.total_admitted += 1;
         self.recompute();
@@ -142,28 +196,37 @@ impl FlowNet {
     /// Returns the current generation.
     pub fn advance(&mut self, now: SimTime) -> u64 {
         self.settle(now);
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining_bits <= 0.5)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut done = std::mem::take(&mut self.scratch_done);
+        done.clear();
+        done.extend(
+            self.flows
+                .iter()
+                .filter(|(_, f)| f.remaining_bits <= 0.5)
+                .map(|(k, _)| k),
+        );
+        // The window's straggler overflow iterates in hash order, which
+        // varies run to run; completions must reach the caller in a
+        // deterministic (admission) order or same-seed simulations
+        // diverge.
+        done.sort_unstable();
         if !done.is_empty() {
-            for id in done {
-                let f = self.flows.remove(&id).expect("flow disappeared");
+            for &key in &done {
+                let f = self.flows.remove(key).expect("flow disappeared");
                 for &l in &f.links {
                     let v = &mut self.flows_per_link[l.0 as usize];
-                    v.retain(|&x| x != id);
+                    v.retain(|&x| x != key);
                 }
                 self.completed.push(CompletedFlow {
-                    id,
+                    id: f.id,
                     src: f.src,
                     dst: f.dst,
                     started: f.started,
                 });
+                self.pool.push(f);
             }
             self.recompute();
         }
+        self.scratch_done = done;
         self.generation
     }
 
@@ -177,7 +240,7 @@ impl FlowNet {
     /// discard it if the generation has moved on.
     pub fn next_completion(&self, now: SimTime) -> Option<(u64, SimTime)> {
         let mut best: Option<f64> = None;
-        for f in self.flows.values() {
+        for (_, f) in self.flows.iter() {
             if f.rate_bps <= 0.0 {
                 continue;
             }
@@ -210,16 +273,21 @@ impl FlowNet {
         self.total_admitted
     }
 
-    /// The current fair rate of `id` in bits/second, if active.
+    /// The current fair rate of `id` in bits/second, if active (a linear
+    /// scan — an observer for tests and reports, not the event hot path).
     pub fn flow_rate_bps(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate_bps)
+        self.find(id).map(|f| f.rate_bps)
     }
 
-    /// Fraction of `id`'s bytes already delivered (in `[0, 1]`), if active.
+    /// Fraction of `id`'s bytes already delivered (in `[0, 1]`), if active
+    /// (a linear scan — an observer, not the event hot path).
     pub fn flow_progress(&self, id: FlowId) -> Option<f64> {
-        self.flows
-            .get(&id)
+        self.find(id)
             .map(|f| 1.0 - (f.remaining_bits / f.total_bits).clamp(0.0, 1.0))
+    }
+
+    fn find(&self, id: FlowId) -> Option<&FlowState> {
+        self.flows.iter().find(|(_, f)| f.id == id).map(|(_, f)| f)
     }
 
     /// Fraction of `link`'s capacity currently allocated.
@@ -230,7 +298,7 @@ impl FlowNet {
         }
         let used: f64 = self.flows_per_link[link.0 as usize]
             .iter()
-            .filter_map(|id| self.flows.get(id))
+            .filter_map(|&k| self.flows.get(k))
             .map(|f| f.rate_bps)
             .sum();
         used / cap
@@ -243,7 +311,7 @@ impl FlowNet {
 
     /// Advances progress of all flows to `now` without completing them.
     fn settle(&mut self, now: SimTime) {
-        for f in self.flows.values_mut() {
+        for (_, f) in self.flows.iter_mut() {
             let dt = now.saturating_duration_since(f.last_update).as_secs_f64();
             if dt > 0.0 {
                 f.remaining_bits = (f.remaining_bits - f.rate_bps * dt).max(0.0);
@@ -252,30 +320,50 @@ impl FlowNet {
         }
     }
 
-    /// Progressive-filling max-min fair allocation.
+    /// Progressive-filling max-min fair allocation over the used-link
+    /// working set. Allocation-free: residual capacities and counts live
+    /// in persistent scratch refreshed only for links that carry flows.
     fn recompute(&mut self) {
         self.generation += 1;
         if self.flows.is_empty() {
             return;
         }
-        let mut unfixed: HashMap<FlowId, ()> = self.flows.keys().map(|&k| (k, ())).collect();
-        let mut cap: Vec<f64> = self.capacity_bps.clone();
-        let mut cnt: Vec<usize> = self
-            .flows_per_link
-            .iter()
-            .map(|v| v.iter().filter(|id| unfixed.contains_key(id)).count())
-            .collect();
-        // Links actually in use (small subset in sparse traffic).
-        let used_links: Vec<usize> = (0..cnt.len()).filter(|&i| cnt[i] > 0).collect();
+        let FlowNet {
+            capacity_bps,
+            flows,
+            flows_per_link,
+            used_links,
+            used_mask,
+            scratch_cap,
+            scratch_cnt,
+            scratch_fixed,
+            ..
+        } = self;
+        // Prune links that stopped carrying flows; refresh the residual
+        // capacity and unfixed count of the rest.
+        used_links.retain(|&li| {
+            if flows_per_link[li].is_empty() {
+                used_mask[li] = false;
+                false
+            } else {
+                scratch_cap[li] = capacity_bps[li];
+                scratch_cnt[li] = flows_per_link[li].len();
+                true
+            }
+        });
+        let mut unfixed = flows.len();
+        for (_, f) in flows.iter_mut() {
+            f.fixed = false;
+        }
 
-        while !unfixed.is_empty() {
+        while unfixed > 0 {
             // Bottleneck link: minimal fair share among loaded links.
             let mut bottleneck: Option<(usize, f64)> = None;
-            for &li in &used_links {
-                if cnt[li] == 0 {
+            for &li in used_links.iter() {
+                if scratch_cnt[li] == 0 {
                     continue;
                 }
-                let share = (cap[li] / cnt[li] as f64).max(0.0);
+                let share = (scratch_cap[li] / scratch_cnt[li] as f64).max(0.0);
                 if bottleneck.is_none_or(|(_, s)| share < s) {
                     bottleneck = Some((li, share));
                 }
@@ -283,28 +371,32 @@ impl FlowNet {
             let Some((bl, share)) = bottleneck else {
                 // No loaded links left: remaining flows are route-less (cannot
                 // happen given add_flow's assertion) — fix them at 0.
-                for (id, _) in unfixed.drain() {
-                    self.flows
-                        .get_mut(&id)
-                        .expect("unfixed flow exists")
-                        .rate_bps = 0.0;
+                for (_, f) in flows.iter_mut() {
+                    if !f.fixed {
+                        f.fixed = true;
+                        f.rate_bps = 0.0;
+                    }
                 }
                 break;
             };
             // Fix every unfixed flow crossing the bottleneck at the share.
-            let fixed: Vec<FlowId> = self.flows_per_link[bl]
-                .iter()
-                .copied()
-                .filter(|id| unfixed.contains_key(id))
-                .collect();
-            debug_assert!(!fixed.is_empty());
-            for id in fixed {
-                unfixed.remove(&id);
-                let f = self.flows.get_mut(&id).expect("flow exists");
+            scratch_fixed.clear();
+            scratch_fixed.extend(
+                flows_per_link[bl]
+                    .iter()
+                    .copied()
+                    .filter(|&k| !flows.get(k).expect("indexed flow exists").fixed),
+            );
+            debug_assert!(!scratch_fixed.is_empty());
+            for &key in scratch_fixed.iter() {
+                let f = flows.get_mut(key).expect("flow exists");
+                f.fixed = true;
                 f.rate_bps = share;
+                unfixed -= 1;
                 for &l in &f.links {
-                    cap[l.0 as usize] = (cap[l.0 as usize] - share).max(0.0);
-                    cnt[l.0 as usize] -= 1;
+                    let li = l.0 as usize;
+                    scratch_cap[li] = (scratch_cap[li] - share).max(0.0);
+                    scratch_cnt[li] -= 1;
                 }
             }
         }

@@ -7,6 +7,8 @@
 //! depth doubles as the queue-occupancy signal for tail-drop and LPI
 //! decisions.
 
+use std::sync::Arc;
+
 use holdcsim_des::time::{SimDuration, SimTime};
 
 use crate::ids::{LinkId, NodeId, PacketId};
@@ -17,6 +19,10 @@ use crate::topology::Topology;
 pub const DEFAULT_MTU_BYTES: u64 = 1_500;
 
 /// A packet traversing a precomputed route.
+///
+/// The route is shared (`Arc`): every packet of a transfer — and, with
+/// the router's route cache, every transfer along the same cached path —
+/// points at one allocation instead of cloning the hop vectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Unique id.
@@ -24,14 +30,14 @@ pub struct Packet {
     /// Payload size in bytes.
     pub bytes: u64,
     /// The route this packet follows.
-    pub route: Route,
+    pub route: Arc<Route>,
     /// Next hop index into `route.links` (0 = about to leave the source).
     pub hop: usize,
 }
 
 impl Packet {
     /// Creates a packet at the head of its route.
-    pub fn new(id: PacketId, bytes: u64, route: Route) -> Self {
+    pub fn new(id: PacketId, bytes: u64, route: Arc<Route>) -> Self {
         Packet {
             id,
             bytes,
@@ -335,7 +341,7 @@ mod tests {
     #[test]
     fn packet_walks_its_route() {
         let (_, _, route) = setup();
-        let mut p = Packet::new(PacketId(1), 1500, route.clone());
+        let mut p = Packet::new(PacketId(1), 1500, Arc::new(route.clone()));
         assert_eq!(p.current_node(), route.nodes[0]);
         assert!(!p.at_destination());
         assert_eq!(p.next_link(), Some(route.links[0]));

@@ -4,9 +4,20 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::ids::{LinkId, NodeId};
 use crate::topology::Topology;
+
+/// Folds an arbitrary flow/placement seed into one of `ways` ECMP buckets
+/// (SplitMix64-mixed so every seed bit participates). Real switches hash
+/// the flow tuple into a bounded next-hop table the same way; bounding the
+/// seed space is what makes the [`Router::route_shared`] cache effective —
+/// at most `ways` cached routes per (src, dst) pair.
+pub fn ecmp_bucket(seed: u64, ways: u64) -> u64 {
+    debug_assert!(ways > 0, "need at least one ECMP bucket");
+    hash64(seed) % ways
+}
 
 /// A route: the traversed links in order, plus the visited nodes
 /// (`nodes.len() == links.len() + 1`).
@@ -53,18 +64,58 @@ impl Route {
 ///     .expect("hosts are connected");
 /// assert_eq!(r.hops(), 2); // host -> switch -> host
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Router {
     /// Per-destination distance maps: `dist[dst][node]` = hops to dst.
     dist_cache: HashMap<NodeId, Vec<u32>>,
+    /// Shared complete routes keyed by `(src, dst, ecmp seed)`; callers
+    /// that bound the seed space (see [`ecmp_bucket`]) get every
+    /// steady-state route from here without allocating.
+    route_cache: HashMap<(NodeId, NodeId, u64), Option<Arc<Route>>>,
+    /// Cached routes are dropped wholesale past this many entries,
+    /// bounding memory when callers pass unbounded seeds. Callers whose
+    /// key space is bounded (see [`Router::set_route_cache_cap`]) should
+    /// raise it above that space so sustained all-pairs traffic never
+    /// thrashes.
+    route_cache_cap: usize,
+    /// Reusable equal-cost candidate buffer for path walks.
+    scratch: Vec<(NodeId, LinkId)>,
     hits: u64,
     misses: u64,
+    route_hits: u64,
+    route_misses: u64,
+}
+
+/// Default shared-route cache capacity.
+const DEFAULT_ROUTE_CACHE_CAP: usize = 1 << 16;
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            dist_cache: HashMap::new(),
+            route_cache: HashMap::new(),
+            route_cache_cap: DEFAULT_ROUTE_CACHE_CAP,
+            scratch: Vec::new(),
+            hits: 0,
+            misses: 0,
+            route_hits: 0,
+            route_misses: 0,
+        }
+    }
 }
 
 impl Router {
     /// Creates a router with an empty cache.
     pub fn new() -> Self {
         Router::default()
+    }
+
+    /// Sets the shared-route cache capacity (entries kept before a
+    /// wholesale drop). Size it at or above the caller's bounded key
+    /// space — `hosts² × ECMP ways` — so steady-state all-pairs traffic
+    /// never evicts hot routes; clamped to at least 1.
+    pub fn set_route_cache_cap(&mut self, cap: usize) {
+        self.route_cache_cap = cap.max(1);
     }
 
     /// Computes a shortest route from `src` to `dst`. Among equal-cost next
@@ -86,8 +137,10 @@ impl Router {
                 links: Vec::new(),
             });
         }
+        let mut candidates = std::mem::take(&mut self.scratch);
         let dist = self.distances(topo, dst);
         if dist[src.0 as usize] == u32::MAX {
+            self.scratch = candidates;
             return None;
         }
         let mut nodes = vec![src];
@@ -95,11 +148,12 @@ impl Router {
         let mut cur = src;
         while cur != dst {
             let d = dist[cur.0 as usize];
-            // Candidates one hop closer to dst.
-            let mut candidates: Vec<(NodeId, LinkId)> = topo
-                .neighbors(cur)
-                .filter(|(n, _)| dist[n.0 as usize] == d - 1)
-                .collect();
+            // Candidates one hop closer to dst (reusable scratch buffer).
+            candidates.clear();
+            candidates.extend(
+                topo.neighbors(cur)
+                    .filter(|(n, _)| dist[n.0 as usize] == d - 1),
+            );
             debug_assert!(!candidates.is_empty(), "distance field is inconsistent");
             candidates.sort_by_key(|(n, l)| (n.0, l.0));
             let pick = (hash64(cur.0 as u64 ^ ecmp_seed.rotate_left(17)) % candidates.len() as u64)
@@ -109,7 +163,38 @@ impl Router {
             links.push(link);
             cur = next;
         }
+        self.scratch = candidates;
         Some(Route { nodes, links })
+    }
+
+    /// [`route`](Self::route) behind a shared-ownership cache: the first
+    /// call for a `(src, dst, ecmp_seed)` triple computes and stores the
+    /// route, every later call clones the [`Arc`] — no path walk, no
+    /// allocation. Unreachable pairs are cached too (negative caching).
+    ///
+    /// Callers with unbounded seeds (one per flow) should fold them
+    /// through [`ecmp_bucket`] first, or every call misses; the cache
+    /// drops all entries once it exceeds an internal cap, so even
+    /// unbounded seeds cannot grow it without bound.
+    pub fn route_shared(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        ecmp_seed: u64,
+    ) -> Option<Arc<Route>> {
+        if let Some(cached) = self.route_cache.get(&(src, dst, ecmp_seed)) {
+            self.route_hits += 1;
+            return cached.clone();
+        }
+        self.route_misses += 1;
+        let route = self.route(topo, src, dst, ecmp_seed).map(Arc::new);
+        if self.route_cache.len() >= self.route_cache_cap {
+            self.route_cache.clear();
+        }
+        self.route_cache
+            .insert((src, dst, ecmp_seed), route.clone());
+        route
     }
 
     /// Hop distance from `src` to `dst` (`None` if unreachable).
@@ -118,16 +203,22 @@ impl Router {
         (d != u32::MAX).then_some(d)
     }
 
-    /// Drops all cached distance fields (call after links change state in
-    /// dynamic-routing studies).
+    /// Drops all cached distance fields and shared routes (call after
+    /// links change state in dynamic-routing studies).
     pub fn clear_cache(&mut self) {
         self.dist_cache.clear();
+        self.route_cache.clear();
     }
 
     /// `(cache hits, cache misses)` since creation — the path-cache
     /// ablation metric.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// `(hits, misses)` of the shared-route cache since creation.
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        (self.route_hits, self.route_misses)
     }
 
     fn distances(&mut self, topo: &Topology, dst: NodeId) -> &Vec<u32> {
@@ -278,6 +369,72 @@ mod tests {
         let mut r = Router::new();
         assert_eq!(r.route(&t, a, c, 0), None);
         assert_eq!(r.distance(&t, a, c), None);
+    }
+
+    #[test]
+    fn route_shared_caches_and_matches_route() {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        for seed in 0..8 {
+            let direct = r
+                .route(&built.topology, built.hosts[0], built.hosts[15], seed)
+                .unwrap();
+            let shared = r
+                .route_shared(&built.topology, built.hosts[0], built.hosts[15], seed)
+                .unwrap();
+            assert_eq!(*shared, direct, "cached route must equal the computed one");
+            let again = r
+                .route_shared(&built.topology, built.hosts[0], built.hosts[15], seed)
+                .unwrap();
+            assert!(Arc::ptr_eq(&shared, &again), "second call is a cache hit");
+        }
+        let (hits, misses) = r.route_cache_stats();
+        assert_eq!((hits, misses), (8, 8));
+        r.clear_cache();
+        r.route_shared(&built.topology, built.hosts[0], built.hosts[15], 0);
+        assert_eq!(r.route_cache_stats(), (8, 9), "clear_cache drops routes");
+    }
+
+    #[test]
+    fn route_cache_cap_bounds_entries_and_recovers() {
+        let built = star(8, LinkSpec::gigabit());
+        let mut r = Router::new();
+        r.set_route_cache_cap(2);
+        for seed in 0..4 {
+            r.route_shared(&built.topology, built.hosts[0], built.hosts[1], seed);
+        }
+        // Cap 2: the third insert clears; the cache never exceeds the cap
+        // and keeps serving (4 misses, then a guaranteed hit on re-query).
+        assert_eq!(r.route_cache_stats(), (0, 4));
+        let again = r
+            .route_shared(&built.topology, built.hosts[0], built.hosts[1], 3)
+            .unwrap();
+        assert_eq!(r.route_cache_stats(), (1, 4));
+        assert_eq!(again.hops(), 2);
+    }
+
+    #[test]
+    fn route_shared_negative_caches_unreachable() {
+        let mut b = crate::topology::Topology::builder();
+        let a = b.add_host();
+        let c = b.add_host();
+        let t = b.build();
+        let mut r = Router::new();
+        assert_eq!(r.route_shared(&t, a, c, 0), None);
+        assert_eq!(r.route_shared(&t, a, c, 0), None);
+        assert_eq!(r.route_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn ecmp_bucket_is_bounded_and_spreads() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..1_000u64 {
+            let b = ecmp_bucket(seed, 64);
+            assert!(b < 64);
+            seen.insert(b);
+        }
+        assert!(seen.len() > 32, "bucketing should use most of the ways");
+        assert_eq!(ecmp_bucket(7, 64), ecmp_bucket(7, 64), "deterministic");
     }
 
     #[test]

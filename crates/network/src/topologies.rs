@@ -51,7 +51,7 @@ pub struct BuiltTopology {
     pub name: String,
 }
 
-/// Builds a `k`-ary fat tree (Al-Fares et al. [8]): `k` pods of `k/2` edge
+/// Builds a `k`-ary fat tree (Al-Fares et al. \[8\]): `k` pods of `k/2` edge
 /// and `k/2` aggregation switches plus `(k/2)²` core switches, hosting
 /// `k³/4` servers at full bisection bandwidth. This is the topology of the
 /// paper's Fig. 10.
@@ -118,7 +118,7 @@ pub fn fat_tree(k: usize, link: LinkSpec) -> BuiltTopology {
     }
 }
 
-/// Builds a 2-D flattened butterfly (Kim et al. [34]): a `k × k` grid of
+/// Builds a 2-D flattened butterfly (Kim et al. \[34\]): a `k × k` grid of
 /// switches, fully connected along each row and each column, with
 /// `hosts_per_switch` servers per switch.
 ///
@@ -160,7 +160,7 @@ pub fn flattened_butterfly(k: usize, hosts_per_switch: usize, link: LinkSpec) ->
     }
 }
 
-/// Builds a BCube(n, levels) (Guo et al. [26]): a hybrid server-centric
+/// Builds a BCube(n, levels) (Guo et al. \[26\]): a hybrid server-centric
 /// network with `n^(levels+1)` hosts and `(levels+1) · n^levels` switches
 /// of `n` ports each. `BCube(n, 0)` is `n` hosts on one switch;
 /// `BCube(n, l)` joins `n` copies of `BCube(n, l-1)` with a new switch
@@ -201,7 +201,7 @@ pub fn bcube(n: usize, levels: usize, link: LinkSpec) -> BuiltTopology {
     }
 }
 
-/// Builds a CamCube (Abu-Libdeh et al. [6]): a 3-D torus of servers with
+/// Builds a CamCube (Abu-Libdeh et al. \[6\]): a 3-D torus of servers with
 /// direct server-to-server links (no switches at all).
 ///
 /// # Panics

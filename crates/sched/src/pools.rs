@@ -1,6 +1,6 @@
 //! Pool-based power management: the WASP workload-adaptive two-pool
 //! framework (§IV-C, Fig. 7) and the dual-delay-timer partitioning
-//! (§IV-B, Fig. 6, after [69]).
+//! (§IV-B, Fig. 6, after \[69\]).
 
 use std::collections::BTreeSet;
 

@@ -1,12 +1,25 @@
 //! The optional global task queue (§III-E): tasks the global scheduler
 //! could not place wait here until a server frees up.
+//!
+//! Entries live in a [`SlotWindow`] (sequential keys double as age), and
+//! per-server-class sub-queues index the window so a class-constrained
+//! pull ([`GlobalQueue::pop_eligible`]) inspects at most two sub-queue
+//! fronts — O(1) amortized — instead of linearly scanning the whole queue,
+//! while preserving exactly the global FIFO order among matching tasks
+//! that the old linear scan produced.
 
 use std::collections::VecDeque;
 
-use holdcsim_des::time::SimTime;
+use holdcsim_des::slot_window::SlotWindow;
+use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_server::task::TaskHandle;
 
-/// A FIFO of unplaced tasks with waiting-time statistics.
+/// One queued task: enqueue time, the task, and its class constraint
+/// (which names the sub-queue holding its key).
+type QueueEntry = (SimTime, TaskHandle, Option<u32>);
+
+/// A FIFO of unplaced tasks with waiting-time statistics and per-class
+/// sub-queue indices.
 ///
 /// # Examples
 ///
@@ -25,9 +38,27 @@ use holdcsim_server::task::TaskHandle;
 /// ```
 #[derive(Debug, Default)]
 pub struct GlobalQueue {
-    queue: VecDeque<(SimTime, TaskHandle)>,
+    /// Waiting tasks; the window key is the global arrival sequence.
+    entries: SlotWindow<QueueEntry>,
+    /// Arrival sequences of tasks with no class constraint.
+    unclassed: VecDeque<u64>,
+    /// Arrival sequences per task class (linear class lookup: class counts
+    /// are tiny, and this avoids hashing on the pull path entirely).
+    classed: Vec<(u32, VecDeque<u64>)>,
     max_len: usize,
     total_enqueued: u64,
+}
+
+/// Pops stale keys (not yet purged after an out-of-band removal) off
+/// `q`'s front, returning the first key still live in `entries`.
+fn live_front(entries: &SlotWindow<QueueEntry>, q: &mut VecDeque<u64>) -> Option<u64> {
+    while let Some(&k) = q.front() {
+        if entries.contains(k) {
+            return Some(k);
+        }
+        q.pop_front();
+    }
+    None
 }
 
 impl GlobalQueue {
@@ -36,39 +67,122 @@ impl GlobalQueue {
         Self::default()
     }
 
-    /// Enqueues an unplaced task at `now`.
+    /// Enqueues an unplaced task at `now` with no class constraint
+    /// (equivalent to [`push_classed`](Self::push_classed) with `None`).
     pub fn push(&mut self, now: SimTime, task: TaskHandle) {
-        self.queue.push_back((now, task));
-        self.max_len = self.max_len.max(self.queue.len());
+        self.push_classed(now, task, None);
+    }
+
+    /// Enqueues an unplaced task at `now`, indexing it under its
+    /// server-class constraint so class-aware pulls are O(1).
+    pub fn push_classed(&mut self, now: SimTime, task: TaskHandle, class: Option<u32>) {
+        let key = self.entries.insert((now, task, class));
+        self.subqueue_mut(class).push_back(key);
+        self.max_len = self.max_len.max(self.entries.len());
         self.total_enqueued += 1;
     }
 
-    /// Dequeues the oldest task, returning it with its queueing delay.
-    pub fn pop(&mut self, now: SimTime) -> Option<(TaskHandle, holdcsim_des::time::SimDuration)> {
-        let (enq, task) = self.queue.pop_front()?;
+    fn subqueue_mut(&mut self, class: Option<u32>) -> &mut VecDeque<u64> {
+        match class {
+            None => &mut self.unclassed,
+            Some(c) => {
+                if let Some(i) = self.classed.iter().position(|(cc, _)| *cc == c) {
+                    &mut self.classed[i].1
+                } else {
+                    self.classed.push((c, VecDeque::new()));
+                    &mut self.classed.last_mut().expect("just pushed").1
+                }
+            }
+        }
+    }
+
+    /// Dequeues the oldest task overall, returning it with its queueing
+    /// delay.
+    pub fn pop(&mut self, now: SimTime) -> Option<(TaskHandle, SimDuration)> {
+        let mut best: Option<(u64, usize)> = None;
+        if let Some(k) = live_front(&self.entries, &mut self.unclassed) {
+            best = Some((k, usize::MAX));
+        }
+        for (i, (_, q)) in self.classed.iter_mut().enumerate() {
+            if let Some(k) = live_front(&self.entries, q) {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        let (key, qi) = best?;
+        self.take(key, qi, now)
+    }
+
+    /// Dequeues the oldest task a server of class `server_class` may run:
+    /// the earliest-queued among unclassed tasks and tasks constrained to
+    /// exactly that class. O(1) amortized — two sub-queue fronts are
+    /// compared, matching the old linear scan's order exactly.
+    pub fn pop_eligible(
+        &mut self,
+        now: SimTime,
+        server_class: u32,
+    ) -> Option<(TaskHandle, SimDuration)> {
+        let mut best: Option<(u64, usize)> = None;
+        if let Some(k) = live_front(&self.entries, &mut self.unclassed) {
+            best = Some((k, usize::MAX));
+        }
+        if let Some(i) = self.classed.iter().position(|(c, _)| *c == server_class) {
+            if let Some(k) = live_front(&self.entries, &mut self.classed[i].1) {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        let (key, qi) = best?;
+        self.take(key, qi, now)
+    }
+
+    /// Removes `key` (the head of sub-queue `qi`) and returns its task.
+    fn take(&mut self, key: u64, qi: usize, now: SimTime) -> Option<(TaskHandle, SimDuration)> {
+        if qi == usize::MAX {
+            self.unclassed.pop_front();
+        } else {
+            self.classed[qi].1.pop_front();
+        }
+        let (enq, task, _) = self.entries.remove(key).expect("front key is live");
         Some((task, now.saturating_duration_since(enq)))
     }
 
-    /// Dequeues the oldest task satisfying `pred` (e.g. a server-class
-    /// match), preserving order among the rest.
+    /// Dequeues the oldest task satisfying `pred`, preserving order among
+    /// the rest. This is the fully general (linear) path; class-shaped
+    /// predicates should use [`pop_eligible`](Self::pop_eligible).
     pub fn pop_matching(
         &mut self,
         now: SimTime,
         mut pred: impl FnMut(&TaskHandle) -> bool,
-    ) -> Option<(TaskHandle, holdcsim_des::time::SimDuration)> {
-        let idx = self.queue.iter().position(|(_, t)| pred(t))?;
-        let (enq, task) = self.queue.remove(idx).expect("index from position");
+    ) -> Option<(TaskHandle, SimDuration)> {
+        let mut best: Option<u64> = None;
+        for (k, (_, t, _)) in self.entries.iter() {
+            if best.is_none_or(|b| k < b) && pred(t) {
+                best = Some(k);
+            }
+        }
+        let key = best?;
+        let (enq, task, class) = self.entries.remove(key).expect("key from live iter");
+        // Purge the key from its sub-queue so a pop_matching-only caller
+        // cannot grow sub-queue memory without bound (linear in that one
+        // sub-queue — pop_matching is already the linear path).
+        let q = self.subqueue_mut(class);
+        if let Some(pos) = q.iter().position(|&k| k == key) {
+            q.remove(pos);
+        }
         Some((task, now.saturating_duration_since(enq)))
     }
 
     /// Tasks currently waiting.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.entries.len()
     }
 
     /// `true` if no tasks wait.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.entries.is_empty()
     }
 
     /// High-water mark of the queue length.
@@ -85,6 +199,7 @@ impl GlobalQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use holdcsim_des::rng::SimRng;
     use holdcsim_des::time::SimDuration;
     use holdcsim_workload::ids::{JobId, TaskId};
 
@@ -117,5 +232,108 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.max_len(), 2);
         assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn pop_interleaves_classes_in_global_fifo_order() {
+        let mut q = GlobalQueue::new();
+        q.push_classed(SimTime::ZERO, th(0), Some(1));
+        q.push_classed(SimTime::ZERO, th(1), None);
+        q.push_classed(SimTime::ZERO, th(2), Some(0));
+        q.push_classed(SimTime::ZERO, th(3), Some(1));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop(SimTime::ZERO).map(|(t, _)| t.id.job.0)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "pop ignores class boundaries");
+    }
+
+    #[test]
+    fn pop_eligible_matches_class_and_unclassed_in_fifo_order() {
+        let mut q = GlobalQueue::new();
+        q.push_classed(SimTime::ZERO, th(0), Some(1)); // other class
+        q.push_classed(SimTime::ZERO, th(1), Some(0)); // ours
+        q.push_classed(SimTime::ZERO, th(2), None); // unconstrained
+        q.push_classed(SimTime::ZERO, th(3), Some(0)); // ours
+        let (a, _) = q.pop_eligible(SimTime::ZERO, 0).unwrap();
+        let (b, _) = q.pop_eligible(SimTime::ZERO, 0).unwrap();
+        let (c, _) = q.pop_eligible(SimTime::ZERO, 0).unwrap();
+        assert_eq!(
+            (a.id.job.0, b.id.job.0, c.id.job.0),
+            (1, 2, 3),
+            "oldest eligible first, across class and unclassed queues"
+        );
+        assert!(q.pop_eligible(SimTime::ZERO, 0).is_none(), "class 1 left");
+        let (d, _) = q.pop_eligible(SimTime::ZERO, 1).unwrap();
+        assert_eq!(d.id.job.0, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_matching_purges_subqueues_and_preserves_order() {
+        // pop_matching removes out of band; the matching sub-queue key is
+        // purged eagerly and order among the rest is undisturbed.
+        let mut q = GlobalQueue::new();
+        q.push_classed(SimTime::ZERO, th(0), Some(0));
+        q.push_classed(SimTime::ZERO, th(1), Some(0));
+        q.push_classed(SimTime::ZERO, th(2), None);
+        let (m, _) = q.pop_matching(SimTime::ZERO, |t| t.id.job.0 == 1).unwrap();
+        assert_eq!(m.id.job.0, 1);
+        assert_eq!(q.len(), 2);
+        let (a, _) = q.pop_eligible(SimTime::ZERO, 0).unwrap();
+        let (b, _) = q.pop_eligible(SimTime::ZERO, 0).unwrap();
+        assert_eq!((a.id.job.0, b.id.job.0), (0, 2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_matching_only_usage_does_not_grow_subqueues() {
+        // A consumer using only push + pop_matching (the pre-PR API) must
+        // keep sub-queue memory at O(waiting), not O(total enqueued).
+        let mut q = GlobalQueue::new();
+        q.push_classed(SimTime::ZERO, th(u64::MAX), Some(9)); // never matched
+        for i in 0..10_000u64 {
+            q.push_classed(SimTime::ZERO, th(i), Some(i as u32 % 2));
+            let (t, _) = q.pop_matching(SimTime::ZERO, |t| t.id.job.0 == i).unwrap();
+            assert_eq!(t.id.job.0, i);
+        }
+        assert_eq!(q.len(), 1);
+        let held: usize = q.unclassed.len() + q.classed.iter().map(|(_, v)| v.len()).sum::<usize>();
+        assert_eq!(held, 1, "sub-queues must not accumulate dead keys");
+    }
+
+    /// Equivalence: `pop_eligible` must reproduce the old linear-scan
+    /// `pop_matching` semantics under a randomized class workload.
+    #[test]
+    fn pop_eligible_matches_linear_scan_reference() {
+        let root = SimRng::seed_from(0xC1A55);
+        for trial in 0..10u64 {
+            let mut rng = root.substream(trial);
+            let mut q = GlobalQueue::new();
+            // The reference model: a plain FIFO of (job, class).
+            let mut model: VecDeque<(u64, Option<u32>)> = VecDeque::new();
+            let mut next_job = 0u64;
+            for _ in 0..2_000 {
+                if model.is_empty() || rng.chance(0.55) {
+                    let class = match rng.below(4) {
+                        0 => None,
+                        c => Some((c - 1) as u32),
+                    };
+                    q.push_classed(SimTime::ZERO, th(next_job), class);
+                    model.push_back((next_job, class));
+                    next_job += 1;
+                } else {
+                    let server_class = rng.below(3) as u32;
+                    let got = q
+                        .pop_eligible(SimTime::ZERO, server_class)
+                        .map(|(t, _)| t.id.job.0);
+                    // Reference: first entry whose class is None or equal.
+                    let want_idx = model
+                        .iter()
+                        .position(|(_, c)| c.is_none() || *c == Some(server_class));
+                    let want = want_idx.map(|i| model.remove(i).expect("index from position").0);
+                    assert_eq!(got, want, "trial {trial}");
+                }
+                assert_eq!(q.len(), model.len());
+            }
+        }
     }
 }

@@ -28,7 +28,7 @@ impl std::fmt::Display for ServerId {
     }
 }
 
-/// How the local scheduler queues tasks (§III-A, [37]).
+/// How the local scheduler queues tasks (§III-A, \[37\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocalQueueMode {
     /// One shared FIFO; any free core pulls the head.
@@ -129,7 +129,7 @@ const NO_EFFECT: Effect = Effect::TransitionDoneIn {
 };
 
 /// A reusable buffer of [`Effect`]s: a hand-rolled inline array that spills
-/// to the heap only on bursts larger than [`INLINE_EFFECTS`].
+/// to the heap only on bursts larger than the 8-effect inline capacity.
 ///
 /// The driving loop owns one buffer and passes it to every server call, so
 /// the per-event hot path performs no allocation. Server methods clear the

@@ -10,7 +10,7 @@ pub struct TaskHandle {
     pub id: TaskId,
     /// Nominal service time at the nominal core frequency.
     pub service: SimDuration,
-    /// Compute intensiveness α ∈ [0, 1]: fraction of the service time that
+    /// Compute intensiveness α ∈ `[0, 1]`: fraction of the service time that
     /// scales with frequency.
     pub intensity: f64,
 }

@@ -12,7 +12,7 @@ pub struct TaskSpec {
     /// Nominal execution time on a core at the nominal frequency
     /// (the paper's w_v^j).
     pub service: SimDuration,
-    /// Compute intensiveness α ∈ [0, 1]: the fraction of service time that
+    /// Compute intensiveness α ∈ `[0, 1]`: the fraction of service time that
     /// scales with core frequency (1 = fully compute-bound).
     pub intensity: f64,
     /// Optional server-class constraint (e.g. "database tier"); the global

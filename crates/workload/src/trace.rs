@@ -1,7 +1,7 @@
 //! Synthetic request traces standing in for the paper's proprietary inputs.
 //!
 //! The paper drives several case studies from the Wikipedia request trace
-//! [59] and the NLANR HTTP trace [2]; neither is redistributable here, so
+//! \[59\] and the NLANR HTTP trace \[2\]; neither is redistributable here, so
 //! this module generates statistically similar arrival-time vectors (see
 //! DESIGN.md §2 for the substitution argument):
 //!
