@@ -1,0 +1,77 @@
+//! Fair-share solver microbenchmarks: the add/remove/re-solve microcosts
+//! of both [`holdcsim_network::flow::FlowSolverKind`] arms over a fat
+//! tree under a steady churn of random-pair flows — the isolated cost of
+//! what `FlowNet` does once per admission and completion in flow mode.
+//!
+//! Run with `cargo bench --bench flow_solver` (add `-- --quick` for a
+//! reduced grid); compiled in CI via `cargo bench --no-run`.
+
+use holdcsim_bench::{bench, quick_mode};
+use holdcsim_des::rng::SimRng;
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::flow::{FlowNet, FlowSolverKind};
+use holdcsim_network::ids::FlowId;
+use holdcsim_network::routing::Router;
+use holdcsim_network::topologies::{fat_tree, LinkSpec};
+
+/// One churn run: fill the fabric with `live` flows, then sustain
+/// `steps` of add + complete-next at steady state. Returns the number of
+/// solver invocations (adds + completion batches).
+fn churn(kind: FlowSolverKind, k: usize, live: usize, steps: usize, seed: u64) -> u64 {
+    let built = fat_tree(k, LinkSpec::gigabit());
+    let topo = built.topology;
+    let hosts = built.hosts;
+    let mut router = Router::new();
+    let mut net = FlowNet::with_solver(&topo, kind);
+    let mut rng = SimRng::seed_from(seed);
+    let mut now = SimTime::ZERO;
+    let mut next_id = 0u64;
+    let mut admit = |net: &mut FlowNet, now: SimTime, rng: &mut SimRng, next_id: &mut u64| {
+        let i = rng.below(hosts.len() as u64) as usize;
+        let j = (i + 1 + rng.below(hosts.len() as u64 - 1) as usize) % hosts.len();
+        let links = router.route(&topo, hosts[i], hosts[j], *next_id).unwrap();
+        net.add_flow(
+            now,
+            FlowId(*next_id),
+            hosts[i],
+            hosts[j],
+            &links.links,
+            64 * 1024,
+        );
+        *next_id += 1;
+    };
+    for _ in 0..live {
+        admit(&mut net, now, &mut rng, &mut next_id);
+    }
+    let mut ops = live as u64;
+    for _ in 0..steps {
+        now += SimDuration::from_micros(1 + rng.below(20));
+        admit(&mut net, now, &mut rng, &mut next_id);
+        if let Some(due) = net.next_due() {
+            now = now.max(due);
+            net.advance_due(due);
+            net.take_completed();
+        }
+        ops += 2;
+    }
+    ops
+}
+
+fn main() {
+    let quick = quick_mode();
+    let samples = if quick { 3 } else { 10 };
+    let steps = if quick { 500 } else { 5_000 };
+    for &(k, live) in if quick {
+        &[(4, 64)][..]
+    } else {
+        &[(4, 64), (8, 512), (8, 2048)][..]
+    } {
+        for kind in [FlowSolverKind::Incremental, FlowSolverKind::Reference] {
+            let label = format!("flow_solver/{}/k{k}_live{live}", kind.label());
+            let ops = churn(kind, k, live, steps, 42);
+            bench(&label, samples, Some(ops), || {
+                churn(kind, k, live, steps, 42)
+            });
+        }
+    }
+}

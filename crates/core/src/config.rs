@@ -4,6 +4,7 @@
 //! inputs, constructed once and handed to [`crate::sim::Simulation`].
 
 use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_network::topologies::LinkSpec;
 use holdcsim_power::server_profile::ServerPowerProfile;
 use holdcsim_power::switch_profile::SwitchPowerProfile;
@@ -96,6 +97,11 @@ pub struct NetworkConfig {
     pub switch_profile: SwitchPowerProfile,
     /// Communication granularity.
     pub comm: CommModel,
+    /// Fair-share solver of the flow comm model (`Incremental` is the
+    /// production arm; `Reference` re-runs global progressive filling on
+    /// every change, kept selectable for A/B validation). Ignored in
+    /// packet mode.
+    pub flow_solver: FlowSolverKind,
     /// Port LPI hold time: a port enters Low Power Idle after being idle
     /// this long (`None` disables idle power management entirely).
     pub lpi_hold: Option<SimDuration>,
@@ -119,6 +125,7 @@ impl NetworkConfig {
             link: LinkSpec::gigabit(),
             switch_profile: SwitchPowerProfile::datacenter_48port(),
             comm: CommModel::Flow,
+            flow_solver: FlowSolverKind::default(),
             lpi_hold: Some(SimDuration::from_millis(10)),
             use_alr: false,
             ingress_bytes: None,
@@ -135,6 +142,7 @@ impl NetworkConfig {
                 mtu: 1_500,
                 buffer_bytes: 512 * 1024,
             },
+            flow_solver: FlowSolverKind::default(),
             lpi_hold: Some(SimDuration::from_millis(50)),
             use_alr: false,
             ingress_bytes: Some((1_500, 8_000)),

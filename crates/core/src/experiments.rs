@@ -17,6 +17,8 @@ use holdcsim_workload::service::ServiceDist;
 use holdcsim_workload::templates::JobTemplate;
 use holdcsim_workload::trace::SyntheticTrace;
 
+use holdcsim_network::flow::FlowSolverKind;
+
 use crate::config::{ArrivalConfig, ControllerConfig, NetworkConfig, PolicyKind, SimConfig};
 use crate::report::SimReport;
 use crate::sim::Simulation;
@@ -644,7 +646,9 @@ pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<Sca
 pub struct NetScalabilityPoint {
     /// Simulated servers.
     pub servers: usize,
-    /// Communication model of this arm (`"flow"` or `"packet"`).
+    /// Communication model of this arm (`"flow"` = flow model with the
+    /// incremental fair-share solver, `"flow-ref"` = flow model with the
+    /// reference solver, `"packet"` = packetized).
     pub comm: &'static str,
     /// Engine events processed.
     pub events: u64,
@@ -654,6 +658,9 @@ pub struct NetScalabilityPoint {
     pub events_per_s: f64,
     /// Jobs completed.
     pub jobs: u64,
+    /// Flows completed (0 in packet mode) — the A/B solver arms must
+    /// report identical counts.
+    pub flows: u64,
 }
 
 /// Fan-out width of the network scalability configuration (each job is a
@@ -694,12 +701,26 @@ pub fn fat_tree_k_for(n: usize) -> usize {
     k
 }
 
-/// The configuration of one network scalability arm.
+/// The configuration of one network scalability arm (the default —
+/// incremental — flow solver; see
+/// [`net_scalability_config_with_solver`]).
 pub fn net_scalability_config(
     servers: usize,
     comm: crate::config::CommModel,
     duration: SimDuration,
     seed: u64,
+) -> SimConfig {
+    net_scalability_config_with_solver(servers, comm, duration, seed, FlowSolverKind::default())
+}
+
+/// The configuration of one network scalability arm with an explicit
+/// fair-share solver (ignored in packet mode).
+pub fn net_scalability_config_with_solver(
+    servers: usize,
+    comm: crate::config::CommModel,
+    duration: SimDuration,
+    seed: u64,
+    solver: FlowSolverKind,
 ) -> SimConfig {
     let mut cfg = SimConfig::server_farm(
         servers,
@@ -712,6 +733,7 @@ pub fn net_scalability_config(
     .with_policy(SCALABILITY_POLICY);
     let mut net = NetworkConfig::fat_tree(fat_tree_k_for(servers));
     net.comm = comm;
+    net.flow_solver = solver;
     cfg.network = Some(net);
     cfg
 }
@@ -726,20 +748,25 @@ pub fn net_scalability(
     sizes: &[usize],
     duration: SimDuration,
     seed: u64,
+    flow_solvers: &[FlowSolverKind],
 ) -> Vec<NetScalabilityPoint> {
-    let mut points = Vec::with_capacity(sizes.len() * 2);
+    let packet = crate::config::CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 1 << 20,
+    };
+    let mut points = Vec::with_capacity(sizes.len() * (flow_solvers.len() + 1));
     for &n in sizes {
-        for (comm, label) in [
-            (crate::config::CommModel::Flow, "flow"),
-            (
-                crate::config::CommModel::Packet {
-                    mtu: 1_500,
-                    buffer_bytes: 1 << 20,
-                },
-                "packet",
-            ),
-        ] {
-            let cfg = net_scalability_config(n, comm, duration, seed);
+        let mut arms: Vec<(crate::config::CommModel, FlowSolverKind, &'static str)> = Vec::new();
+        for &solver in flow_solvers {
+            let label = match solver {
+                FlowSolverKind::Incremental => "flow",
+                FlowSolverKind::Reference => "flow-ref",
+            };
+            arms.push((crate::config::CommModel::Flow, solver, label));
+        }
+        arms.push((packet, FlowSolverKind::default(), "packet"));
+        for (comm, solver, label) in arms {
+            let cfg = net_scalability_config_with_solver(n, comm, duration, seed, solver);
             let t0 = Instant::now();
             let report = Simulation::new(cfg).run();
             let wall = t0.elapsed().as_secs_f64();
@@ -750,7 +777,21 @@ pub fn net_scalability(
                 wall_s: wall,
                 events_per_s: report.events_processed as f64 / wall.max(1e-9),
                 jobs: report.jobs_completed,
+                flows: report.network.as_ref().map_or(0, |net| net.flows),
             });
+        }
+        // The solver arms simulate the same physics: their trajectories
+        // (and so their completed-flow and job counts) must agree.
+        let flow_arms: Vec<&NetScalabilityPoint> = points
+            .iter()
+            .filter(|p| p.servers == n && p.comm.starts_with("flow"))
+            .collect();
+        for pair in flow_arms.windows(2) {
+            assert_eq!(
+                (pair[0].flows, pair[0].jobs, pair[0].events),
+                (pair[1].flows, pair[1].jobs, pair[1].events),
+                "solver arms diverged at {n} servers"
+            );
         }
     }
     points

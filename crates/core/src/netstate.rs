@@ -47,6 +47,10 @@ pub struct NetState {
     pub name: String,
     /// Reverse map: `(switch index, port)` → the link on that port.
     pub port_link: HashMap<(usize, u32), LinkId>,
+    /// Deadline of the furthest-out `LpiCheck` event armed per switch
+    /// port (packet mode coalesces per-port idle checks to at most one
+    /// outstanding timer; see the driver's `schedule_lpi_check`).
+    pub lpi_armed: Vec<Vec<SimTime>>,
 }
 
 impl NetState {
@@ -119,12 +123,16 @@ impl NetState {
             .saturating_mul(Self::ECMP_WAYS)
             .min(1 << 22);
         router.set_route_cache_cap(key_space as usize);
-        let flows = FlowNet::new(&topology);
+        let flows = FlowNet::with_solver(&topology, cfg.flow_solver);
         let buffer = match cfg.comm {
             CommModel::Packet { buffer_bytes, .. } => buffer_bytes,
             CommModel::Flow => 1 << 20,
         };
         let packets = PacketNet::new(&topology, buffer);
+        let lpi_armed = switches
+            .iter()
+            .map(|sw| vec![SimTime::ZERO; sw.port_count()])
+            .collect();
         NetState {
             hosts: built.hosts,
             router,
@@ -138,6 +146,7 @@ impl NetState {
             ingress_bytes: cfg.ingress_bytes,
             name: built.name,
             port_link,
+            lpi_armed,
             topology,
         }
     }

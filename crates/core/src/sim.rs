@@ -9,6 +9,7 @@ use holdcsim_des::engine::{Context, Engine, Model};
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::flow::CompletedFlow;
 use holdcsim_network::ids::{FlowId, NodeId, PacketId};
 use holdcsim_network::packet::{Packet, TxOutcome};
 use holdcsim_network::routing::Route;
@@ -61,11 +62,12 @@ pub enum DcEvent {
         /// The server.
         server: ServerId,
     },
-    /// The flow network's earliest projected completion is due.
-    FlowsAdvance {
-        /// Flow-table generation this event was scheduled against.
-        gen: u64,
-    },
+    /// The flow network's earliest projected completion is due. A single
+    /// such event is kept armed at [`holdcsim_network::flow::FlowNet::
+    /// next_due`]; per-flow retiming happens inside the flow network's
+    /// completion heap (rate deltas update heap entries, not calendar
+    /// events), so a firing that finds nothing due is a cheap no-op.
+    FlowsAdvance,
     /// A flow whose start was delayed by switch wake latency is admitted.
     FlowAdmit {
         /// The raw flow id.
@@ -179,6 +181,13 @@ pub struct Datacenter {
     /// Scratch for a task's inbound cross-server edges (reused across
     /// placements; no per-transfer allocation).
     scratch_inbound: Vec<(u32, u64, ServerId)>,
+    /// Scratch for completions drained from the flow network (reused
+    /// across completion events).
+    scratch_flow_done: Vec<CompletedFlow>,
+    /// Deadline of the earliest outstanding `FlowsAdvance` event: arming
+    /// is skipped while an earlier-or-equal check is already scheduled,
+    /// so admissions that only push completions *later* enqueue nothing.
+    flow_check_armed: SimTime,
     /// Per-server tasks committed but still waiting on inbound transfers.
     committed: Vec<u32>,
     metrics: Metrics,
@@ -299,6 +308,8 @@ impl Datacenter {
             transfer_slots: SlotWindow::new(),
             dispatch_slots: SlotWindow::new(),
             scratch_inbound: Vec::new(),
+            scratch_flow_done: Vec::new(),
+            flow_check_armed: SimTime::ZERO,
             committed: vec![0; cfg.server_count],
             metrics,
             cfg,
@@ -575,14 +586,17 @@ impl Datacenter {
                 }
                 let (hs, hd) = (net.host_of(src), net.host_of(dst));
                 if wake.is_zero() {
-                    net.flows.add_flow(now, fid, hs, hd, &route.links, bytes);
+                    // Batched: the re-solve runs once per event, when
+                    // `schedule_flow_retimes` flushes — a task's whole
+                    // transfer fan-in shares one fair-share solve.
+                    net.flows
+                        .add_flow_batched(now, fid, hs, hd, &route.links, bytes);
                     let key = self.flow_slots.insert(FlowSt {
                         route,
                         pending: None,
                         dispatch,
                     });
                     debug_assert_eq!(key, fid.0);
-                    self.resched_flows(ctx);
                 } else {
                     let key = self.flow_slots.insert(FlowSt {
                         route,
@@ -679,10 +693,7 @@ impl Datacenter {
                     let tx_end = arrives_at - net.topology.link(link).latency;
                     net.switches[swi].note_tx_end(port, tx_end);
                     if let Some(hold) = net.lpi_hold {
-                        ctx.schedule_at(
-                            (tx_end + hold).max(now),
-                            DcEvent::LpiCheck { switch: swi, port },
-                        );
+                        Self::schedule_lpi_check(ctx, net, swi, port, tx_end + hold);
                     }
                 }
                 ctx.schedule_at(arrives_at, DcEvent::PacketArrive { slot });
@@ -740,25 +751,37 @@ impl Datacenter {
         }
         let (hs, hd, bytes) = st.pending.take().expect("pending flow has admission state");
         net.flows
-            .add_flow(now, FlowId(flow), hs, hd, &st.route.links, bytes);
-        self.resched_flows(ctx);
+            .add_flow_batched(now, FlowId(flow), hs, hd, &st.route.links, bytes);
+        self.schedule_flow_retimes(ctx);
     }
 
-    fn resched_flows(&mut self, ctx: &mut Context<'_, DcEvent>) {
-        let net = self.net.as_ref().expect("flows without network");
-        if let Some((gen, at)) = net.flows.next_completion(ctx.now()) {
-            ctx.schedule_at(at, DcEvent::FlowsAdvance { gen });
-        }
-    }
-
-    fn on_flows_advance(&mut self, ctx: &mut Context<'_, DcEvent>, gen: u64) {
-        let now = ctx.now();
+    /// Re-arms the single `FlowsAdvance` event at the flow network's
+    /// earliest projected completion. Rate deltas already retimed the
+    /// per-flow entries inside the network's completion heap; the
+    /// calendar only needs a new event when the earliest projection moved
+    /// *before* the armed one (later moves leave the armed event to fire
+    /// as a cheap no-op and re-arm itself).
+    fn schedule_flow_retimes(&mut self, ctx: &mut Context<'_, DcEvent>) {
         let Some(net) = self.net.as_mut() else { return };
-        if gen != net.flows.generation() {
+        net.flows.flush(ctx.now());
+        let Some(due) = net.flows.next_due() else {
+            return;
+        };
+        let now = ctx.now();
+        if self.flow_check_armed > now && self.flow_check_armed <= due {
             return;
         }
-        net.flows.advance(now);
-        let done = net.flows.take_completed();
+        self.flow_check_armed = due;
+        ctx.schedule_at(due, DcEvent::FlowsAdvance);
+    }
+
+    fn on_flows_advance(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        let Some(net) = self.net.as_mut() else { return };
+        net.flows.advance_due(now);
+        let mut done = std::mem::take(&mut self.scratch_flow_done);
+        done.clear();
+        done.extend(net.flows.drain_completed());
         let hold = net.lpi_hold;
         for c in &done {
             let st = self
@@ -767,19 +790,21 @@ impl Datacenter {
                 .expect("completed flow has state");
             // Freed links may now idle their ports.
             if let Some(hold) = hold {
-                let net = self.net.as_ref().expect("still here");
+                let net = self.net.as_mut().expect("still here");
                 for &l in &st.route.links {
                     if net.flows.flows_on_link(l) == 0 {
-                        for (swi, port) in net.switch_ports_of_link(l) {
-                            ctx.schedule_in(hold, DcEvent::LpiCheck { switch: swi, port });
+                        let ports = net.switch_ports_of_link(l);
+                        for (swi, port) in ports {
+                            Self::schedule_lpi_check(ctx, net, swi, port, now + hold);
                         }
                     }
                 }
             }
             self.finish_edge(ctx, st.dispatch);
         }
+        self.scratch_flow_done = done;
         if self.net.is_some() {
-            self.resched_flows(ctx);
+            self.schedule_flow_retimes(ctx);
         }
     }
 
@@ -787,6 +812,12 @@ impl Datacenter {
         let now = ctx.now();
         let Some(net) = self.net.as_mut() else { return };
         let Some(hold) = net.lpi_hold else { return };
+        let is_packet = matches!(net.comm, CommModel::Packet { .. });
+        // Coalesced (packet) mode: a later check is armed for this port,
+        // so this event is a leftover from before coalescing kicked in.
+        if is_packet && net.lpi_armed[switch][port as usize] > now {
+            return;
+        }
         let link = net.port_link[&(switch, port)];
         let busy = match net.comm {
             CommModel::Flow => net.flows.flows_on_link(link) > 0,
@@ -797,14 +828,21 @@ impl Datacenter {
                     > now
             }
         };
-        if busy {
+        let idle_due = net.switches[switch].last_tx_end(port).saturating_add(hold);
+        if busy || idle_due > now {
+            // Traffic since this check was scheduled. Packet mode owns
+            // the port's single timer: re-arm it at the idle deadline
+            // (every in-flight transmission has already advanced
+            // `last_tx_end`, so the deadline is in the future whenever
+            // the port is busy).
+            if is_packet && idle_due > now {
+                net.lpi_armed[switch][port as usize] = idle_due;
+                ctx.schedule_at(idle_due, DcEvent::LpiCheck { switch, port });
+            }
             return;
         }
         let use_alr = net.use_alr;
         let sw = &mut net.switches[switch];
-        if sw.last_tx_end(port).saturating_add(hold) > now {
-            return; // traffic since this check was scheduled
-        }
         if use_alr {
             // ALR mode: negotiate the idle port down the ladder instead of
             // entering LPI (zero exit latency, smaller savings).
@@ -846,8 +884,36 @@ impl Datacenter {
         let tx_end = now + wake + SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate as f64);
         net.switches[swi].note_tx_end(port, tx_end);
         if let Some(hold) = net.lpi_hold {
-            ctx.schedule_at(tx_end + hold, DcEvent::LpiCheck { switch: swi, port });
+            Self::schedule_lpi_check(ctx, net, swi, port, tx_end + hold);
         }
+    }
+
+    /// Schedules an `LpiCheck` for `(swi, port)` at `at`.
+    ///
+    /// In packet mode the per-port idle timer is coalesced: while a check
+    /// is still outstanding (armed strictly in the future), new requests
+    /// are dropped — the outstanding check re-arms itself off the port's
+    /// `last_tx_end` when it fires — so a busy port carries one pending
+    /// idle check per hold window instead of one per forwarded packet,
+    /// while still entering LPI at exactly `last_tx_end + hold`. Flow
+    /// mode keeps direct scheduling (its check volume is per-flow, and
+    /// link-freed checks are not tied to the transmit clock).
+    fn schedule_lpi_check(
+        ctx: &mut Context<'_, DcEvent>,
+        net: &mut NetState,
+        swi: usize,
+        port: u32,
+        at: SimTime,
+    ) {
+        let at = at.max(ctx.now());
+        if matches!(net.comm, CommModel::Packet { .. }) {
+            let armed = &mut net.lpi_armed[swi][port as usize];
+            if *armed > ctx.now() {
+                return;
+            }
+            *armed = at;
+        }
+        ctx.schedule_at(at, DcEvent::LpiCheck { switch: swi, port });
     }
 
     /// Schedules the follow-up events for the effects a server call left in
@@ -917,6 +983,9 @@ impl Datacenter {
             self.job_pool.push(js);
         }
         self.pull_global_queue(ctx, sid);
+        // Transfer admissions from the placements and pulls above are
+        // batched; solve and arm the completion check once per event.
+        self.schedule_flow_retimes(ctx);
     }
 
     fn pull_global_queue(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId) {
@@ -977,6 +1046,8 @@ impl Datacenter {
             self.place_or_queue(ctx, id, t);
         }
         self.scratch_ready = ready;
+        // Admissions from the placements above are batched; solve once.
+        self.schedule_flow_retimes(ctx);
         self.schedule_next_arrival(ctx);
     }
 
@@ -1171,11 +1242,12 @@ impl Datacenter {
             }
         }
         // Idle switch ports may enter LPI after the initial hold.
-        if let Some(net) = &self.net {
+        if let Some(net) = self.net.as_mut() {
             if let Some(hold) = net.lpi_hold {
-                for (swi, sw) in net.switches.iter().enumerate() {
-                    for port in 0..sw.port_count() as u32 {
-                        ctx.schedule_in(hold, DcEvent::LpiCheck { switch: swi, port });
+                let at = now + hold;
+                for swi in 0..net.switches.len() {
+                    for port in 0..net.switches[swi].port_count() as u32 {
+                        Self::schedule_lpi_check(ctx, net, swi, port, at);
                     }
                 }
             }
@@ -1201,8 +1273,10 @@ impl Model for Datacenter {
                 self.servers[server.0 as usize].transition_done(ctx.now(), &mut self.fx);
                 Self::apply_effects(ctx, server, &self.fx);
                 self.pull_global_queue(ctx, server);
+                // Transfer admissions from the pulls above are batched.
+                self.schedule_flow_retimes(ctx);
             }
-            DcEvent::FlowsAdvance { gen } => self.on_flows_advance(ctx, gen),
+            DcEvent::FlowsAdvance => self.on_flows_advance(ctx),
             DcEvent::FlowAdmit { flow } => self.on_flow_admit(ctx, flow),
             DcEvent::PacketArrive { slot } => self.on_packet_arrive(ctx, slot),
             DcEvent::PacketRetry { slot } => self.send_packet(ctx, slot),
@@ -1465,6 +1539,34 @@ mod tests {
         assert!(a.jobs_completed > 500, "jobs {}", a.jobs_completed);
         let net = a.network.as_ref().expect("network report");
         assert!(net.flows > 1_000, "transfers really flowed");
+    }
+
+    /// The incremental fair-share solver must retrace the reference
+    /// arm's whole trajectory: fixed-point integer shares keep the two
+    /// solvers' rates equal far below the nanosecond event resolution,
+    /// so the full reports (jobs, latencies, energies, event counts)
+    /// come out byte-identical.
+    #[test]
+    fn flow_solver_arms_produce_identical_reports() {
+        use holdcsim_network::flow::FlowSolverKind;
+        let mut ref_cfg = slot_indexed_cfg(CommModel::Flow);
+        ref_cfg
+            .network
+            .as_mut()
+            .expect("network configured")
+            .flow_solver = FlowSolverKind::Reference;
+        let reference = Simulation::new(ref_cfg).run();
+        let incremental = Simulation::new(slot_indexed_cfg(CommModel::Flow)).run();
+        assert_eq!(
+            reference.to_json(),
+            incremental.to_json(),
+            "solver arms must agree byte-for-byte"
+        );
+        let (a, b) = (
+            reference.network.as_ref().expect("network report"),
+            incremental.network.as_ref().expect("network report"),
+        );
+        assert_eq!(a.flows, b.flows, "identical completed-flow counts");
     }
 
     #[test]

@@ -82,6 +82,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod lazy_heap;
 pub mod queue;
 pub mod rng;
 pub mod slot_window;
@@ -89,6 +90,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Context, Engine, Model};
+pub use lazy_heap::LazyHeap;
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use slot_window::SlotWindow;

@@ -20,6 +20,7 @@ use holdcsim::experiments::{
 };
 use holdcsim::export::JsonObj;
 use holdcsim_des::time::SimDuration;
+use holdcsim_network::flow::FlowSolverKind;
 
 /// The default farm sizes of the recorded baseline.
 pub const DEFAULT_SIZES: &[usize] = &[16, 128, 1024];
@@ -47,6 +48,11 @@ pub struct BenchScaleConfig {
     pub net_sizes: Vec<usize>,
     /// Simulated horizon per network-heavy point.
     pub net_duration: SimDuration,
+    /// Fair-share solver arms of the flow comm model: the default runs
+    /// the incremental production solver and the reference solver
+    /// interleaved (A/B on the same grid) and asserts they complete the
+    /// same flows.
+    pub flow_solvers: Vec<FlowSolverKind>,
     /// Root seed.
     pub seed: u64,
     /// Repetitions per size; the *best* wall-clock time is kept, the
@@ -63,6 +69,7 @@ impl Default for BenchScaleConfig {
             duration: DEFAULT_DURATION,
             net_sizes: DEFAULT_NET_SIZES.to_vec(),
             net_duration: DEFAULT_NET_DURATION,
+            flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
             seed: 42,
             repeats: 3,
             out: PathBuf::from("BENCH_scalability.json"),
@@ -156,6 +163,7 @@ pub fn render_json(
             .str("comm", p.comm)
             .int("events", p.events)
             .int("jobs", p.jobs)
+            .int("flows", p.flows)
             .num("wall_s", p.wall_s)
             .num("events_per_s", p.events_per_s)
             .finish();
@@ -177,7 +185,12 @@ pub fn measure(cfg: &BenchScaleConfig) -> (Vec<ScalabilityPoint>, Vec<NetScalabi
     let mut net_best: Vec<NetScalabilityPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
-        let net_pts = net_scalability(&cfg.net_sizes, cfg.net_duration, cfg.seed);
+        let net_pts = net_scalability(
+            &cfg.net_sizes,
+            cfg.net_duration,
+            cfg.seed,
+            &cfg.flow_solvers,
+        );
         if rep == 0 {
             best = pts;
             net_best = net_pts;
@@ -242,6 +255,7 @@ mod tests {
             duration: SimDuration::from_millis(50),
             net_sizes: vec![4],
             net_duration: SimDuration::from_millis(20),
+            flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
             seed: 7,
             repeats: 2,
             out: std::env::temp_dir().join(format!("BENCH_test_{}.json", std::process::id())),
@@ -255,12 +269,19 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
-        // One flow arm and one packet arm per network size.
-        assert_eq!(net_pts.len(), 2);
-        assert_eq!((net_pts[0].comm, net_pts[1].comm), ("flow", "packet"));
+        // Two flow solver arms and one packet arm per network size.
+        assert_eq!(net_pts.len(), 3);
+        assert_eq!(
+            (net_pts[0].comm, net_pts[1].comm, net_pts[2].comm),
+            ("flow", "flow-ref", "packet")
+        );
         assert!(net_pts.iter().all(|p| p.events > 0));
+        // The A/B arms completed the very same flows (also asserted
+        // inside `net_scalability`, which would have panicked).
+        assert_eq!(net_pts[0].flows, net_pts[1].flows);
+        assert!(net_pts[0].flows > 0, "transfers really flowed");
         assert!(
-            net_pts[1].events > net_pts[0].events,
+            net_pts[2].events > net_pts[0].events,
             "packetized transfers generate more events than flows"
         );
     }
@@ -280,7 +301,9 @@ mod tests {
             "\"network_points\":",
             "\"servers\":4",
             "\"comm\":\"flow\"",
+            "\"comm\":\"flow-ref\"",
             "\"comm\":\"packet\"",
+            "\"flows\":",
             "\"events\":",
             "\"events_per_s\":",
             "\"wall_s\":",

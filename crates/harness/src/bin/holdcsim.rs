@@ -25,6 +25,7 @@ use holdcsim_harness::bench_scale::{self, BenchScaleConfig};
 use holdcsim_harness::exec::{default_threads, run_plan};
 use holdcsim_harness::figs::{self, FigScale};
 use holdcsim_harness::grid::SweepPlan;
+use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_workload::presets::WorkloadPreset;
 
 const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
@@ -39,6 +40,7 @@ USAGE:
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
                    [--net-sizes 16,128 | none] [--net-duration SECS]
+                   [--flow-solver incremental|reference|both]
                    [--seed S] [--repeats N] [--out PATH]
 
 Policies: round-robin, least-loaded, pack-first, random, network-aware.
@@ -49,7 +51,11 @@ Taus:     seconds, or `active-idle` for the no-sleep arm.
 network-heavy fat-tree grid (high-fan-out DAGs, flow and packet comm
 models) at each --net-sizes size (`none` skips the network arms),
 measures wall-clock events/second (best of --repeats), and writes the
-JSON perf baseline (default ./BENCH_scalability.json).
+JSON perf baseline (default ./BENCH_scalability.json). The flow arm
+runs once per selected fair-share solver (`both` by default: the
+incremental production solver as `flow` and the global progressive-
+filling reference as `flow-ref`, interleaved A/B on the same grid with
+identical completed-flow counts asserted).
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -282,6 +288,7 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             "duration",
             "net-sizes",
             "net-duration",
+            "flow-solver",
             "seed",
             "repeats",
             "out",
@@ -306,6 +313,14 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = opts.get("net-duration") {
         cfg.net_duration = SimDuration::from_secs_f64(parse_num(s, "net-duration")?);
+    }
+    if let Some(s) = opts.get("flow-solver") {
+        cfg.flow_solvers = match s.as_str() {
+            "incremental" => vec![FlowSolverKind::Incremental],
+            "reference" => vec![FlowSolverKind::Reference],
+            "both" => vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            other => return Err(format!("unknown flow solver `{other}`")),
+        };
     }
     if let Some(s) = opts.get("seed") {
         cfg.seed = parse_num(s, "seed")?;

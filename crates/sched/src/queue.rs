@@ -49,16 +49,17 @@ pub struct GlobalQueue {
     total_enqueued: u64,
 }
 
-/// Pops stale keys (not yet purged after an out-of-band removal) off
-/// `q`'s front, returning the first key still live in `entries`.
-fn live_front(entries: &SlotWindow<QueueEntry>, q: &mut VecDeque<u64>) -> Option<u64> {
-    while let Some(&k) = q.front() {
-        if entries.contains(k) {
-            return Some(k);
-        }
-        q.pop_front();
-    }
-    None
+/// The front of sub-queue `q`. Every removal path purges its sub-queue
+/// key eagerly, so fronts are always live — mixed `pop_matching` and
+/// class-pull workloads cannot accumulate dead fronts (checked here in
+/// debug builds).
+fn live_front(entries: &SlotWindow<QueueEntry>, q: &VecDeque<u64>) -> Option<u64> {
+    let front = q.front().copied();
+    debug_assert!(
+        front.is_none_or(|k| entries.contains(k)),
+        "sub-queue front must be purged eagerly on removal"
+    );
+    front
 }
 
 impl GlobalQueue {
@@ -100,10 +101,10 @@ impl GlobalQueue {
     /// delay.
     pub fn pop(&mut self, now: SimTime) -> Option<(TaskHandle, SimDuration)> {
         let mut best: Option<(u64, usize)> = None;
-        if let Some(k) = live_front(&self.entries, &mut self.unclassed) {
+        if let Some(k) = live_front(&self.entries, &self.unclassed) {
             best = Some((k, usize::MAX));
         }
-        for (i, (_, q)) in self.classed.iter_mut().enumerate() {
+        for (i, (_, q)) in self.classed.iter().enumerate() {
             if let Some(k) = live_front(&self.entries, q) {
                 if best.is_none_or(|(bk, _)| k < bk) {
                     best = Some((k, i));
@@ -124,11 +125,11 @@ impl GlobalQueue {
         server_class: u32,
     ) -> Option<(TaskHandle, SimDuration)> {
         let mut best: Option<(u64, usize)> = None;
-        if let Some(k) = live_front(&self.entries, &mut self.unclassed) {
+        if let Some(k) = live_front(&self.entries, &self.unclassed) {
             best = Some((k, usize::MAX));
         }
         if let Some(i) = self.classed.iter().position(|(c, _)| *c == server_class) {
-            if let Some(k) = live_front(&self.entries, &mut self.classed[i].1) {
+            if let Some(k) = live_front(&self.entries, &self.classed[i].1) {
                 if best.is_none_or(|(bk, _)| k < bk) {
                     best = Some((k, i));
                 }
@@ -140,11 +141,12 @@ impl GlobalQueue {
 
     /// Removes `key` (the head of sub-queue `qi`) and returns its task.
     fn take(&mut self, key: u64, qi: usize, now: SimTime) -> Option<(TaskHandle, SimDuration)> {
-        if qi == usize::MAX {
-            self.unclassed.pop_front();
+        let popped = if qi == usize::MAX {
+            self.unclassed.pop_front()
         } else {
-            self.classed[qi].1.pop_front();
-        }
+            self.classed[qi].1.pop_front()
+        };
+        debug_assert_eq!(popped, Some(key), "take must consume its sub-queue front");
         let (enq, task, _) = self.entries.remove(key).expect("front key is live");
         Some((task, now.saturating_duration_since(enq)))
     }
@@ -165,14 +167,22 @@ impl GlobalQueue {
         }
         let key = best?;
         let (enq, task, class) = self.entries.remove(key).expect("key from live iter");
-        // Purge the key from its sub-queue so a pop_matching-only caller
-        // cannot grow sub-queue memory without bound (linear in that one
-        // sub-queue — pop_matching is already the linear path).
+        self.purge_key(class, key);
+        Some((task, now.saturating_duration_since(enq)))
+    }
+
+    /// Eagerly removes `key` from its class sub-queue after an
+    /// out-of-band (non-front) removal, preserving the invariant that
+    /// sub-queue fronts are always live (linear in that one sub-queue —
+    /// only [`pop_matching`](Self::pop_matching), already the linear
+    /// path, removes out of band).
+    fn purge_key(&mut self, class: Option<u32>, key: u64) {
         let q = self.subqueue_mut(class);
         if let Some(pos) = q.iter().position(|&k| k == key) {
             q.remove(pos);
+        } else {
+            debug_assert!(false, "removed entry missing from its sub-queue");
         }
-        Some((task, now.saturating_duration_since(enq)))
     }
 
     /// Tasks currently waiting.
@@ -298,6 +308,46 @@ mod tests {
         assert_eq!(q.len(), 1);
         let held: usize = q.unclassed.len() + q.classed.iter().map(|(_, v)| v.len()).sum::<usize>();
         assert_eq!(held, 1, "sub-queues must not accumulate dead keys");
+    }
+
+    /// A workload mixing heavy `pop_matching` with class pulls and plain
+    /// pops must never accumulate dead keys in any sub-queue: removal is
+    /// eagerly purged, so held sub-queue keys always equal the waiting
+    /// count.
+    #[test]
+    fn mixed_pop_matching_and_class_pulls_hold_no_dead_keys() {
+        let root = SimRng::seed_from(0xDEAD5);
+        for trial in 0..8u64 {
+            let mut rng = root.substream(trial);
+            let mut q = GlobalQueue::new();
+            let mut next_job = 0u64;
+            for _ in 0..3_000 {
+                match rng.below(10) {
+                    0..=4 => {
+                        let class = match rng.below(4) {
+                            0 => None,
+                            c => Some((c - 1) as u32),
+                        };
+                        q.push_classed(SimTime::ZERO, th(next_job), class);
+                        next_job += 1;
+                    }
+                    5..=6 => {
+                        // Match an arbitrary (often mid-queue) job id.
+                        let probe = rng.below(next_job.max(1));
+                        q.pop_matching(SimTime::ZERO, |t| t.id.job.0 >= probe);
+                    }
+                    7..=8 => {
+                        q.pop_eligible(SimTime::ZERO, rng.below(3) as u32);
+                    }
+                    _ => {
+                        q.pop(SimTime::ZERO);
+                    }
+                }
+                let held: usize =
+                    q.unclassed.len() + q.classed.iter().map(|(_, v)| v.len()).sum::<usize>();
+                assert_eq!(held, q.len(), "trial {trial}: dead sub-queue keys");
+            }
+        }
     }
 
     /// Equivalence: `pop_eligible` must reproduce the old linear-scan

@@ -8,7 +8,7 @@ use holdcsim_des::queue::EventQueue;
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::stats::{SampleSet, Tally, TimeWeighted};
 use holdcsim_des::time::{SimDuration, SimTime};
-use holdcsim_network::flow::FlowNet;
+use holdcsim_network::flow::{FlowNet, FlowSolverKind};
 use holdcsim_network::ids::{FlowId, LinkId};
 use holdcsim_network::routing::Router;
 use holdcsim_network::topologies::{fat_tree, star, LinkSpec};
@@ -177,6 +177,132 @@ fn flow_rates_respect_capacity() {
             let u = net.link_utilization(LinkId(l as u32));
             assert!(u <= 1.0 + 1e-9, "link {l} oversubscribed: {u}");
         }
+    }
+}
+
+/// One randomized flow-churn pass over a fat tree: add random-pair
+/// flows, cancel some, and run completions, reporting each live flow's
+/// rate after every op via `observe` and every completion batch via
+/// `completions`.
+fn drive_flow_churn(
+    net: &mut FlowNet,
+    trial: u64,
+    mut observe: impl FnMut(u64, FlowId, f64),
+    mut completions: impl FnMut(u64, &[(FlowId, SimTime)]),
+) {
+    let built = fat_tree(4, LinkSpec::gigabit());
+    let topo = built.topology;
+    let hosts = built.hosts;
+    let mut router = Router::new();
+    let mut rng = SimRng::seed_from(0x11C7EA).substream(trial);
+    let mut live: Vec<(u64, FlowId)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut now = SimTime::ZERO;
+    for step in 0..300u64 {
+        now += SimDuration::from_micros(1 + rng.below(40));
+        match rng.below(10) {
+            0..=4 => {
+                let i = rng.below(16) as usize;
+                let j = (i + 1 + rng.below(15) as usize) % 16;
+                let links = router.route(&topo, hosts[i], hosts[j], next_id).unwrap();
+                let id = FlowId(next_id);
+                next_id += 1;
+                let key = net.add_flow(
+                    now,
+                    id,
+                    hosts[i],
+                    hosts[j],
+                    &links.links,
+                    1 + rng.below(4_000_000),
+                );
+                live.push((key, id));
+            }
+            5..=7 if !live.is_empty() => {
+                let i = rng.below(live.len() as u64) as usize;
+                let (key, _) = live.swap_remove(i);
+                assert!(net.remove_flow(now, key));
+            }
+            _ => {
+                if let Some(due) = net.next_due() {
+                    now = now.max(due);
+                    net.advance_due(due);
+                }
+            }
+        }
+        let done: Vec<(FlowId, SimTime)> = net
+            .take_completed()
+            .into_iter()
+            .map(|c| (c.id, now))
+            .collect();
+        live.retain(|(_, id)| !done.iter().any(|(d, _)| d == id));
+        completions(step, &done);
+        for &(_, id) in &live {
+            observe(step, id, net.flow_rate_bps(id).expect("live flow is rated"));
+        }
+    }
+}
+
+/// Satellite check: over arbitrary add/remove/complete sequences on
+/// fat-tree topologies, the incremental solver's rates match the
+/// reference progressive-filling solver within 1e-9 (relative; plus a
+/// couple of 2⁻²⁰ bps quanta absolute — the fixed-point max-min solution
+/// is non-unique at exact floor ties).
+#[test]
+fn incremental_flow_solver_matches_reference_on_fat_trees() {
+    for trial in 0..6u64 {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut reference = FlowNet::with_solver(&built.topology, FlowSolverKind::Reference);
+        let mut incremental = FlowNet::with_solver(&built.topology, FlowSolverKind::Incremental);
+        let mut ref_rates: Vec<(u64, u64, f64)> = Vec::new();
+        let mut inc_rates: Vec<(u64, u64, f64)> = Vec::new();
+        let mut ref_done: Vec<(FlowId, SimTime)> = Vec::new();
+        let mut inc_done: Vec<(FlowId, SimTime)> = Vec::new();
+        drive_flow_churn(
+            &mut reference,
+            trial,
+            |step, id, rate| ref_rates.push((step, id.0, rate)),
+            |_, done| ref_done.extend_from_slice(done),
+        );
+        drive_flow_churn(
+            &mut incremental,
+            trial,
+            |step, id, rate| inc_rates.push((step, id.0, rate)),
+            |_, done| inc_done.extend_from_slice(done),
+        );
+        assert_eq!(ref_rates.len(), inc_rates.len(), "trial {trial}");
+        let quantum = 1.0 / (1u64 << 20) as f64;
+        for (&(s, id, ra), &(_, _, rb)) in ref_rates.iter().zip(&inc_rates) {
+            assert!(
+                (ra - rb).abs() <= (1e-9 * ra.max(rb)).max(4.0 * quantum),
+                "trial {trial} step {s} flow {id}: {ra} vs {rb}"
+            );
+        }
+        let ids_a: Vec<FlowId> = ref_done.iter().map(|&(id, _)| id).collect();
+        let ids_b: Vec<FlowId> = inc_done.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids_a, ids_b, "trial {trial}: completion sequences differ");
+    }
+}
+
+/// Satellite check: flow completions under the incremental solver are
+/// bitwise deterministic — two runs of the same fixed-seed churn produce
+/// identical completion sequences, rates, and instants.
+#[test]
+fn flow_completions_bitwise_deterministic_under_incremental_solver() {
+    let run = |trial: u64| {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut net = FlowNet::with_solver(&built.topology, FlowSolverKind::Incremental);
+        let mut rates: Vec<u64> = Vec::new();
+        let mut done: Vec<(FlowId, SimTime)> = Vec::new();
+        drive_flow_churn(
+            &mut net,
+            trial,
+            |_, _, rate| rates.push(rate.to_bits()),
+            |_, batch| done.extend_from_slice(batch),
+        );
+        (rates, done)
+    };
+    for trial in 0..3u64 {
+        assert_eq!(run(trial), run(trial), "trial {trial}");
     }
 }
 
