@@ -1,0 +1,384 @@
+//! The federation coordinator: N site [`Datacenter`]s advanced in
+//! lockstep (globally earliest event first), coupled only by WAN job
+//! transfers and the geo-dispatch load snapshot.
+//!
+//! Each site is a complete, self-driven fabric built by
+//! [`Simulation::new`] from its own [`SimConfig`] (derived by
+//! [`ClusterConfig::site_configs`], per-site RNG substreams included), so
+//! a federated site whose jobs all stay home retraces the corresponding
+//! standalone run event for event — the property the cross-site
+//! equivalence tests pin down.
+
+use holdcsim::config::ClusterConfig;
+use holdcsim::export::{json_f64, JsonObj};
+use holdcsim::job::JobState;
+use holdcsim::report::SimReport;
+use holdcsim::sim::{finish_report, Datacenter, DcEvent, FedPort, Simulation};
+use holdcsim_des::engine::Engine;
+use holdcsim_des::time::SimTime;
+
+use crate::wan::{Wan, WanReport};
+
+/// A configured multi-datacenter federation, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim::config::{ClusterConfig, SimConfig, WanConfig};
+/// use holdcsim_cluster::Federation;
+/// use holdcsim_des::time::SimDuration;
+/// use holdcsim_workload::presets::WorkloadPreset;
+///
+/// let base = SimConfig::server_farm(
+///     4, 2, 0.3,
+///     WorkloadPreset::WebSearch.template(),
+///     SimDuration::from_secs(2),
+/// );
+/// let wan = WanConfig::full_mesh(2, 10_000_000_000, SimDuration::from_millis(20));
+/// let report = Federation::new(&ClusterConfig::uniform(base, 2, wan)).run();
+/// assert_eq!(report.sites.len(), 2);
+/// assert!(report.jobs_completed() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Federation {
+    sites: Vec<Engine<Datacenter>>,
+    wan: Wan,
+    /// Per-site load snapshot (in-flight jobs per core), refreshed into a
+    /// site's [`FedPort`] before each of its steps.
+    loads: Vec<f64>,
+    /// Per-site core counts (the load denominator).
+    caps: Vec<f64>,
+    job_bytes: u64,
+    horizon: SimTime,
+    /// Reusable delivery buffer.
+    deliveries: Vec<(u32, JobState)>,
+}
+
+impl Federation {
+    /// Builds every site fabric and the WAN from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed configurations (no sites, zero
+    /// [`ClusterConfig::job_bytes`], malformed WAN links).
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        assert!(cfg.job_bytes > 0, "forwarded jobs carry payload");
+        let site_cfgs = cfg.site_configs();
+        let n = site_cfgs.len();
+        let wan = Wan::build(&cfg.wan, n);
+        let horizon = SimTime::ZERO + cfg.base.duration;
+        let mut sites = Vec::with_capacity(n);
+        let mut caps = Vec::with_capacity(n);
+        for (i, sc) in site_cfgs.into_iter().enumerate() {
+            caps.push((sc.server_count * sc.cores_per_server as usize) as f64);
+            let mut engine = Simulation::new(sc).into_engine();
+            engine.model_mut().attach_federation(FedPort {
+                site: i as u32,
+                geo: cfg.geo,
+                site_loads: vec![0.0; n],
+                wan_latency_s: wan.path_latency_s(i),
+                outbox: Vec::new(),
+                forwarded: 0,
+            });
+            sites.push(engine);
+        }
+        Federation {
+            sites,
+            wan,
+            loads: vec![0.0; n],
+            caps,
+            job_bytes: cfg.job_bytes,
+            horizon,
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Read access to a site's datacenter (tests and harnesses).
+    pub fn site(&self, i: usize) -> &Datacenter {
+        self.sites[i].model()
+    }
+
+    /// Processes one federation event — the globally earliest site event
+    /// or WAN hop completion within the horizon (ties go to the WAN so a
+    /// delivery always precedes same-instant site work, and to the
+    /// lowest site index among sites). Returns `false` once nothing
+    /// remains inside the horizon.
+    fn step(&mut self) -> bool {
+        let mut next_site: Option<(SimTime, usize)> = None;
+        for (i, e) in self.sites.iter_mut().enumerate() {
+            if let Some(t) = e.peek_next_time() {
+                if t <= self.horizon && next_site.is_none_or(|(bt, _)| t < bt) {
+                    next_site = Some((t, i));
+                }
+            }
+        }
+        let next_wan = self.wan.next_time().filter(|&t| t <= self.horizon);
+        let wan_first = match (next_wan, next_site) {
+            (Some(w), Some((s, _))) => w <= s,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if wan_first {
+            let t = next_wan.expect("wan_first implies a WAN event");
+            let mut deliveries = std::mem::take(&mut self.deliveries);
+            deliveries.clear();
+            self.wan.advance(t, &mut deliveries);
+            for (dst, job) in deliveries.drain(..) {
+                let e = &mut self.sites[dst as usize];
+                let slot = e.model_mut().accept_remote_job(job);
+                e.schedule_at(t, DcEvent::RemoteJobArrive { slot });
+            }
+            self.deliveries = deliveries;
+            return true;
+        }
+        let Some((_, i)) = next_site else {
+            return false;
+        };
+        let Federation {
+            sites,
+            wan,
+            loads,
+            caps,
+            job_bytes,
+            ..
+        } = self;
+        let e = &mut sites[i];
+        // Publish the dispatch snapshot, run the event, ship the outbox.
+        if let Some(port) = e.model_mut().fed_port_mut() {
+            port.site_loads.clone_from(loads);
+        }
+        e.step();
+        let now = e.now();
+        let dc = e.model_mut();
+        if let Some(port) = dc.fed_port_mut() {
+            for (target, job) in port.outbox.drain(..) {
+                wan.send(now, i as u32, target, *job_bytes, job);
+            }
+        }
+        loads[i] = dc.jobs_in_flight() as f64 / caps[i];
+        true
+    }
+
+    /// Runs the federation to its horizon and produces the report.
+    pub fn run(mut self) -> FederationReport {
+        while self.step() {}
+        let horizon = self.horizon;
+        let mut sites = Vec::with_capacity(self.sites.len());
+        let mut forwarded = Vec::with_capacity(self.sites.len());
+        let mut events = 0;
+        for mut e in self.sites {
+            // All events within the horizon are processed; this only
+            // advances the site clock to the common end instant.
+            e.run_until(horizon);
+            let ev = e.events_processed();
+            events += ev;
+            let dc = e.into_model();
+            forwarded.push(dc.jobs_forwarded());
+            sites.push(finish_report(dc, horizon, ev));
+        }
+        FederationReport {
+            sites,
+            forwarded,
+            wan: self.wan.report(),
+            events_processed: events,
+        }
+    }
+}
+
+/// The outcome of a federated run: per-site reports plus the WAN and
+/// federation-wide aggregates.
+#[derive(Debug, Clone)]
+pub struct FederationReport {
+    /// One full report per site, in site order.
+    pub sites: Vec<SimReport>,
+    /// Jobs each site forwarded off-site, in site order.
+    pub forwarded: Vec<u64>,
+    /// The WAN outcome.
+    pub wan: WanReport,
+    /// Engine events processed across all sites.
+    pub events_processed: u64,
+}
+
+impl FederationReport {
+    /// Jobs submitted across the federation (forwarded jobs count at
+    /// their execution site once delivered).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.sites.iter().map(|s| s.jobs_submitted).sum()
+    }
+
+    /// Jobs completed across the federation.
+    pub fn jobs_completed(&self) -> u64 {
+        self.sites.iter().map(|s| s.jobs_completed).sum()
+    }
+
+    /// Jobs forwarded across the WAN.
+    pub fn jobs_forwarded(&self) -> u64 {
+        self.forwarded.iter().sum()
+    }
+
+    /// Total energy (servers + switches + WAN transport), joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.sites.iter().map(|s| s.total_energy_j()).sum::<f64>() + self.wan.energy_j
+    }
+
+    /// Count-weighted mean job latency across sites, seconds (exact).
+    pub fn mean_latency_s(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0.0);
+        for s in &self.sites {
+            n += s.latency.count;
+            sum += s.latency.count as f64 * s.latency.mean;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Federation-wide latency quantile, merged from the per-site
+    /// empirical CDFs (count-weighted; exact up to each site's CDF
+    /// resolution).
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        let mut total = 0.0;
+        for s in &self.sites {
+            if s.latency_cdf.is_empty() {
+                continue;
+            }
+            let w = s.latency.count as f64 / s.latency_cdf.len() as f64;
+            total += s.latency.count as f64;
+            points.extend(s.latency_cdf.iter().map(|&(v, _)| (v, w)));
+        }
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"));
+        let target = q * total;
+        let mut acc = 0.0;
+        for &(v, w) in &points {
+            acc += w;
+            if acc >= target {
+                return v;
+            }
+        }
+        points.last().expect("nonempty").0
+    }
+
+    /// Renders a compact human-readable summary: one line per site plus
+    /// the WAN and federation-wide aggregates.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            out.push_str(&format!(
+                "site {i}: jobs {}/{} (fwd {}) | p95 {:.3} ms | energy {:.1} kJ\n",
+                s.jobs_completed,
+                s.jobs_submitted,
+                self.forwarded[i],
+                s.latency.p95 * 1e3,
+                s.total_energy_j() / 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "wan: {} transfers ({} delivered) | {:.1} MB | {:.1} J | mean {:.1} ms\n",
+            self.wan.transfers,
+            self.wan.delivered,
+            self.wan.payload_bytes as f64 / 1e6,
+            self.wan.energy_j,
+            self.wan.mean_transfer_s * 1e3,
+        ));
+        out.push_str(&format!(
+            "federation: jobs {}/{} | latency mean {:.3} ms p95 {:.3} ms | {:.1} kJ | {} events\n",
+            self.jobs_completed(),
+            self.jobs_submitted(),
+            self.mean_latency_s() * 1e3,
+            self.latency_quantile(0.95) * 1e3,
+            self.total_energy_j() / 1e3,
+            self.events_processed,
+        ));
+        out
+    }
+
+    /// Serializes the report (per-site headline JSON, forwarded counts,
+    /// WAN, aggregates) as one JSON object.
+    pub fn to_json(&self) -> String {
+        let sites = format!(
+            "[{}]",
+            self.sites
+                .iter()
+                .map(|s| s.to_json())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let forwarded = format!(
+            "[{}]",
+            self.forwarded
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let aggregate = JsonObj::new()
+            .int("jobs_submitted", self.jobs_submitted())
+            .int("jobs_completed", self.jobs_completed())
+            .int("jobs_forwarded", self.jobs_forwarded())
+            .raw("latency_mean_s", &json_f64(self.mean_latency_s()))
+            .raw("latency_p95_s", &json_f64(self.latency_quantile(0.95)))
+            .raw("energy_j", &json_f64(self.total_energy_j()))
+            .int("events", self.events_processed)
+            .finish();
+        JsonObj::new()
+            .raw("sites", &sites)
+            .raw("forwarded", &forwarded)
+            .raw("wan", &self.wan.to_json())
+            .raw("aggregate", &aggregate)
+            .finish()
+    }
+}
+
+/// Runs every federation and returns the reports in input order, pulled
+/// from a shared counter by a scoped thread pool — the same
+/// slot-per-trial scheme as the harness's `run_configs`, so the output
+/// is bitwise identical at every worker count.
+pub fn run_federations(configs: Vec<ClusterConfig>, threads: usize) -> Vec<FederationReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs: Vec<Mutex<Option<ClusterConfig>>> =
+        configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<FederationReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cfg = jobs[i]
+                    .lock()
+                    .expect("job lock")
+                    .take()
+                    .expect("job taken once");
+                let report = Federation::new(&cfg).run();
+                *slots[i].lock().expect("slot lock") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("all federations ran")
+        })
+        .collect()
+}

@@ -1,0 +1,488 @@
+//! The inter-cluster WAN: forwarded jobs traverse their site-to-site path
+//! hop by hop, each hop either a FIFO pipe (serialization + propagation)
+//! or a max-min fair-shared flow link driven through the kernel's
+//! [`FlowNet`] solver arms — selectable per link via [`WanLinkMode`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use holdcsim::config::{WanConfig, WanLinkMode};
+use holdcsim::export::JsonObj;
+use holdcsim::job::JobState;
+use holdcsim_des::slot_window::SlotWindow;
+use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_network::flow::FlowNet;
+use holdcsim_network::ids::{FlowId, LinkId, NodeId};
+use holdcsim_network::topology::Topology;
+
+/// Per-link runtime state over the configured WAN link.
+#[derive(Debug)]
+struct LinkState {
+    rate_bps: u64,
+    latency: SimDuration,
+    energy_per_byte_j: f64,
+    mode: WanLinkMode,
+    /// Pipe mode: when the current FIFO serialization drains.
+    busy_until: SimTime,
+    /// Endpoints as WAN-topology nodes (for flow admission).
+    a: NodeId,
+    b: NodeId,
+}
+
+/// One forwarded job in flight across the WAN.
+#[derive(Debug)]
+struct Transfer {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    hop: u32,
+    started: SimTime,
+    job: JobState,
+}
+
+/// Aggregate WAN outcome of a federated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanReport {
+    /// Transfers started.
+    pub transfers: u64,
+    /// Transfers fully delivered (in-flight ones at the horizon are cut
+    /// off, like arrivals past the horizon).
+    pub delivered: u64,
+    /// Payload bytes entering the WAN.
+    pub payload_bytes: u64,
+    /// Bytes moved across links (payload × hops traversed).
+    pub link_bytes: u64,
+    /// Transport energy charged across all link traversals, joules.
+    pub energy_j: f64,
+    /// Mean delivered-transfer latency, seconds.
+    pub mean_transfer_s: f64,
+}
+
+impl WanReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .int("transfers", self.transfers)
+            .int("delivered", self.delivered)
+            .int("payload_bytes", self.payload_bytes)
+            .int("link_bytes", self.link_bytes)
+            .num("energy_j", self.energy_j)
+            .num("mean_transfer_s", self.mean_transfer_s)
+            .finish()
+    }
+}
+
+/// The WAN engine owned by a federation coordinator.
+#[derive(Debug)]
+pub struct Wan {
+    links: Vec<LinkState>,
+    /// `paths[src][dst]`: link-id sequence, `None` when unreachable.
+    paths: Vec<Vec<Option<Vec<u32>>>>,
+    /// Propagation latency (s) per site pair (∞ when unreachable).
+    latency_s: Vec<Vec<f64>>,
+    /// Fair-share model over the WAN topology (flow-mode hops only).
+    flows: FlowNet,
+    transfers: SlotWindow<Transfer>,
+    /// Pending hop completions `(instant, transfer key)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Scratch for flow completions drained per advance.
+    scratch_done: Vec<(u64, SimTime)>,
+    started: u64,
+    delivered: u64,
+    payload_bytes: u64,
+    link_bytes: u64,
+    energy_j: f64,
+    latency_sum_s: f64,
+}
+
+impl Wan {
+    /// Builds the WAN over `sites` gateways (plus `cfg.extra_nodes`
+    /// relays), computing deterministic minimum-latency site-to-site
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed links (self-links, unknown endpoints).
+    pub fn build(cfg: &WanConfig, sites: usize) -> Self {
+        let nodes = sites + cfg.extra_nodes as usize;
+        let mut degree = vec![0u32; nodes];
+        for l in &cfg.links {
+            assert!(l.a != l.b, "WAN self-link at node {}", l.a);
+            assert!(
+                l.rate_bps > 0,
+                "WAN link {}-{} needs a positive rate",
+                l.a,
+                l.b
+            );
+            for n in [l.a, l.b] {
+                assert!(
+                    (n as usize) < nodes,
+                    "WAN link endpoint {n} outside the {nodes}-node WAN"
+                );
+                degree[n as usize] += 1;
+            }
+        }
+        // A tiny switch-only topology mirroring the WAN graph 1:1 (link
+        // ids align with `cfg.links` indices) so flow-mode hops share
+        // bandwidth through the regular fair-share solver.
+        let mut builder = Topology::builder();
+        let node_ids: Vec<NodeId> = degree
+            .iter()
+            .map(|&d| builder.add_switch(1, d.max(1)))
+            .collect();
+        let mut links = Vec::with_capacity(cfg.links.len());
+        for l in &cfg.links {
+            let (a, b) = (node_ids[l.a as usize], node_ids[l.b as usize]);
+            let id = builder
+                .link(a, b, l.rate_bps, l.latency)
+                .expect("validated WAN link");
+            debug_assert_eq!(id.0 as usize, links.len());
+            links.push(LinkState {
+                rate_bps: l.rate_bps,
+                latency: l.latency,
+                energy_per_byte_j: l.energy_per_byte_j,
+                mode: l.mode,
+                busy_until: SimTime::ZERO,
+                a,
+                b,
+            });
+        }
+        let topo = builder.build();
+        let flows = FlowNet::with_solver(&topo, cfg.flow_solver);
+        let (paths, latency_s) = shortest_paths(cfg, nodes, sites);
+        Wan {
+            links,
+            paths,
+            latency_s,
+            flows,
+            transfers: SlotWindow::new(),
+            heap: BinaryHeap::new(),
+            scratch_done: Vec::new(),
+            started: 0,
+            delivered: 0,
+            payload_bytes: 0,
+            link_bytes: 0,
+            energy_j: 0.0,
+            latency_sum_s: 0.0,
+        }
+    }
+
+    /// Propagation latency (seconds) from `src` to every site (∞ when no
+    /// WAN path exists) — the static input of latency-aware dispatch.
+    pub fn path_latency_s(&self, src: usize) -> Vec<f64> {
+        self.latency_s[src].clone()
+    }
+
+    /// Starts shipping `bytes` (carrying `job`) from site `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no WAN path connects the sites or `bytes == 0`.
+    pub fn send(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64, job: JobState) {
+        assert!(bytes > 0, "WAN transfers carry payload");
+        assert!(
+            self.paths[src as usize][dst as usize].is_some(),
+            "no WAN path from site {src} to site {dst}"
+        );
+        let key = self.transfers.insert(Transfer {
+            src,
+            dst,
+            bytes,
+            hop: 0,
+            started: now,
+            job,
+        });
+        self.started += 1;
+        self.payload_bytes += bytes;
+        self.start_hop(now, key);
+    }
+
+    /// Launches the current hop of transfer `key` at `now`.
+    fn start_hop(&mut self, now: SimTime, key: u64) {
+        let t = self.transfers.get(key).expect("live transfer");
+        let path = self.paths[t.src as usize][t.dst as usize]
+            .as_ref()
+            .expect("checked at send");
+        let link_id = path[t.hop as usize];
+        let bytes = t.bytes;
+        let l = &mut self.links[link_id as usize];
+        match l.mode {
+            WanLinkMode::Pipe => {
+                // FIFO serialization, then propagation.
+                let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / l.rate_bps as f64);
+                l.busy_until = l.busy_until.max(now) + tx;
+                let arrive = l.busy_until + l.latency;
+                self.heap.push(Reverse((arrive, key)));
+            }
+            WanLinkMode::Flow => {
+                // Fair-shared serialization through the solver; the
+                // propagation latency is appended on flow completion.
+                self.flows
+                    .add_flow(now, FlowId(key), l.a, l.b, &[LinkId(link_id)], bytes);
+            }
+        }
+    }
+
+    /// The instant of the next WAN event (hop completion), if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        let pipe = self.heap.peek().map(|Reverse((t, _))| *t);
+        let flow = self.flows.next_due();
+        match (pipe, flow) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Processes every WAN event due at or before `now`, appending fully
+    /// delivered jobs to `deliveries` as `(destination site, job)`.
+    pub fn advance(&mut self, now: SimTime, deliveries: &mut Vec<(u32, JobState)>) {
+        loop {
+            let mut progressed = false;
+            // Flow-mode serializations that finished: append propagation.
+            if self.flows.next_due().is_some_and(|d| d <= now) {
+                self.flows.advance_due(now);
+                self.scratch_done.clear();
+                for c in self.flows.drain_completed() {
+                    self.scratch_done.push((c.id.0, now));
+                }
+                for &(key, at) in &self.scratch_done {
+                    let t = self.transfers.get(key).expect("live transfer");
+                    let path = self.paths[t.src as usize][t.dst as usize]
+                        .as_ref()
+                        .expect("checked at send");
+                    let link = path[t.hop as usize] as usize;
+                    self.heap
+                        .push(Reverse((at + self.links[link].latency, key)));
+                }
+                progressed = !self.scratch_done.is_empty();
+            }
+            // Hop completions (pipe arrivals and post-flow propagation).
+            while self.heap.peek().is_some_and(|Reverse((t, _))| *t <= now) {
+                let Reverse((at, key)) = self.heap.pop().expect("peeked");
+                progressed = true;
+                let t = self.transfers.get_mut(key).expect("live transfer");
+                let path_len = {
+                    let path = self.paths[t.src as usize][t.dst as usize]
+                        .as_ref()
+                        .expect("checked at send");
+                    let link = &self.links[path[t.hop as usize] as usize];
+                    self.link_bytes += t.bytes;
+                    self.energy_j += t.bytes as f64 * link.energy_per_byte_j;
+                    path.len()
+                };
+                t.hop += 1;
+                if (t.hop as usize) == path_len {
+                    let t = self.transfers.remove(key).expect("live transfer");
+                    self.delivered += 1;
+                    self.latency_sum_s += at.saturating_duration_since(t.started).as_secs_f64();
+                    deliveries.push((t.dst, t.job));
+                } else {
+                    self.start_hop(at, key);
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Transfers currently crossing the WAN.
+    pub fn in_flight(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// The aggregate WAN outcome so far.
+    pub fn report(&self) -> WanReport {
+        WanReport {
+            transfers: self.started,
+            delivered: self.delivered,
+            payload_bytes: self.payload_bytes,
+            link_bytes: self.link_bytes,
+            energy_j: self.energy_j,
+            mean_transfer_s: if self.delivered > 0 {
+                self.latency_sum_s / self.delivered as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Deterministic minimum-latency paths between all site pairs (Dijkstra
+/// in exact nanoseconds; ties resolved by scan order, so identical
+/// configs always yield identical paths).
+#[allow(clippy::type_complexity)]
+fn shortest_paths(
+    cfg: &WanConfig,
+    nodes: usize,
+    sites: usize,
+) -> (Vec<Vec<Option<Vec<u32>>>>, Vec<Vec<f64>>) {
+    // Adjacency in link-id order.
+    let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nodes];
+    for (i, l) in cfg.links.iter().enumerate() {
+        adj[l.a as usize].push((l.b as usize, i as u32));
+        adj[l.b as usize].push((l.a as usize, i as u32));
+    }
+    let mut paths = vec![vec![None; sites]; sites];
+    let mut latency_s = vec![vec![f64::INFINITY; sites]; sites];
+    for src in 0..sites {
+        let mut dist = vec![u64::MAX; nodes];
+        let mut via: Vec<Option<(usize, u32)>> = vec![None; nodes];
+        let mut done = vec![false; nodes];
+        dist[src] = 0;
+        loop {
+            // O(V²) selection: the WAN graph is a handful of nodes.
+            let mut u = None;
+            for v in 0..nodes {
+                if !done[v] && dist[v] < u.map_or(u64::MAX, |(_, d)| d) {
+                    u = Some((v, dist[v]));
+                }
+            }
+            let Some((u, du)) = u else { break };
+            done[u] = true;
+            for &(v, link) in &adj[u] {
+                let d = du.saturating_add(cfg.links[link as usize].latency.as_nanos());
+                if d < dist[v] {
+                    dist[v] = d;
+                    via[v] = Some((u, link));
+                }
+            }
+        }
+        for dst in 0..sites {
+            if dst == src {
+                paths[src][dst] = Some(Vec::new());
+                latency_s[src][dst] = 0.0;
+                continue;
+            }
+            if dist[dst] == u64::MAX {
+                continue;
+            }
+            let mut hops = Vec::new();
+            let mut v = dst;
+            while v != src {
+                let (prev, link) = via[v].expect("reached nodes have predecessors");
+                hops.push(link);
+                v = prev;
+            }
+            hops.reverse();
+            paths[src][dst] = Some(hops);
+            latency_s[src][dst] = dist[dst] as f64 * 1e-9;
+        }
+    }
+    (paths, latency_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holdcsim::config::{WanConfig, WanLink};
+    use holdcsim_des::time::SimDuration;
+    use holdcsim_workload::dag::TaskSpec;
+
+    fn job() -> JobState {
+        let dag = holdcsim_workload::dag::JobDag::builder()
+            .task(TaskSpec::compute(SimDuration::from_millis(1)))
+            .build()
+            .unwrap();
+        JobState::new(dag, SimTime::ZERO)
+    }
+
+    fn drain(wan: &mut Wan) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        while let Some(t) = wan.next_time() {
+            buf.clear();
+            wan.advance(t, &mut buf);
+            out.extend(buf.drain(..).map(|(dst, _)| (t, dst)));
+        }
+        out
+    }
+
+    #[test]
+    fn pipe_serializes_fifo_then_propagates() {
+        // 1 Gb/s, 10 ms: 1 MB takes 8 ms on the wire.
+        let cfg = WanConfig::full_mesh(2, 1_000_000_000, SimDuration::from_millis(10));
+        let mut wan = Wan::build(&cfg, 2);
+        wan.send(SimTime::ZERO, 0, 1, 1_000_000, job());
+        wan.send(SimTime::ZERO, 0, 1, 1_000_000, job());
+        let got = drain(&mut wan);
+        assert_eq!(
+            got,
+            vec![(SimTime::from_millis(18), 1), (SimTime::from_millis(26), 1),],
+            "second transfer queues behind the first's serialization"
+        );
+        let r = wan.report();
+        assert_eq!((r.transfers, r.delivered), (2, 2));
+        assert_eq!(r.payload_bytes, 2_000_000);
+        assert_eq!(r.link_bytes, 2_000_000, "single hop each");
+        assert!(r.energy_j > 0.0);
+        assert!((r.mean_transfer_s - 0.022).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_paths_pay_two_hops() {
+        let cfg = WanConfig::hub(3, 1_000_000_000, SimDuration::from_millis(10));
+        let mut wan = Wan::build(&cfg, 3);
+        assert!((wan.path_latency_s(0)[2] - 0.020).abs() < 1e-12);
+        wan.send(SimTime::ZERO, 0, 2, 1_000_000, job());
+        let got = drain(&mut wan);
+        // Store-and-forward: (8 + 10) ms per hop.
+        assert_eq!(got, vec![(SimTime::from_millis(36), 2)]);
+        assert_eq!(wan.report().link_bytes, 2_000_000, "payload crossed twice");
+    }
+
+    #[test]
+    fn flow_links_share_bandwidth_max_min() {
+        let cfg = WanConfig::full_mesh(2, 1_000_000_000, SimDuration::from_millis(10))
+            .with_mode(WanLinkMode::Flow);
+        let mut wan = Wan::build(&cfg, 2);
+        wan.send(SimTime::ZERO, 0, 1, 1_000_000, job());
+        wan.send(SimTime::ZERO, 0, 1, 1_000_000, job());
+        let got = drain(&mut wan);
+        assert_eq!(got.len(), 2);
+        // Both share the link at 500 Mb/s: ~16 ms serialization + 10 ms
+        // propagation (the solver adds a 1 ns completion guard).
+        let t = got[1].0.as_secs_f64();
+        assert!((t - 0.026).abs() < 1e-6, "shared completion at {t}");
+        // And they finish together (same fair share).
+        assert!(got[1].0.saturating_duration_since(got[0].0) <= SimDuration::from_nanos(2));
+    }
+
+    #[test]
+    fn unreachable_latency_is_infinite() {
+        let cfg = WanConfig {
+            links: vec![WanLink::new(0, 1, 1_000, SimDuration::from_millis(1))],
+            extra_nodes: 0,
+            flow_solver: Default::default(),
+        };
+        let wan = Wan::build(&cfg, 3);
+        assert!(wan.path_latency_s(0)[2].is_infinite());
+        assert!(wan.path_latency_s(0)[1].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no WAN path")]
+    fn sending_without_a_path_panics() {
+        let cfg = WanConfig {
+            links: Vec::new(),
+            extra_nodes: 0,
+            flow_solver: Default::default(),
+        };
+        let mut wan = Wan::build(&cfg, 2);
+        wan.send(SimTime::ZERO, 0, 1, 1, job());
+    }
+
+    #[test]
+    fn mesh_beats_detour() {
+        // Direct 0–2 link at 50 ms vs 0–1–2 at 2 × 10 ms: Dijkstra takes
+        // the relay route.
+        let mut cfg = WanConfig::full_mesh(3, 1_000_000_000, SimDuration::from_millis(10));
+        for l in &mut cfg.links {
+            if l.a == 0 && l.b == 2 {
+                l.latency = SimDuration::from_millis(50);
+            }
+        }
+        let wan = Wan::build(&cfg, 3);
+        assert!((wan.path_latency_s(0)[2] - 0.020).abs() < 1e-12);
+    }
+}

@@ -3,11 +3,13 @@
 //! Configuration structs have public fields by design — they are plain
 //! inputs, constructed once and handed to [`crate::sim::Simulation`].
 
+use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_network::topologies::LinkSpec;
 use holdcsim_power::server_profile::ServerPowerProfile;
 use holdcsim_power::switch_profile::SwitchPowerProfile;
+use holdcsim_sched::geo::GeoPolicy;
 use holdcsim_server::policy::SleepPolicy;
 use holdcsim_server::server::LocalQueueMode;
 use holdcsim_workload::templates::JobTemplate;
@@ -338,6 +340,271 @@ impl SimConfig {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-datacenter federation configuration
+// ---------------------------------------------------------------------
+
+/// How a WAN link carries cross-site transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WanLinkMode {
+    /// A fixed-latency, fixed-rate pipe with FIFO serialization: each
+    /// transfer occupies the link for `bytes × 8 / rate` before the
+    /// propagation latency, queueing behind earlier transfers.
+    #[default]
+    Pipe,
+    /// Concurrent transfers share the link max-min fairly, driven through
+    /// the same [`FlowSolverKind`] arms as intra-site flow traffic.
+    Flow,
+}
+
+/// Default WAN transport energy: ~2 nJ per bit moved across a link.
+pub const WAN_ENERGY_PER_BYTE_J: f64 = 1.6e-8;
+
+/// One inter-cluster WAN link between two WAN nodes. Nodes `0..sites`
+/// are the site gateways; higher ids are relay/hub nodes declared via
+/// [`WanConfig::extra_nodes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanLink {
+    /// One endpoint (WAN node id).
+    pub a: u32,
+    /// The other endpoint (WAN node id).
+    pub b: u32,
+    /// Link rate in bits/second.
+    pub rate_bps: u64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Transport energy charged per payload byte crossing this link.
+    pub energy_per_byte_j: f64,
+    /// Pipe or fair-shared flow transport (selectable per link).
+    pub mode: WanLinkMode,
+}
+
+impl WanLink {
+    /// A pipe-mode link with the default transport energy.
+    pub fn new(a: u32, b: u32, rate_bps: u64, latency: SimDuration) -> Self {
+        WanLink {
+            a,
+            b,
+            rate_bps,
+            latency,
+            energy_per_byte_j: WAN_ENERGY_PER_BYTE_J,
+            mode: WanLinkMode::Pipe,
+        }
+    }
+}
+
+/// The inter-cluster WAN: point-to-point links and/or hub relays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanConfig {
+    /// The links. Every site pair that exchanges jobs must be connected
+    /// (possibly through relay nodes).
+    pub links: Vec<WanLink>,
+    /// Relay/hub nodes beyond the site gateways (WAN node ids
+    /// `sites .. sites + extra_nodes`).
+    pub extra_nodes: u32,
+    /// Fair-share solver arm for [`WanLinkMode::Flow`] links.
+    pub flow_solver: FlowSolverKind,
+}
+
+impl WanConfig {
+    /// A full mesh of identical point-to-point links between `sites`.
+    pub fn full_mesh(sites: usize, rate_bps: u64, latency: SimDuration) -> Self {
+        let mut links = Vec::new();
+        for a in 0..sites as u32 {
+            for b in (a + 1)..sites as u32 {
+                links.push(WanLink::new(a, b, rate_bps, latency));
+            }
+        }
+        WanConfig {
+            links,
+            extra_nodes: 0,
+            flow_solver: FlowSolverKind::default(),
+        }
+    }
+
+    /// A hub-and-spoke WAN: every site connects to one relay (WAN node
+    /// `sites`) with a `latency` spoke, so site-to-site paths pay two
+    /// serializations and `2 × latency`.
+    pub fn hub(sites: usize, rate_bps: u64, latency: SimDuration) -> Self {
+        let hub = sites as u32;
+        let links = (0..sites as u32)
+            .map(|s| WanLink::new(s, hub, rate_bps, latency))
+            .collect();
+        WanConfig {
+            links,
+            extra_nodes: 1,
+            flow_solver: FlowSolverKind::default(),
+        }
+    }
+
+    /// Switches every link to the given transport mode.
+    pub fn with_mode(mut self, mode: WanLinkMode) -> Self {
+        for l in &mut self.links {
+            l.mode = mode;
+        }
+        self
+    }
+}
+
+/// Per-site overrides on top of [`ClusterConfig::base`]. Fields left
+/// `None` inherit the base configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SiteSpec {
+    /// Servers at this site.
+    pub server_count: Option<usize>,
+    /// Site-affinity weight of the workload mix: this site's share of the
+    /// base arrival rate is `affinity / Σ affinity` (0 = no home traffic).
+    /// [`SiteSpec::default`] sets 1.0 (an even split).
+    pub affinity: Option<f64>,
+    /// Site-local fabric override (topology, comm model, link speed).
+    pub network: Option<NetworkConfig>,
+    /// Per-site server power profile.
+    pub server_profile: Option<ServerPowerProfile>,
+    /// Per-site sleep policy (broadcast to the site's servers).
+    pub sleep_policy: Option<SleepPolicy>,
+}
+
+impl SiteSpec {
+    /// The affinity weight (default 1.0).
+    pub fn affinity(&self) -> f64 {
+        self.affinity.unwrap_or(1.0)
+    }
+}
+
+/// Substream id under which per-site seeds are derived from
+/// [`ClusterConfig::seed`] (via [`SimRng::substream_path`]).
+pub const SITE_SEED_STREAM: u64 = 0xFED5;
+
+/// A multi-datacenter federation: several [`SimConfig`] fabrics behind
+/// one driver, an inter-cluster WAN, and a geo-aware dispatch policy.
+///
+/// `base` describes one site (its `arrivals` carry the *aggregate* rate,
+/// split across sites by affinity weights; its `seed` is ignored in favor
+/// of per-site substreams of [`ClusterConfig::seed`]).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Federation RNG seed: per-site seeds are independent substreams.
+    pub seed: u64,
+    /// The per-site template configuration.
+    pub base: SimConfig,
+    /// The sites (at least one).
+    pub sites: Vec<SiteSpec>,
+    /// The inter-cluster WAN.
+    pub wan: WanConfig,
+    /// Which site runs each arriving job.
+    pub geo: GeoPolicy,
+    /// Payload bytes shipped over the WAN per forwarded job (input data
+    /// following the job to its execution site).
+    pub job_bytes: u64,
+}
+
+impl ClusterConfig {
+    /// An even federation: `sites` identical copies of `base`, each
+    /// serving `1/sites` of the base arrival rate, jobs staying home
+    /// until the local load hits one in-flight job per core.
+    pub fn uniform(base: SimConfig, sites: usize, wan: WanConfig) -> Self {
+        assert!(sites > 0, "a federation needs at least one site");
+        ClusterConfig {
+            seed: base.seed,
+            base,
+            sites: vec![SiteSpec::default(); sites],
+            wan,
+            geo: GeoPolicy::SiteLocalFirst { spill_load: 1.0 },
+            job_bytes: 1 << 20,
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Sets the geo dispatch policy.
+    pub fn with_geo(mut self, geo: GeoPolicy) -> Self {
+        self.geo = geo;
+        self
+    }
+
+    /// Sets the federation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expands the federation into per-site [`SimConfig`]s: overrides
+    /// applied, the aggregate arrival rate split by affinity, and every
+    /// site's seed derived as an independent substream of
+    /// [`ClusterConfig::seed`] via [`SimRng::substream_path`] — a site's
+    /// workload depends only on `(seed, site index)`, never on how many
+    /// other sites run or in what order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no site has positive affinity, if trace arrivals are
+    /// combined with several sites (explicit traces cannot be split), or
+    /// if a per-server base field cannot broadcast to an overridden
+    /// server count.
+    pub fn site_configs(&self) -> Vec<SimConfig> {
+        for (i, s) in self.sites.iter().enumerate() {
+            let a = s.affinity();
+            assert!(
+                a.is_finite() && a >= 0.0,
+                "site {i} affinity must be finite and non-negative, got {a}"
+            );
+        }
+        let total: f64 = self.sites.iter().map(|s| s.affinity()).sum();
+        assert!(total > 0.0, "at least one site needs positive affinity");
+        let root = SimRng::seed_from(self.seed);
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut cfg = self.base.clone();
+                cfg.seed = root
+                    .substream_path(&[SITE_SEED_STREAM, i as u64])
+                    .next_u64();
+                if let Some(n) = spec.server_count {
+                    assert!(
+                        cfg.server_classes.is_empty() || cfg.server_classes.len() == n,
+                        "base server_classes cannot broadcast to {n} servers"
+                    );
+                    assert!(
+                        cfg.sleep_policies.len() <= 1 || cfg.sleep_policies.len() == n,
+                        "base sleep_policies cannot broadcast to {n} servers"
+                    );
+                    cfg.server_count = n;
+                }
+                let share = spec.affinity() / total;
+                if share == 0.0 {
+                    // No home traffic at this site: it only executes jobs
+                    // forwarded to it (an empty trace never arrives).
+                    cfg.arrivals = ArrivalConfig::Trace(Vec::new());
+                } else {
+                    match &mut cfg.arrivals {
+                        ArrivalConfig::Poisson { rate } => *rate *= share,
+                        ArrivalConfig::Mmpp2 { base_rate, .. } => *base_rate *= share,
+                        ArrivalConfig::Trace(_) => assert!(
+                            self.sites.len() == 1,
+                            "trace arrivals cannot be split across sites; \
+                             give each site its own ClusterConfig::base"
+                        ),
+                    }
+                }
+                if let Some(net) = &spec.network {
+                    cfg.network = Some(net.clone());
+                }
+                if let Some(p) = &spec.server_profile {
+                    cfg.server_profile = p.clone();
+                }
+                if let Some(sp) = spec.sleep_policy {
+                    cfg.sleep_policies = vec![sp];
+                }
+                cfg
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +624,72 @@ mod tests {
         };
         // mu = 200/s, 200 cores, rho 0.3 => 12_000 jobs/s.
         assert!((rate - 12_000.0).abs() < 1e-6);
+    }
+
+    fn base_cfg() -> SimConfig {
+        SimConfig::server_farm(
+            8,
+            2,
+            0.3,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn site_configs_split_rate_and_derive_seeds() {
+        let base = base_cfg();
+        let ArrivalConfig::Poisson { rate: total } = base.arrivals else {
+            panic!()
+        };
+        let mut cc = ClusterConfig::uniform(
+            base,
+            3,
+            WanConfig::full_mesh(3, 10_000_000_000, SimDuration::from_millis(10)),
+        );
+        cc.sites[0].affinity = Some(2.0);
+        let cfgs = cc.site_configs();
+        assert_eq!(cfgs.len(), 3);
+        let rates: Vec<f64> = cfgs
+            .iter()
+            .map(|c| match c.arrivals {
+                ArrivalConfig::Poisson { rate } => rate,
+                _ => panic!(),
+            })
+            .collect();
+        assert!((rates[0] - total / 2.0).abs() < 1e-9);
+        assert!((rates[1] - total / 4.0).abs() < 1e-9);
+        assert!((rates.iter().sum::<f64>() - total).abs() < 1e-6);
+        // Sites own independent, stable seeds.
+        assert_ne!(cfgs[0].seed, cfgs[1].seed);
+        assert_eq!(cfgs[1].seed, cc.site_configs()[1].seed);
+    }
+
+    #[test]
+    fn site_overrides_apply() {
+        let mut cc = ClusterConfig::uniform(
+            base_cfg(),
+            2,
+            WanConfig::hub(2, 1_000_000_000, SimDuration::from_millis(5)),
+        );
+        cc.sites[1].server_count = Some(4);
+        cc.sites[1].sleep_policy = Some(SleepPolicy::shallow_only());
+        let cfgs = cc.site_configs();
+        assert_eq!(cfgs[0].server_count, 8);
+        assert_eq!(cfgs[1].server_count, 4);
+        assert_eq!(cfgs[1].sleep_policies, vec![SleepPolicy::shallow_only()]);
+    }
+
+    #[test]
+    fn wan_builders_shape() {
+        let mesh = WanConfig::full_mesh(3, 1, SimDuration::ZERO);
+        assert_eq!(mesh.links.len(), 3);
+        assert_eq!(mesh.extra_nodes, 0);
+        let hub = WanConfig::hub(3, 1, SimDuration::ZERO).with_mode(WanLinkMode::Flow);
+        assert_eq!(hub.links.len(), 3);
+        assert_eq!(hub.extra_nodes, 1);
+        assert!(hub.links.iter().all(|l| l.mode == WanLinkMode::Flow));
+        assert!(hub.links.iter().all(|l| l.b == 3));
     }
 
     #[test]

@@ -49,20 +49,23 @@ pub mod sim;
 pub mod validation;
 
 pub use config::{
-    ArrivalConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind, SimConfig, TopologySpec,
+    ArrivalConfig, ClusterConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind,
+    SimConfig, SiteSpec, TopologySpec, WanConfig, WanLink, WanLinkMode,
 };
+pub use holdcsim_sched::geo::GeoPolicy;
 pub use report::{LatencyStats, NetworkReport, SeriesReport, ServerReport, SimReport};
-pub use sim::{Datacenter, DcEvent, Simulation};
+pub use sim::{finish_report, Datacenter, DcEvent, FedPort, Simulation};
 
 /// Convenience re-exports covering the whole stack.
 pub mod prelude {
     pub use crate::config::{
-        ArrivalConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind, SimConfig,
-        TopologySpec,
+        ArrivalConfig, ClusterConfig, CommModel, ControllerConfig, NetworkConfig, PolicyKind,
+        SimConfig, SiteSpec, TopologySpec, WanConfig, WanLink, WanLinkMode,
     };
     pub use crate::report::{LatencyStats, SimReport};
     pub use crate::sim::{Datacenter, Simulation};
     pub use holdcsim_des::time::{SimDuration, SimTime};
+    pub use holdcsim_sched::geo::GeoPolicy;
     pub use holdcsim_server::policy::{DeepState, SleepPolicy};
     pub use holdcsim_server::server::{LocalQueueMode, ServerId};
     pub use holdcsim_workload::presets::WorkloadPreset;

@@ -18,6 +18,52 @@ use holdcsim_server::server::ServerId;
 
 use crate::config::{CommModel, NetworkConfig, TopologySpec};
 
+/// The switch-side `(switch index, port)` endpoints of one link, by value
+/// (a link touches at most two switches). Returned from
+/// [`NetState::switch_ports_of_link`] so wake paths iterate endpoints
+/// without a per-call allocation or a borrow on the [`NetState`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkPorts {
+    buf: [(usize, u32); 2],
+    len: u8,
+}
+
+impl LinkPorts {
+    fn push(&mut self, p: (usize, u32)) {
+        self.buf[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// The endpoints as a slice.
+    pub fn as_slice(&self) -> &[(usize, u32)] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of switch-side endpoints (0–2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if neither end of the link is a switch.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The first endpoint, if any.
+    pub fn first(&self) -> Option<(usize, u32)> {
+        self.as_slice().first().copied()
+    }
+}
+
+impl IntoIterator for LinkPorts {
+    type Item = (usize, u32);
+    type IntoIter = std::iter::Take<std::array::IntoIter<(usize, u32), 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(self.len as usize)
+    }
+}
+
 /// Everything network-side, owned by the simulation driver.
 #[derive(Debug)]
 pub struct NetState {
@@ -168,13 +214,17 @@ impl NetState {
             .route_shared(&self.topology, ha, hb, ecmp_bucket(seed, Self::ECMP_WAYS))
     }
 
-    /// Switch-side `(switch index, port)` endpoints of `link`.
-    pub fn switch_ports_of_link(&self, link: LinkId) -> Vec<(usize, u32)> {
+    /// Switch-side `(switch index, port)` endpoints of `link`, by value
+    /// (allocation-free; the wake paths call this per link per event).
+    pub fn switch_ports_of_link(&self, link: LinkId) -> LinkPorts {
         let l = self.topology.link(link);
-        [l.a, l.b]
-            .into_iter()
-            .filter_map(|p| self.switch_index.get(&p.node).map(|&i| (i, p.port)))
-            .collect()
+        let mut ports = LinkPorts::default();
+        for p in [l.a, l.b] {
+            if let Some(&i) = self.switch_index.get(&p.node) {
+                ports.push((i, p.port));
+            }
+        }
+        ports
     }
 
     /// Wakes the switch ports at both ends of `link` for transmission,
@@ -225,7 +275,7 @@ impl NetState {
     pub fn access_port(&self, server: ServerId) -> Option<(usize, u32, LinkId)> {
         let host = self.host_of(server);
         let (_, link) = self.topology.neighbors(host).next()?;
-        let (swi, port) = self.switch_ports_of_link(link).first().copied()?;
+        let (swi, port) = self.switch_ports_of_link(link).first()?;
         Some((swi, port, link))
     }
 

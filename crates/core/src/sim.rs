@@ -13,6 +13,7 @@ use holdcsim_network::flow::CompletedFlow;
 use holdcsim_network::ids::{FlowId, NodeId, PacketId};
 use holdcsim_network::packet::{Packet, TxOutcome};
 use holdcsim_network::routing::Route;
+use holdcsim_sched::geo::{route_site, GeoPolicy};
 use holdcsim_sched::policy::{
     ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
     Random, RoundRobin,
@@ -94,6 +95,13 @@ pub enum DcEvent {
     ControllerTick,
     /// Statistics sampling tick.
     StatsSample,
+    /// A job forwarded from another federation site finished its WAN
+    /// transfer and arrives here (federated runs only; the state was
+    /// parked in the remote inbox by [`Datacenter::accept_remote_job`]).
+    RemoteJobArrive {
+        /// Slot in the remote inbox.
+        slot: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -122,6 +130,30 @@ struct TransferSt {
     remaining: u64,
     /// Slot in `dispatch_slots` for the consumer task.
     dispatch: u64,
+}
+
+/// The federation-facing side of a site's driver: dispatch inputs the
+/// coordinator refreshes (load snapshot, WAN latencies) and the outbox of
+/// jobs routed off-site. Attached by `holdcsim-cluster`'s `Federation`;
+/// standalone simulations never carry one, and a federated site whose
+/// jobs all stay home retraces the standalone trajectory event for event
+/// (the routing decision is a pure function — no RNG, no events).
+#[derive(Debug)]
+pub struct FedPort {
+    /// This site's index in the federation.
+    pub site: u32,
+    /// The geo dispatch policy.
+    pub geo: GeoPolicy,
+    /// Per-site load snapshot (in-flight jobs per core), refreshed by the
+    /// coordinator before each step of this site.
+    pub site_loads: Vec<f64>,
+    /// Static WAN path latency in seconds from this site to each site.
+    pub wan_latency_s: Vec<f64>,
+    /// Jobs routed off-site this step: `(target site, job state)`. The
+    /// coordinator drains these into the WAN after every step.
+    pub outbox: Vec<(u32, JobState)>,
+    /// Jobs forwarded off-site over the run.
+    pub forwarded: u64,
 }
 
 #[derive(Debug)]
@@ -190,6 +222,11 @@ pub struct Datacenter {
     flow_check_armed: SimTime,
     /// Per-server tasks committed but still waiting on inbound transfers.
     committed: Vec<u32>,
+    /// Federation attachment (multi-datacenter runs only).
+    fed: Option<FedPort>,
+    /// Jobs delivered by the WAN but not yet admitted (slot keys ride in
+    /// [`DcEvent::RemoteJobArrive`]).
+    remote_inbox: SlotWindow<JobState>,
     metrics: Metrics,
 }
 
@@ -311,6 +348,8 @@ impl Datacenter {
             scratch_flow_done: Vec::new(),
             flow_check_armed: SimTime::ZERO,
             committed: vec![0; cfg.server_count],
+            fed: None,
+            remote_inbox: SlotWindow::new(),
             metrics,
             cfg,
         };
@@ -335,6 +374,44 @@ impl Datacenter {
     /// Jobs completed so far.
     pub fn jobs_completed(&self) -> u64 {
         self.jobs.completed()
+    }
+
+    /// Jobs currently in flight (submitted, not yet completed).
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs.in_flight()
+    }
+
+    /// The configuration this datacenter was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Federation attachment (multi-datacenter runs)
+    // ------------------------------------------------------------------
+
+    /// Attaches this site to a federation: job arrivals are geo-routed
+    /// through `port` and off-site jobs land in its outbox.
+    pub fn attach_federation(&mut self, port: FedPort) {
+        assert!(self.fed.is_none(), "federation already attached");
+        self.fed = Some(port);
+    }
+
+    /// The federation port, if attached.
+    pub fn fed_port_mut(&mut self) -> Option<&mut FedPort> {
+        self.fed.as_mut()
+    }
+
+    /// Jobs this site forwarded off-site.
+    pub fn jobs_forwarded(&self) -> u64 {
+        self.fed.as_ref().map_or(0, |p| p.forwarded)
+    }
+
+    /// Parks a WAN-delivered job in the remote inbox, returning the slot
+    /// the coordinator must carry in the matching
+    /// [`DcEvent::RemoteJobArrive`] it schedules on this site's calendar.
+    pub fn accept_remote_job(&mut self, state: JobState) -> u64 {
+        self.remote_inbox.insert(state)
     }
 
     /// Network state, if simulated.
@@ -1024,8 +1101,31 @@ impl Datacenter {
 
     fn on_job_arrival(&mut self, ctx: &mut Context<'_, DcEvent>) {
         let now = ctx.now();
+        // Geo routing (federated runs only): decided before the job
+        // enters this site's table, from the coordinator's load snapshot.
+        // The decision is a pure function — local arrivals then take
+        // exactly the standalone path, same RNG draws and all.
+        if let Some(port) = &self.fed {
+            let target = route_site(port.geo, port.site, &port.site_loads, &port.wan_latency_s);
+            if target != port.site {
+                let state = self.generate_job(now);
+                let port = self.fed.as_mut().expect("checked above");
+                port.forwarded += 1;
+                port.outbox.push((target, state));
+                self.schedule_next_arrival(ctx);
+                return;
+            }
+        }
         let id = self.jobs.alloc_id();
-        let state = match self.job_pool.pop() {
+        let state = self.generate_job(now);
+        self.admit_job(ctx, id, state);
+        self.schedule_next_arrival(ctx);
+    }
+
+    /// Draws the next job's DAG from the template (recycling a completed
+    /// job's allocations when possible).
+    fn generate_job(&mut self, now: SimTime) -> JobState {
+        match self.job_pool.pop() {
             Some(mut recycled) => {
                 self.cfg
                     .template
@@ -1037,7 +1137,11 @@ impl Datacenter {
                 let dag = self.cfg.template.generate(&mut self.rng_workload);
                 JobState::new(dag, now)
             }
-        };
+        }
+    }
+
+    /// Inserts `state` as job `id` and places its ready roots.
+    fn admit_job(&mut self, ctx: &mut Context<'_, DcEvent>, id: JobId, state: JobState) {
         let mut ready = std::mem::take(&mut self.scratch_ready);
         ready.clear();
         ready.extend_from_slice(state.dag.roots());
@@ -1048,7 +1152,18 @@ impl Datacenter {
         self.scratch_ready = ready;
         // Admissions from the placements above are batched; solve once.
         self.schedule_flow_retimes(ctx);
-        self.schedule_next_arrival(ctx);
+    }
+
+    /// A forwarded job's WAN transfer completed: admit it here. Its
+    /// `arrived` stamp still carries the home-site arrival instant, so
+    /// the recorded latency includes the WAN leg.
+    fn on_remote_job_arrive(&mut self, ctx: &mut Context<'_, DcEvent>, slot: u64) {
+        let state = self
+            .remote_inbox
+            .remove(slot)
+            .expect("remote job delivered exactly once");
+        let id = self.jobs.alloc_id();
+        self.admit_job(ctx, id, state);
     }
 
     fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, DcEvent>) {
@@ -1283,6 +1398,7 @@ impl Model for Datacenter {
             DcEvent::LpiCheck { switch, port } => self.on_lpi_check(ctx, switch, port),
             DcEvent::ControllerTick => self.on_controller_tick(ctx),
             DcEvent::StatsSample => self.on_stats_sample(ctx),
+            DcEvent::RemoteJobArrive { slot } => self.on_remote_job_arrive(ctx, slot),
         }
     }
 }
@@ -1355,42 +1471,56 @@ impl Simulation {
         self.engine.run_until(at);
     }
 
+    /// Consumes the simulation, exposing the underlying engine — the
+    /// building block for coordinators that drive several sites in
+    /// lockstep (see the `holdcsim-cluster` crate). The engine comes
+    /// fully initialized (init/sampling/first-arrival events scheduled).
+    pub fn into_engine(self) -> Engine<Datacenter> {
+        self.engine
+    }
+
     /// Runs to the configured horizon and produces the report.
     pub fn run(mut self) -> SimReport {
         let end = SimTime::ZERO + self.engine.model().cfg.duration;
         self.engine.run_until(end);
         let events = self.engine.events_processed();
-        let dc = self.engine.into_model();
-        let servers: Vec<ServerReport> = dc
-            .servers
-            .iter()
-            .map(|s| ServerReport::snapshot(s, end))
-            .collect();
-        let network = dc.net.as_ref().map(|n| NetworkReport {
-            switch_energy_j: n.switch_energy_j(end),
-            mean_switch_power_w: n.switch_energy_j(end) / dc.cfg.duration.as_secs_f64(),
-            flows: n.flows.total_admitted(),
-            packets_forwarded: n.packets.forwarded(),
-            packets_dropped: n.packets.dropped(),
-            topology: n.name.clone(),
-        });
-        let jobs_submitted = dc.jobs.submitted();
-        let jobs_completed = dc.jobs.completed();
-        let gq = dc.global_queue.total_enqueued();
-        let (latency_samples, series) = dc.metrics.finish(end);
-        let (latency, latency_cdf) = latency_report(&latency_samples);
-        SimReport {
-            duration: dc.cfg.duration,
-            jobs_submitted,
-            jobs_completed,
-            latency,
-            latency_cdf,
-            servers,
-            network,
-            series,
-            events_processed: events,
-            global_queue_tasks: gq,
-        }
+        finish_report(self.engine.into_model(), end, events)
+    }
+}
+
+/// Builds the final [`SimReport`] from a datacenter whose clock reached
+/// `end` after `events` engine events — shared by [`Simulation::run`] and
+/// federation coordinators that drive the engine themselves.
+pub fn finish_report(dc: Datacenter, end: SimTime, events: u64) -> SimReport {
+    let servers: Vec<ServerReport> = dc
+        .servers
+        .iter()
+        .map(|s| ServerReport::snapshot(s, end))
+        .collect();
+    let network = dc.net.as_ref().map(|n| NetworkReport {
+        switch_energy_j: n.switch_energy_j(end),
+        mean_switch_power_w: n.switch_energy_j(end) / dc.cfg.duration.as_secs_f64(),
+        flows: n.flows.total_admitted(),
+        packets_forwarded: n.packets.forwarded(),
+        packets_dropped: n.packets.dropped(),
+        topology: n.name.clone(),
+    });
+    let jobs_submitted = dc.jobs.submitted();
+    let jobs_completed = dc.jobs.completed();
+    let gq = dc.global_queue.total_enqueued();
+    let (latency_samples, series) = dc.metrics.finish(end);
+    let (latency, latency_cdf) = latency_report(&latency_samples);
+    SimReport {
+        duration: dc.cfg.duration,
+        jobs_submitted,
+        jobs_completed,
+        latency,
+        latency_cdf,
+        servers,
+        network,
+        series,
+        events_processed: events,
+        global_queue_tasks: gq,
     }
 }
 

@@ -201,6 +201,19 @@ impl<M: Model> Engine<M> {
         }
     }
 
+    /// The instant of the next scheduled event, if any (and the engine has
+    /// not been stopped).
+    ///
+    /// This is the coordination primitive for running several engines in
+    /// lockstep — e.g. a multi-datacenter federation advancing the site
+    /// whose calendar holds the globally earliest event.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        if self.stopped {
+            return None;
+        }
+        self.queue.peek_time()
+    }
+
     /// `true` once a handler has called [`Context::stop`].
     pub fn is_stopped(&self) -> bool {
         self.stopped

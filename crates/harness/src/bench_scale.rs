@@ -12,15 +12,19 @@
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+use holdcsim::config::{ClusterConfig, CommModel, WanConfig};
 use holdcsim::experiments::{
-    net_scalability, scalability, NetScalabilityPoint, ScalabilityPoint, NET_SCALABILITY_BYTES,
-    NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO, SCALABILITY_CORES, SCALABILITY_POLICY,
-    SCALABILITY_PRESET, SCALABILITY_RHO,
+    net_scalability, net_scalability_config, scalability, NetScalabilityPoint, ScalabilityPoint,
+    NET_SCALABILITY_BYTES, NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO, SCALABILITY_CORES,
+    SCALABILITY_POLICY, SCALABILITY_PRESET, SCALABILITY_RHO,
 };
 use holdcsim::export::JsonObj;
+use holdcsim_cluster::Federation;
 use holdcsim_des::time::SimDuration;
 use holdcsim_network::flow::FlowSolverKind;
+use holdcsim_sched::geo::GeoPolicy;
 
 /// The default farm sizes of the recorded baseline.
 pub const DEFAULT_SIZES: &[usize] = &[16, 128, 1024];
@@ -36,6 +40,18 @@ pub const DEFAULT_NET_SIZES: &[usize] = &[16, 128];
 /// are ~three orders of magnitude denser than the server-only grid's).
 pub const DEFAULT_NET_DURATION: SimDuration = SimDuration::from_millis(200);
 
+/// The default federation site counts of the multi-datacenter grid.
+pub const DEFAULT_CLUSTERS: &[usize] = &[2, 3];
+
+/// The default per-site farm size of the multi-datacenter grid.
+pub const DEFAULT_CLUSTER_SERVERS: usize = 16;
+
+/// WAN link rate of the federation grid (10 Gb/s inter-cluster trunks).
+pub const CLUSTER_WAN_BPS: u64 = 10_000_000_000;
+
+/// WAN one-way latency of the federation grid.
+pub const CLUSTER_WAN_LATENCY: SimDuration = SimDuration::from_millis(5);
+
 /// Configuration for one bench-scale run.
 #[derive(Debug, Clone)]
 pub struct BenchScaleConfig {
@@ -48,6 +64,13 @@ pub struct BenchScaleConfig {
     pub net_sizes: Vec<usize>,
     /// Simulated horizon per network-heavy point.
     pub net_duration: SimDuration,
+    /// Site counts of the multi-datacenter federation grid (empty =
+    /// skip the federation arms).
+    pub clusters: Vec<usize>,
+    /// Servers per site in the federation grid.
+    pub cluster_servers: usize,
+    /// Simulated horizon per federation point.
+    pub cluster_duration: SimDuration,
     /// Fair-share solver arms of the flow comm model: the default runs
     /// the incremental production solver and the reference solver
     /// interleaved (A/B on the same grid) and asserts they complete the
@@ -69,12 +92,96 @@ impl Default for BenchScaleConfig {
             duration: DEFAULT_DURATION,
             net_sizes: DEFAULT_NET_SIZES.to_vec(),
             net_duration: DEFAULT_NET_DURATION,
+            clusters: DEFAULT_CLUSTERS.to_vec(),
+            cluster_servers: DEFAULT_CLUSTER_SERVERS,
+            cluster_duration: DEFAULT_NET_DURATION,
             flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
             seed: 42,
             repeats: 3,
             out: PathBuf::from("BENCH_scalability.json"),
         }
     }
+}
+
+/// One federation scalability measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct FedScalabilityPoint {
+    /// Federation sites.
+    pub sites: usize,
+    /// Servers per site.
+    pub servers_per_site: usize,
+    /// Site-fabric communication model of this arm (`"flow"` or
+    /// `"packet"`).
+    pub comm: &'static str,
+    /// Engine events processed across all sites.
+    pub events: u64,
+    /// Jobs completed across the federation.
+    pub jobs: u64,
+    /// Jobs forwarded over the WAN.
+    pub forwarded: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+}
+
+/// The federation configuration of one grid point: `sites` copies of the
+/// network scalability fabric behind a full-mesh 10 Gb/s / 5 ms WAN,
+/// load-balanced dispatch, and a skewed affinity mix (site 0 serves a
+/// double share) so cross-site forwarding genuinely exercises the WAN.
+pub fn fed_cluster_config(
+    sites: usize,
+    servers_per_site: usize,
+    comm: CommModel,
+    duration: SimDuration,
+    seed: u64,
+) -> ClusterConfig {
+    let base = net_scalability_config(servers_per_site, comm, duration, seed);
+    let mut cc = ClusterConfig::uniform(
+        base,
+        sites,
+        WanConfig::full_mesh(sites, CLUSTER_WAN_BPS, CLUSTER_WAN_LATENCY),
+    )
+    .with_geo(GeoPolicy::LoadBalanced)
+    .with_seed(seed);
+    cc.job_bytes = NET_SCALABILITY_BYTES;
+    cc.sites[0].affinity = Some(2.0);
+    cc
+}
+
+/// The multi-datacenter companion to `net_scalability`: the same fabric
+/// federated at each site count, once per communication model, measured
+/// in federation-wide events per wall-clock second.
+pub fn fed_scalability(
+    site_counts: &[usize],
+    servers_per_site: usize,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<FedScalabilityPoint> {
+    let packet = CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 1 << 20,
+    };
+    let mut points = Vec::with_capacity(site_counts.len() * 2);
+    for &sites in site_counts {
+        for (comm, label) in [(CommModel::Flow, "flow"), (packet, "packet")] {
+            let cc = fed_cluster_config(sites, servers_per_site, comm, duration, seed);
+            let t0 = Instant::now();
+            let report = Federation::new(&cc).run();
+            let wall = t0.elapsed().as_secs_f64();
+            points.push(FedScalabilityPoint {
+                sites,
+                servers_per_site,
+                comm: label,
+                events: report.events_processed,
+                jobs: report.jobs_completed(),
+                forwarded: report.jobs_forwarded(),
+                wall_s: wall,
+                events_per_s: report.events_processed as f64 / wall.max(1e-9),
+            });
+        }
+    }
+    points
 }
 
 /// Renders the `BENCH_scalability.json` document for `points` (the
@@ -100,6 +207,12 @@ impl Default for BenchScaleConfig {
 ///     {"servers": 16, "comm": "flow", "events": 120000, "jobs": 800,
 ///      "wall_s": 0.05, "events_per_s": 2400000.0},
 ///     ...
+///   ],
+///   "federation_points": [
+///     {"sites": 2, "servers_per_site": 16, "comm": "flow",
+///      "events": 240000, "jobs": 1500, "forwarded": 300,
+///      "wall_s": 0.1, "events_per_s": 2400000.0},
+///     ...
 ///   ]
 /// }
 /// ```
@@ -107,6 +220,7 @@ pub fn render_json(
     cfg: &BenchScaleConfig,
     points: &[ScalabilityPoint],
     net_points: &[NetScalabilityPoint],
+    fed_points: &[FedScalabilityPoint],
 ) -> String {
     // The config block mirrors the actual Table I constants so the
     // committed baseline can never drift from what was measured.
@@ -123,6 +237,13 @@ pub fn render_json(
         .int("edge_bytes", NET_SCALABILITY_BYTES)
         .num("sim_duration_s", cfg.net_duration.as_secs_f64())
         .finish();
+    let federation = JsonObj::new()
+        .int("servers_per_site", cfg.cluster_servers as u64)
+        .int("wan_bps", CLUSTER_WAN_BPS)
+        .num("wan_latency_s", CLUSTER_WAN_LATENCY.as_secs_f64())
+        .str("geo", "load-balanced")
+        .num("sim_duration_s", cfg.cluster_duration.as_secs_f64())
+        .finish();
     let config = JsonObj::new()
         .int("cores_per_server", u64::from(SCALABILITY_CORES))
         .num("rho", SCALABILITY_RHO)
@@ -137,6 +258,7 @@ pub fn render_json(
         .int("seed", cfg.seed)
         .int("repeats", cfg.repeats as u64)
         .raw("network", &network)
+        .raw("federation", &federation)
         .finish();
     let mut rows = String::from("[");
     for (i, p) in points.iter().enumerate() {
@@ -170,19 +292,46 @@ pub fn render_json(
         let _ = write!(net_rows, "{row}");
     }
     net_rows.push(']');
+    let mut fed_rows = String::from("[");
+    for (i, p) in fed_points.iter().enumerate() {
+        if i > 0 {
+            fed_rows.push(',');
+        }
+        let row = JsonObj::new()
+            .int("sites", p.sites as u64)
+            .int("servers_per_site", p.servers_per_site as u64)
+            .str("comm", p.comm)
+            .int("events", p.events)
+            .int("jobs", p.jobs)
+            .int("forwarded", p.forwarded)
+            .num("wall_s", p.wall_s)
+            .num("events_per_s", p.events_per_s)
+            .finish();
+        let _ = write!(fed_rows, "{row}");
+    }
+    fed_rows.push(']');
     let doc = JsonObj::new()
         .str("bench", "scalability")
         .raw("config", &config)
         .raw("points", &rows)
         .raw("network_points", &net_rows)
+        .raw("federation_points", &fed_rows)
         .finish();
     format!("{doc}\n")
 }
 
 /// Runs the sweep, keeping the best wall-clock repetition per grid point.
-pub fn measure(cfg: &BenchScaleConfig) -> (Vec<ScalabilityPoint>, Vec<NetScalabilityPoint>) {
+#[allow(clippy::type_complexity)]
+pub fn measure(
+    cfg: &BenchScaleConfig,
+) -> (
+    Vec<ScalabilityPoint>,
+    Vec<NetScalabilityPoint>,
+    Vec<FedScalabilityPoint>,
+) {
     let mut best: Vec<ScalabilityPoint> = Vec::with_capacity(cfg.sizes.len());
     let mut net_best: Vec<NetScalabilityPoint> = Vec::new();
+    let mut fed_best: Vec<FedScalabilityPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
         let net_pts = net_scalability(
@@ -191,9 +340,16 @@ pub fn measure(cfg: &BenchScaleConfig) -> (Vec<ScalabilityPoint>, Vec<NetScalabi
             cfg.seed,
             &cfg.flow_solvers,
         );
+        let fed_pts = fed_scalability(
+            &cfg.clusters,
+            cfg.cluster_servers,
+            cfg.cluster_duration,
+            cfg.seed,
+        );
         if rep == 0 {
             best = pts;
             net_best = net_pts;
+            fed_best = fed_pts;
             continue;
         }
         for (b, p) in best.iter_mut().zip(pts) {
@@ -208,17 +364,31 @@ pub fn measure(cfg: &BenchScaleConfig) -> (Vec<ScalabilityPoint>, Vec<NetScalabi
                 *b = p;
             }
         }
+        for (b, p) in fed_best.iter_mut().zip(fed_pts) {
+            debug_assert_eq!(b.events, p.events, "same seed, same event count");
+            if p.wall_s < b.wall_s {
+                *b = p;
+            }
+        }
     }
-    (best, net_best)
+    (best, net_best, fed_best)
 }
 
 /// Runs bench-scale and writes the baseline file; returns its path.
 pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
     eprintln!(
-        "[bench-scale] sizes {:?} ({} each), network sizes {:?} ({} each), {} repeats",
-        cfg.sizes, cfg.duration, cfg.net_sizes, cfg.net_duration, cfg.repeats
+        "[bench-scale] sizes {:?} ({} each), network sizes {:?} ({} each), \
+         clusters {:?} ({} servers/site, {} each), {} repeats",
+        cfg.sizes,
+        cfg.duration,
+        cfg.net_sizes,
+        cfg.net_duration,
+        cfg.clusters,
+        cfg.cluster_servers,
+        cfg.cluster_duration,
+        cfg.repeats
     );
-    let (points, net_points) = measure(cfg);
+    let (points, net_points, fed_points) = measure(cfg);
     for p in &points {
         eprintln!(
             "[bench-scale] {:>6} servers: {:>9} events in {:.3} s -> {:.0} events/s",
@@ -231,7 +401,13 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
             p.servers, p.comm, p.events, p.wall_s, p.events_per_s
         );
     }
-    write_baseline(&cfg.out, cfg, &points, &net_points)?;
+    for p in &fed_points {
+        eprintln!(
+            "[bench-scale] {:>2} sites x {} ({:>6}): {:>9} events ({} fwd) in {:.3} s -> {:.0} events/s",
+            p.sites, p.servers_per_site, p.comm, p.events, p.forwarded, p.wall_s, p.events_per_s
+        );
+    }
+    write_baseline(&cfg.out, cfg, &points, &net_points, &fed_points)?;
     Ok(cfg.out.clone())
 }
 
@@ -241,8 +417,9 @@ pub fn write_baseline(
     cfg: &BenchScaleConfig,
     points: &[ScalabilityPoint],
     net_points: &[NetScalabilityPoint],
+    fed_points: &[FedScalabilityPoint],
 ) -> io::Result<()> {
-    std::fs::write(path, render_json(cfg, points, net_points))
+    std::fs::write(path, render_json(cfg, points, net_points, fed_points))
 }
 
 #[cfg(test)]
@@ -255,6 +432,9 @@ mod tests {
             duration: SimDuration::from_millis(50),
             net_sizes: vec![4],
             net_duration: SimDuration::from_millis(20),
+            clusters: vec![2],
+            cluster_servers: 4,
+            cluster_duration: SimDuration::from_millis(20),
             flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
             seed: 7,
             repeats: 2,
@@ -265,7 +445,7 @@ mod tests {
     #[test]
     fn measure_keeps_event_counts_stable() {
         let cfg = tiny();
-        let (pts, net_pts) = measure(&cfg);
+        let (pts, net_pts, fed_pts) = measure(&cfg);
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
@@ -284,26 +464,36 @@ mod tests {
             net_pts[2].events > net_pts[0].events,
             "packetized transfers generate more events than flows"
         );
+        // One flow and one packet federation arm per site count.
+        assert_eq!(fed_pts.len(), 2);
+        assert_eq!((fed_pts[0].comm, fed_pts[1].comm), ("flow", "packet"));
+        assert!(fed_pts.iter().all(|p| p.events > 0 && p.sites == 2));
     }
 
     #[test]
     fn json_has_schema_fields() {
         let cfg = tiny();
-        let (pts, net_pts) = measure(&cfg);
-        let json = render_json(&cfg, &pts, &net_pts);
+        let (pts, net_pts, fed_pts) = measure(&cfg);
+        let json = render_json(&cfg, &pts, &net_pts, &fed_pts);
         for key in [
             "\"bench\":\"scalability\"",
             "\"config\":",
             "\"network\":",
             "\"fanout\":",
             "\"edge_bytes\":",
+            "\"federation\":",
+            "\"wan_bps\":",
             "\"points\":",
             "\"network_points\":",
+            "\"federation_points\":",
             "\"servers\":4",
             "\"comm\":\"flow\"",
             "\"comm\":\"flow-ref\"",
             "\"comm\":\"packet\"",
             "\"flows\":",
+            "\"sites\":2",
+            "\"servers_per_site\":4",
+            "\"forwarded\":",
             "\"events\":",
             "\"events_per_s\":",
             "\"wall_s\":",

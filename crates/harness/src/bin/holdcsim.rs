@@ -17,8 +17,12 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use holdcsim::config::{PolicyKind, SimConfig};
+use holdcsim::config::{
+    ClusterConfig, NetworkConfig, PolicyKind, SimConfig, WanConfig, WanLinkMode,
+};
+use holdcsim::experiments::fat_tree_k_for;
 use holdcsim::sim::Simulation;
+use holdcsim_cluster::Federation;
 use holdcsim_des::time::SimDuration;
 use holdcsim_harness::artifacts;
 use holdcsim_harness::bench_scale::{self, BenchScaleConfig};
@@ -26,6 +30,7 @@ use holdcsim_harness::exec::{default_threads, run_plan};
 use holdcsim_harness::figs::{self, FigScale};
 use holdcsim_harness::grid::SweepPlan;
 use holdcsim_network::flow::FlowSolverKind;
+use holdcsim_sched::geo::GeoPolicy;
 use holdcsim_workload::presets::WorkloadPreset;
 
 const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
@@ -38,14 +43,28 @@ USAGE:
                    [--replications N] [--duration SECS] [--seed S]
                    [--threads N] [--out DIR] [--name NAME]
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
+    holdcsim federate [--sites N] [--servers N] [--cores C] [--rho R] [--preset P]
+                   [--affinity w1,w2,...] [--geo POL] [--spill L] [--latency-weight W]
+                   [--wan-gbps G] [--wan-latency-ms L] [--wan-mode pipe|flow] [--hub]
+                   [--job-bytes B] [--net] [--duration SECS] [--seed S] [--json]
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
                    [--net-sizes 16,128 | none] [--net-duration SECS]
                    [--flow-solver incremental|reference|both]
+                   [--clusters 2,3 | none] [--cluster-servers N]
+                   [--cluster-duration SECS]
                    [--seed S] [--repeats N] [--out PATH]
 
-Policies: round-robin, least-loaded, pack-first, random, network-aware.
-Presets:  web-search, web-serving, provisioning.
-Taus:     seconds, or `active-idle` for the no-sleep arm.
+Policies:     round-robin, least-loaded, pack-first, random, network-aware.
+Presets:      web-search, web-serving, provisioning.
+Taus:         seconds, or `active-idle` for the no-sleep arm.
+Geo policies: site-local (spill past --spill in-flight jobs/core),
+              load-balanced, latency-aware (--latency-weight load units/s).
+
+`federate` runs a multi-datacenter federation: N sites (each its own
+fabric and RNG substream; add a fat-tree + flow comm with --net) behind
+a full-mesh WAN (--hub for hub-and-spoke), with the aggregate arrival
+rate split by --affinity weights and jobs geo-routed per --geo; prints
+per-site and federation-wide reports.
 
 `bench-scale` runs the Table I configuration at each farm size plus a
 network-heavy fat-tree grid (high-fan-out DAGs, flow and packet comm
@@ -97,8 +116,8 @@ fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Strin
         if !allowed.contains(&key) {
             return Err(format!("unknown option `--{key}`"));
         }
-        // Flags (no value): --json, --quick.
-        if key == "json" || key == "quick" {
+        // Flags (no value): --json, --quick, --hub, --net.
+        if matches!(key, "json" | "quick" | "hub" | "net") {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -280,6 +299,94 @@ fn cmd_fig(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(
+        args,
+        &[
+            "sites",
+            "servers",
+            "cores",
+            "rho",
+            "preset",
+            "affinity",
+            "geo",
+            "spill",
+            "latency-weight",
+            "wan-gbps",
+            "wan-latency-ms",
+            "wan-mode",
+            "hub",
+            "job-bytes",
+            "net",
+            "duration",
+            "seed",
+            "json",
+        ],
+    )?;
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let sites: usize = parse_num(&get("sites", "3"), "site count")?;
+    if sites == 0 {
+        return Err("a federation needs at least one site".into());
+    }
+    let servers: usize = parse_num(&get("servers", "8"), "server count")?;
+    let cores: u32 = parse_num(&get("cores", "4"), "core count")?;
+    let rho: f64 = parse_num(&get("rho", "0.3"), "utilization")?;
+    let preset = parse_preset(&get("preset", "web-search"))?;
+    let duration = SimDuration::from_secs_f64(parse_num(&get("duration", "10"), "duration")?);
+    let seed: u64 = parse_num(&get("seed", "42"), "seed")?;
+    let mut base = SimConfig::server_farm(servers, cores, rho, preset.template(), duration);
+    if opts.contains_key("net") {
+        base.network = Some(NetworkConfig::fat_tree(fat_tree_k_for(servers)));
+    }
+    let rate_bps = (parse_num::<f64>(&get("wan-gbps", "10"), "WAN rate")? * 1e9) as u64;
+    let latency = SimDuration::from_secs_f64(
+        parse_num::<f64>(&get("wan-latency-ms", "10"), "WAN latency")? / 1e3,
+    );
+    let mut wan = if opts.contains_key("hub") {
+        WanConfig::hub(sites, rate_bps, latency)
+    } else {
+        WanConfig::full_mesh(sites, rate_bps, latency)
+    };
+    wan = match get("wan-mode", "pipe").as_str() {
+        "pipe" => wan.with_mode(WanLinkMode::Pipe),
+        "flow" => wan.with_mode(WanLinkMode::Flow),
+        other => return Err(format!("unknown WAN mode `{other}`")),
+    };
+    let geo = match get("geo", "site-local").as_str() {
+        "site-local" => GeoPolicy::SiteLocalFirst {
+            spill_load: parse_num(&get("spill", "1.0"), "spill load")?,
+        },
+        "load-balanced" => GeoPolicy::LoadBalanced,
+        "latency-aware" => GeoPolicy::LatencyAware {
+            latency_weight: parse_num(&get("latency-weight", "5.0"), "latency weight")?,
+        },
+        other => return Err(format!("unknown geo policy `{other}`")),
+    };
+    let mut cc = ClusterConfig::uniform(base, sites, wan)
+        .with_geo(geo)
+        .with_seed(seed);
+    cc.job_bytes = parse_num(&get("job-bytes", "1048576"), "job bytes")?;
+    if let Some(s) = opts.get("affinity") {
+        let weights: Vec<f64> = parse_list(s, |x| parse_num(x, "affinity weight"))?;
+        if weights.len() != sites {
+            return Err(format!(
+                "--affinity needs one weight per site ({} != {sites})",
+                weights.len()
+            ));
+        }
+        for (spec, w) in cc.sites.iter_mut().zip(weights) {
+            spec.affinity = Some(w);
+        }
+    }
+    let report = Federation::new(&cc).run();
+    if opts.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    Ok(())
+}
+
 fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(
         args,
@@ -288,6 +395,9 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             "duration",
             "net-sizes",
             "net-duration",
+            "clusters",
+            "cluster-servers",
+            "cluster-duration",
             "flow-solver",
             "seed",
             "repeats",
@@ -313,6 +423,19 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = opts.get("net-duration") {
         cfg.net_duration = SimDuration::from_secs_f64(parse_num(s, "net-duration")?);
+    }
+    if let Some(s) = opts.get("clusters") {
+        cfg.clusters = if s == "none" {
+            Vec::new()
+        } else {
+            parse_list(s, |x| parse_num(x, "site count"))?
+        };
+    }
+    if let Some(s) = opts.get("cluster-servers") {
+        cfg.cluster_servers = parse_num(s, "servers per site")?;
+    }
+    if let Some(s) = opts.get("cluster-duration") {
+        cfg.cluster_duration = SimDuration::from_secs_f64(parse_num(s, "cluster-duration")?);
     }
     if let Some(s) = opts.get("flow-solver") {
         cfg.flow_solvers = match s.as_str() {
@@ -342,6 +465,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("fig") => cmd_fig(&args[1..]),
+        Some("federate") => cmd_federate(&args[1..]),
         Some("bench-scale") => cmd_bench_scale(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");

@@ -1,0 +1,154 @@
+//! Geo-aware dispatch: which *site* of a multi-datacenter federation runs
+//! a job that just arrived at its home site.
+//!
+//! The federation coordinator snapshots per-site loads (in-flight jobs per
+//! core) and static WAN path latencies, and the site's driver calls
+//! [`route_site`] at every job arrival. Decisions are pure functions of
+//! those inputs — no RNG — so a federated run whose jobs all stay home is
+//! event-for-event identical to the corresponding standalone runs.
+
+/// Geo-aware site-dispatch policy of a federation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeoPolicy {
+    /// Run at the home site unless its load (in-flight jobs per core)
+    /// reaches `spill_load`; then spill to the least-loaded site.
+    SiteLocalFirst {
+        /// Home-site load threshold above which jobs spill.
+        spill_load: f64,
+    },
+    /// Always run at the least-loaded site (ties prefer home, then the
+    /// lowest site index) — the WAN-oblivious baseline.
+    LoadBalanced,
+    /// Follow the workload under a latency budget: minimize
+    /// `load + latency_weight × wan_latency_s(home → site)`, so nearby
+    /// sites win unless the load gap pays for the WAN detour.
+    LatencyAware {
+        /// Load units charged per second of WAN path latency.
+        latency_weight: f64,
+    },
+}
+
+impl GeoPolicy {
+    /// Policy name for reports and CLI round-trips.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GeoPolicy::SiteLocalFirst { .. } => "site-local-first",
+            GeoPolicy::LoadBalanced => "load-balanced",
+            GeoPolicy::LatencyAware { .. } => "latency-aware",
+        }
+    }
+}
+
+/// Picks the site that minimizes `score(site)`, preferring `home` on ties
+/// and lower indices otherwise (a total, deterministic order).
+fn argmin_site(n: usize, home: u32, mut score: impl FnMut(usize) -> f64) -> u32 {
+    let mut best = home;
+    let mut best_score = score(home as usize);
+    for i in 0..n {
+        let s = score(i);
+        if s < best_score && i as u32 != home {
+            best = i as u32;
+            best_score = s;
+        }
+    }
+    best
+}
+
+/// The geo dispatch decision: the site that should run a job arriving at
+/// `home`, given per-site `loads` (in-flight jobs per core) and the WAN
+/// path latency in seconds from `home` to each site
+/// (`wan_latency_s[home] == 0`).
+///
+/// # Panics
+///
+/// Panics (debug) if the slices disagree in length or `home` is out of
+/// range.
+pub fn route_site(policy: GeoPolicy, home: u32, loads: &[f64], wan_latency_s: &[f64]) -> u32 {
+    debug_assert_eq!(loads.len(), wan_latency_s.len());
+    debug_assert!((home as usize) < loads.len());
+    if loads.len() <= 1 {
+        return home;
+    }
+    match policy {
+        GeoPolicy::SiteLocalFirst { spill_load } => {
+            if loads[home as usize] < spill_load {
+                home
+            } else {
+                argmin_site(loads.len(), home, |i| loads[i])
+            }
+        }
+        GeoPolicy::LoadBalanced => argmin_site(loads.len(), home, |i| loads[i]),
+        GeoPolicy::LatencyAware { latency_weight } => argmin_site(loads.len(), home, |i| {
+            loads[i] + latency_weight * wan_latency_s[i]
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_local_stays_home_below_threshold() {
+        let loads = [0.9, 0.0, 0.0];
+        let lat = [0.0, 0.01, 0.01];
+        let p = GeoPolicy::SiteLocalFirst { spill_load: 1.0 };
+        assert_eq!(route_site(p, 0, &loads, &lat), 0);
+    }
+
+    #[test]
+    fn site_local_spills_to_least_loaded() {
+        let loads = [2.0, 0.7, 0.3];
+        let lat = [0.0, 0.01, 0.01];
+        let p = GeoPolicy::SiteLocalFirst { spill_load: 1.0 };
+        assert_eq!(route_site(p, 0, &loads, &lat), 2);
+    }
+
+    #[test]
+    fn load_balanced_prefers_home_on_ties() {
+        let loads = [0.5, 0.5, 0.5];
+        let lat = [0.02, 0.0, 0.02];
+        assert_eq!(route_site(GeoPolicy::LoadBalanced, 1, &loads, &lat), 1);
+        // Strictly lower load wins even away from home.
+        let loads = [0.5, 0.5, 0.4];
+        assert_eq!(route_site(GeoPolicy::LoadBalanced, 1, &loads, &lat), 2);
+    }
+
+    #[test]
+    fn latency_aware_charges_the_wan_detour() {
+        // Site 2 is less loaded, but 50 ms away at 10 load-units/s the
+        // detour costs 0.5 — more than the 0.3 load gap.
+        let loads = [0.8, 0.9, 0.5];
+        let lat = [0.0, 0.005, 0.05];
+        let p = GeoPolicy::LatencyAware {
+            latency_weight: 10.0,
+        };
+        assert_eq!(route_site(p, 0, &loads, &lat), 0);
+        // With a cheap WAN the load gap dominates.
+        let cheap = GeoPolicy::LatencyAware {
+            latency_weight: 1.0,
+        };
+        assert_eq!(route_site(cheap, 0, &loads, &lat), 2);
+    }
+
+    #[test]
+    fn single_site_is_trivial() {
+        assert_eq!(route_site(GeoPolicy::LoadBalanced, 0, &[3.0], &[0.0]), 0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(
+            GeoPolicy::SiteLocalFirst { spill_load: 1.0 }.name(),
+            "site-local-first"
+        );
+        assert_eq!(GeoPolicy::LoadBalanced.name(), "load-balanced");
+        assert_eq!(
+            GeoPolicy::LatencyAware {
+                latency_weight: 1.0
+            }
+            .name(),
+            "latency-aware"
+        );
+    }
+}

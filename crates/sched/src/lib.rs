@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod geo;
 pub mod policy;
 pub mod pools;
 pub mod provisioning;
 pub mod queue;
 
+pub use geo::{route_site, GeoPolicy};
 pub use policy::{
     ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
     Random, RoundRobin,
@@ -39,6 +41,7 @@ pub use queue::GlobalQueue;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::geo::{route_site, GeoPolicy};
     pub use crate::policy::{
         ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost,
         PackFirst, Random, RoundRobin,

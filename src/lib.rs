@@ -3,6 +3,7 @@
 //! (`tests/`). The library surface simply re-exports the stack.
 
 pub use holdcsim;
+pub use holdcsim_cluster as cluster;
 pub use holdcsim_des as des;
 pub use holdcsim_network as network;
 pub use holdcsim_power as power;
