@@ -3,7 +3,7 @@
 //! transfers and the geo-dispatch load snapshot.
 //!
 //! Each site is a complete, self-driven fabric built by
-//! [`Simulation::new`] from its own [`SimConfig`] (derived by
+//! [`Simulation::new`] from its own [`SimConfig`](holdcsim::config::SimConfig) (derived by
 //! [`ClusterConfig::site_configs`], per-site RNG substreams included), so
 //! a federated site whose jobs all stay home retraces the corresponding
 //! standalone run event for event — the property the cross-site
@@ -16,6 +16,7 @@ use holdcsim::report::SimReport;
 use holdcsim::sim::{finish_report, Datacenter, DcEvent, FedPort, Simulation};
 use holdcsim_des::engine::Engine;
 use holdcsim_des::time::SimTime;
+use holdcsim_obs::{MetricsData, ObsArtifacts, Observer, ProbePanel};
 
 use crate::wan::{Wan, WanReport};
 
@@ -41,8 +42,11 @@ use crate::wan::{Wan, WanReport};
 /// ```
 #[derive(Debug)]
 pub struct Federation {
-    sites: Vec<Engine<Datacenter>>,
+    sites: Vec<Engine<Datacenter, Observer>>,
     wan: Wan,
+    /// Coordinator-level WAN probes (in-flight bytes/transfers), present
+    /// only when the base config turns metrics on.
+    wan_panel: Option<ProbePanel>,
     /// Per-site load snapshot (in-flight jobs per core), refreshed into a
     /// site's [`FedPort`] before each of its steps.
     loads: Vec<f64>,
@@ -67,11 +71,16 @@ impl Federation {
         let n = site_cfgs.len();
         let wan = Wan::build(&cfg.wan, n);
         let horizon = SimTime::ZERO + cfg.base.duration;
+        let wan_panel =
+            cfg.base.obs.metrics.map(|mc| {
+                ProbePanel::new(mc, vec!["wan_in_flight_bytes", "wan_in_flight_transfers"])
+            });
         let mut sites = Vec::with_capacity(n);
         let mut caps = Vec::with_capacity(n);
         for (i, sc) in site_cfgs.into_iter().enumerate() {
             caps.push((sc.server_count * sc.cores_per_server as usize) as f64);
             let mut engine = Simulation::new(sc).into_engine();
+            engine.observer_mut().set_site(i as u32);
             engine.model_mut().attach_federation(FedPort {
                 site: i as u32,
                 geo: cfg.geo,
@@ -85,6 +94,7 @@ impl Federation {
         Federation {
             sites,
             wan,
+            wan_panel,
             loads: vec![0.0; n],
             caps,
             job_bytes: cfg.job_bytes,
@@ -134,6 +144,7 @@ impl Federation {
                 e.schedule_at(t, DcEvent::RemoteJobArrive { slot });
             }
             self.deliveries = deliveries;
+            self.sample_wan(t);
             return true;
         }
         let Some((_, i)) = next_site else {
@@ -161,31 +172,55 @@ impl Federation {
             }
         }
         loads[i] = dc.jobs_in_flight() as f64 / caps[i];
+        self.sample_wan(now);
         true
+    }
+
+    /// Samples the coordinator-level WAN probes when the metrics period
+    /// has elapsed (no-op when metrics are off).
+    fn sample_wan(&mut self, now: SimTime) {
+        if let Some(panel) = &mut self.wan_panel {
+            if panel.due(now) {
+                let values = [
+                    self.wan.in_flight_bytes() as f64,
+                    self.wan.in_flight() as f64,
+                ];
+                panel.record(now, &values);
+            }
+        }
     }
 
     /// Runs the federation to its horizon and produces the report.
     pub fn run(mut self) -> FederationReport {
+        let t0 = std::time::Instant::now();
         while self.step() {}
         let horizon = self.horizon;
-        let mut sites = Vec::with_capacity(self.sites.len());
-        let mut forwarded = Vec::with_capacity(self.sites.len());
-        let mut events = 0;
-        for mut e in self.sites {
+        for e in &mut self.sites {
             // All events within the horizon are processed; this only
             // advances the site clock to the common end instant.
             e.run_until(horizon);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut sites = Vec::with_capacity(self.sites.len());
+        let mut obs = Vec::with_capacity(self.sites.len());
+        let mut forwarded = Vec::with_capacity(self.sites.len());
+        let mut events = 0;
+        for e in self.sites {
             let ev = e.events_processed();
             events += ev;
-            let dc = e.into_model();
+            let (dc, observer) = e.into_parts();
             forwarded.push(dc.jobs_forwarded());
-            sites.push(finish_report(dc, horizon, ev));
+            sites.push(finish_report(dc, horizon, ev, wall_s));
+            obs.push(observer.finish(horizon));
         }
         FederationReport {
             sites,
+            obs,
             forwarded,
             wan: self.wan.report(),
+            wan_metrics: self.wan_panel.map(|p| p.finish(horizon)),
             events_processed: events,
+            wall_s,
         }
     }
 }
@@ -196,12 +231,21 @@ impl Federation {
 pub struct FederationReport {
     /// One full report per site, in site order.
     pub sites: Vec<SimReport>,
+    /// Per-site observability artifacts, in site order (all empty when
+    /// observability is off in the base config).
+    pub obs: Vec<ObsArtifacts>,
     /// Jobs each site forwarded off-site, in site order.
     pub forwarded: Vec<u64>,
     /// The WAN outcome.
     pub wan: WanReport,
+    /// Coordinator-level WAN probe samples (present when metrics are on).
+    pub wan_metrics: Option<MetricsData>,
     /// Engine events processed across all sites.
     pub events_processed: u64,
+    /// Wall-clock seconds for the whole federated run. Deliberately
+    /// excluded from [`FederationReport::to_json`] so exported artifacts
+    /// stay bitwise identical across machines and worker counts.
+    pub wall_s: f64,
 }
 
 impl FederationReport {
@@ -300,6 +344,14 @@ impl FederationReport {
             self.total_energy_j() / 1e3,
             self.events_processed,
         ));
+        if self.wall_s > 0.0 {
+            out.push_str(&format!(
+                "engine: {} events in {:.3} s wall ({:.0} events/s)\n",
+                self.events_processed,
+                self.wall_s,
+                self.events_processed as f64 / self.wall_s,
+            ));
+        }
         out
     }
 

@@ -291,6 +291,14 @@ impl Wan {
         self.transfers.len()
     }
 
+    /// Total payload bytes of transfers currently crossing the WAN.
+    ///
+    /// Sampled by the federation coordinator's WAN metrics probes; O(live
+    /// transfers), so only walked on the metrics period.
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.transfers.iter().map(|(_, t)| t.bytes).sum()
+    }
+
     /// The aggregate WAN outcome so far.
     pub fn report(&self) -> WanReport {
         WanReport {

@@ -7,6 +7,7 @@ use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_network::topologies::LinkSpec;
+use holdcsim_obs::ObsConfig;
 use holdcsim_power::server_profile::ServerPowerProfile;
 use holdcsim_power::switch_profile::SwitchPowerProfile;
 use holdcsim_sched::geo::GeoPolicy;
@@ -264,6 +265,9 @@ pub struct SimConfig {
     pub controller_period: SimDuration,
     /// Statistics sampling period (time series).
     pub sample_period: SimDuration,
+    /// Observability: tracing, fingerprints, metrics probes, profiling.
+    /// Defaults to everything off, which costs one branch per event.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -305,6 +309,7 @@ impl SimConfig {
             controller: None,
             controller_period: SimDuration::from_millis(100),
             sample_period: SimDuration::from_secs(1),
+            obs: ObsConfig::default(),
         }
     }
 

@@ -143,6 +143,10 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Tasks that waited in the global queue.
     pub global_queue_tasks: u64,
+    /// Wall-clock seconds the run took. Deliberately excluded from
+    /// [`to_json`](SimReport::to_json): exported artifacts stay bitwise
+    /// identical across machines and thread counts.
+    pub wall_s: f64,
 }
 
 impl SimReport {
@@ -174,6 +178,16 @@ impl SimReport {
     /// Total energy including switches, joules.
     pub fn total_energy_j(&self) -> f64 {
         self.server_energy_j() + self.network.as_ref().map_or(0.0, |n| n.switch_energy_j)
+    }
+
+    /// Engine events per wall-clock second (0 when the wall clock was not
+    /// measured or the run was instantaneous).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events_processed as f64 / self.wall_s
+        } else {
+            0.0
+        }
     }
 
     /// Mean cluster utilization across servers.
@@ -211,6 +225,14 @@ impl SimReport {
             ));
         }
         s.push('\n');
+        if self.wall_s > 0.0 {
+            s.push_str(&format!(
+                "engine: {} events in {:.3} s wall ({:.0} events/s)\n",
+                self.events_processed,
+                self.wall_s,
+                self.events_per_sec(),
+            ));
+        }
         s
     }
 

@@ -10,9 +10,10 @@ use holdcsim_des::rng::SimRng;
 use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_network::flow::CompletedFlow;
-use holdcsim_network::ids::{FlowId, NodeId, PacketId};
+use holdcsim_network::ids::{FlowId, LinkId, NodeId, PacketId};
 use holdcsim_network::packet::{Packet, TxOutcome};
 use holdcsim_network::routing::Route;
+use holdcsim_obs::{EventInfo, ObsArtifacts, Observer, ProbeSource, TraceEvent};
 use holdcsim_sched::geo::{route_site, GeoPolicy};
 use holdcsim_sched::policy::{
     ClusterView, GlobalPolicy, LeastLoaded, NetworkAware, NetworkCost, NoNetworkCost, PackFirst,
@@ -102,6 +103,68 @@ pub enum DcEvent {
         /// Slot in the remote inbox.
         slot: u64,
     },
+}
+
+impl TraceEvent for DcEvent {
+    const KIND_NAMES: &'static [&'static str] = &[
+        "Init",
+        "JobArrival",
+        "TaskComplete",
+        "ServerTimer",
+        "ServerTransition",
+        "FlowsAdvance",
+        "FlowAdmit",
+        "PacketArrive",
+        "PacketRetry",
+        "LpiCheck",
+        "ControllerTick",
+        "StatsSample",
+        "RemoteJobArrive",
+    ];
+
+    #[inline]
+    fn kind(&self) -> u8 {
+        match self {
+            DcEvent::Init => 0,
+            DcEvent::JobArrival => 1,
+            DcEvent::TaskComplete { .. } => 2,
+            DcEvent::ServerTimer { .. } => 3,
+            DcEvent::ServerTransition { .. } => 4,
+            DcEvent::FlowsAdvance => 5,
+            DcEvent::FlowAdmit { .. } => 6,
+            DcEvent::PacketArrive { .. } => 7,
+            DcEvent::PacketRetry { .. } => 8,
+            DcEvent::LpiCheck { .. } => 9,
+            DcEvent::ControllerTick => 10,
+            DcEvent::StatsSample => 11,
+            DcEvent::RemoteJobArrive { .. } => 12,
+        }
+    }
+
+    fn info(&self) -> EventInfo {
+        let (a, b) = match *self {
+            DcEvent::Init
+            | DcEvent::JobArrival
+            | DcEvent::FlowsAdvance
+            | DcEvent::ControllerTick
+            | DcEvent::StatsSample => (0, 0),
+            DcEvent::TaskComplete { server, task, .. } => {
+                (server.0 as u64, (task.job.0 << 16) | task.index as u64)
+            }
+            DcEvent::ServerTimer { server, gen } => (server.0 as u64, gen),
+            DcEvent::ServerTransition { server } => (server.0 as u64, 0),
+            DcEvent::FlowAdmit { flow } => (flow, 0),
+            DcEvent::PacketArrive { slot } => (slot as u64, 0),
+            DcEvent::PacketRetry { slot } => (slot as u64, 0),
+            DcEvent::LpiCheck { switch, port } => (switch as u64, port as u64),
+            DcEvent::RemoteJobArrive { slot } => (slot, 0),
+        };
+        EventInfo {
+            kind: self.kind(),
+            a,
+            b,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -1403,6 +1466,52 @@ impl Model for Datacenter {
     }
 }
 
+impl ProbeSource for Datacenter {
+    fn probe_names(&self) -> Vec<&'static str> {
+        let mut names = vec![
+            "global_queue_depth",
+            "busy_cores",
+            "awake_servers",
+            "sleeping_servers",
+            "jobs_in_flight",
+        ];
+        if self.net.is_some() {
+            names.extend([
+                "active_flows",
+                "flow_dirty_set",
+                "mean_link_utilization",
+                "packets_in_flight",
+            ]);
+        }
+        names
+    }
+
+    fn probe_sample(&self, out: &mut Vec<f64>) {
+        out.push(self.global_queue.len() as f64);
+        let busy: u32 = self.servers.iter().map(|s| s.busy_cores()).sum();
+        out.push(busy as f64);
+        let awake = self.awake_servers();
+        out.push(awake as f64);
+        out.push((self.servers.len() - awake) as f64);
+        out.push(self.jobs.in_flight() as f64);
+        if let Some(net) = &self.net {
+            out.push(net.flows.active_flows() as f64);
+            out.push(net.flows.last_solve_touched() as f64);
+            let links = net.topology.links().len();
+            let mean_util = if links == 0 {
+                0.0
+            } else {
+                (0..links)
+                    .map(|i| net.flows.link_utilization(LinkId(i as u32)))
+                    .sum::<f64>()
+                    / links as f64
+            };
+            out.push(mean_util);
+            out.push((self.packet_slots.len() - self.free_slots.len()) as f64);
+        }
+    }
+}
+
 /// A server-indexed wake-cost table over the driver's reusable scratch
 /// vector; only entries for the current candidate set are meaningful.
 struct CostTable<'a>(&'a [f64]);
@@ -1434,15 +1543,17 @@ impl NetworkCost for CostTable<'_> {
 /// ```
 #[derive(Debug)]
 pub struct Simulation {
-    engine: Engine<Datacenter>,
+    engine: Engine<Datacenter, Observer>,
 }
 
 impl Simulation {
-    /// Builds the simulation from a configuration.
+    /// Builds the simulation from a configuration (including its
+    /// [`SimConfig::obs`] observability settings).
     pub fn new(cfg: SimConfig) -> Self {
         let duration = cfg.duration;
         let dc = Datacenter::new(cfg);
-        let mut engine = Engine::new(dc);
+        let observer = Observer::for_model(&dc.cfg.obs, &dc);
+        let mut engine = Engine::with_observer(dc, observer);
         engine.schedule_at(SimTime::ZERO, DcEvent::Init);
         engine.schedule_at(SimTime::ZERO, DcEvent::StatsSample);
         engine.schedule_at(SimTime::ZERO, DcEvent::ControllerTick);
@@ -1474,24 +1585,36 @@ impl Simulation {
     /// Consumes the simulation, exposing the underlying engine — the
     /// building block for coordinators that drive several sites in
     /// lockstep (see the `holdcsim-cluster` crate). The engine comes
-    /// fully initialized (init/sampling/first-arrival events scheduled).
-    pub fn into_engine(self) -> Engine<Datacenter> {
+    /// fully initialized (init/sampling/first-arrival events scheduled)
+    /// and carries the observer built from [`SimConfig::obs`].
+    pub fn into_engine(self) -> Engine<Datacenter, Observer> {
         self.engine
     }
 
     /// Runs to the configured horizon and produces the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_with_obs().0
+    }
+
+    /// Runs to the configured horizon and produces the report plus
+    /// whatever the observer collected (empty artifacts when
+    /// [`SimConfig::obs`] left everything off).
+    pub fn run_with_obs(mut self) -> (SimReport, ObsArtifacts) {
         let end = SimTime::ZERO + self.engine.model().cfg.duration;
+        let t0 = std::time::Instant::now();
         self.engine.run_until(end);
+        let wall_s = t0.elapsed().as_secs_f64();
         let events = self.engine.events_processed();
-        finish_report(self.engine.into_model(), end, events)
+        let (dc, observer) = self.engine.into_parts();
+        (finish_report(dc, end, events, wall_s), observer.finish(end))
     }
 }
 
 /// Builds the final [`SimReport`] from a datacenter whose clock reached
-/// `end` after `events` engine events — shared by [`Simulation::run`] and
-/// federation coordinators that drive the engine themselves.
-pub fn finish_report(dc: Datacenter, end: SimTime, events: u64) -> SimReport {
+/// `end` after `events` engine events in `wall_s` wall-clock seconds —
+/// shared by [`Simulation::run`] and federation coordinators that drive
+/// the engine themselves (which pass the whole federation's wall clock).
+pub fn finish_report(dc: Datacenter, end: SimTime, events: u64, wall_s: f64) -> SimReport {
     let servers: Vec<ServerReport> = dc
         .servers
         .iter()
@@ -1521,6 +1644,7 @@ pub fn finish_report(dc: Datacenter, end: SimTime, events: u64) -> SimReport {
         series,
         events_processed: events,
         global_queue_tasks: gq,
+        wall_s,
     }
 }
 

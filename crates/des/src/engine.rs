@@ -44,6 +44,60 @@ pub trait Model: Sized {
     fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
 }
 
+/// A passive tap on the engine's event stream.
+///
+/// The engine calls [`on_event`](EventObserver::on_event) once per processed
+/// event, after the clock has advanced to the event's instant and before the
+/// model's handler runs. The observer is a type parameter of [`Engine`], so
+/// the default [`NoObserver`] monomorphizes every call to a no-op — the
+/// uninstrumented engine pays nothing for this hook.
+///
+/// When [`PANIC_HOOK`](EventObserver::PANIC_HOOK) is `true`, the engine also
+/// wraps handler dispatch in a drop guard so that a panicking handler calls
+/// [`on_panic`](EventObserver::on_panic) while unwinding — the observer can
+/// then report the sim time and the event it just saw instead of leaving only
+/// a bare backtrace.
+pub trait EventObserver<M: Model> {
+    /// When `true`, the engine arms a panic-context guard around every
+    /// handler dispatch (one `mem::forget` on the happy path).
+    const PANIC_HOOK: bool;
+
+    /// Called for every processed event, before the model handles it.
+    fn on_event(&mut self, now: SimTime, event: &M::Event, model: &M);
+
+    /// Called while unwinding from a panicking handler (only if
+    /// [`PANIC_HOOK`](EventObserver::PANIC_HOOK) is `true`).
+    fn on_panic(&self, now: SimTime);
+}
+
+/// The default observer: observes nothing, compiles away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl<M: Model> EventObserver<M> for NoObserver {
+    const PANIC_HOOK: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _now: SimTime, _event: &M::Event, _model: &M) {}
+
+    #[inline(always)]
+    fn on_panic(&self, _now: SimTime) {}
+}
+
+/// Calls [`EventObserver::on_panic`] if dropped during unwind; forgotten on
+/// the happy path so the hook only fires when a handler actually panicked.
+struct PanicGuard<'a, M: Model, O: EventObserver<M>> {
+    observer: &'a O,
+    now: SimTime,
+    _model: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M: Model, O: EventObserver<M>> Drop for PanicGuard<'_, M, O> {
+    fn drop(&mut self) {
+        self.observer.on_panic(self.now);
+    }
+}
+
 /// The handler-side view of the engine: the current clock plus scheduling.
 #[derive(Debug)]
 pub struct Context<'a, E> {
@@ -90,10 +144,12 @@ impl<'a, E> Context<'a, E> {
     }
 }
 
-/// The discrete-event engine: event calendar + clock + a [`Model`].
+/// The discrete-event engine: event calendar + clock + a [`Model`], plus an
+/// optional [`EventObserver`] tap (defaulting to the free [`NoObserver`]).
 #[derive(Debug)]
-pub struct Engine<M: Model> {
+pub struct Engine<M: Model, O: EventObserver<M> = NoObserver> {
     model: M,
+    observer: O,
     queue: EventQueue<M::Event>,
     now: SimTime,
     processed: u64,
@@ -101,10 +157,19 @@ pub struct Engine<M: Model> {
 }
 
 impl<M: Model> Engine<M> {
-    /// Creates an engine at time zero with an empty calendar.
+    /// Creates an unobserved engine at time zero with an empty calendar.
     pub fn new(model: M) -> Self {
+        Engine::with_observer(model, NoObserver)
+    }
+}
+
+impl<M: Model, O: EventObserver<M>> Engine<M, O> {
+    /// Creates an engine at time zero whose event stream is tapped by
+    /// `observer`.
+    pub fn with_observer(model: M, observer: O) -> Self {
         Engine {
             model,
+            observer,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
@@ -137,6 +202,21 @@ impl<M: Model> Engine<M> {
         self.model
     }
 
+    /// Shared access to the observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Exclusive access to the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the engine, returning the model and the observer.
+    pub fn into_parts(self) -> (M, O) {
+        (self.model, self.observer)
+    }
+
     /// Schedules an event before or between runs.
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventToken {
         assert!(at >= self.now, "cannot schedule into the past");
@@ -160,12 +240,23 @@ impl<M: Model> Engine<M> {
         debug_assert!(at >= self.now, "event calendar went backwards");
         self.now = at;
         self.processed += 1;
+        self.observer.on_event(self.now, &event, &self.model);
         let mut ctx = Context {
             now: self.now,
             queue: &mut self.queue,
             stop: &mut self.stopped,
         };
-        self.model.handle(&mut ctx, event);
+        if O::PANIC_HOOK {
+            let guard = PanicGuard::<M, O> {
+                observer: &self.observer,
+                now: self.now,
+                _model: std::marker::PhantomData,
+            };
+            self.model.handle(&mut ctx, event);
+            std::mem::forget(guard);
+        } else {
+            self.model.handle(&mut ctx, event);
+        }
         !self.stopped
     }
 
@@ -339,5 +430,106 @@ mod tests {
         let mut e = recorder();
         e.run_until(SimTime::from_secs(9));
         assert_eq!(e.now(), SimTime::from_secs(9));
+    }
+
+    /// Observer used by the hook tests: records the stream and keeps the
+    /// last event in a cell the panic hook can read during unwind.
+    struct Tap {
+        seen: Vec<(SimTime, u32)>,
+        last: std::cell::Cell<u32>,
+        panicked_at: std::rc::Rc<std::cell::Cell<Option<(SimTime, u32)>>>,
+    }
+
+    impl EventObserver<Recorder> for Tap {
+        const PANIC_HOOK: bool = true;
+        fn on_event(&mut self, now: SimTime, event: &u32, _model: &Recorder) {
+            self.seen.push((now, *event));
+            self.last.set(*event);
+        }
+        fn on_panic(&self, now: SimTime) {
+            self.panicked_at.set(Some((now, self.last.get())));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_event_in_order() {
+        let tap = Tap {
+            seen: Vec::new(),
+            last: std::cell::Cell::new(0),
+            panicked_at: Default::default(),
+        };
+        let mut e = Engine::with_observer(
+            Recorder {
+                seen: Vec::new(),
+                stop_at: None,
+            },
+            tap,
+        );
+        e.schedule_at(SimTime::from_secs(2), 20);
+        e.schedule_at(SimTime::from_secs(1), 10);
+        e.run();
+        // The observer saw exactly what the model saw, in the same order.
+        assert_eq!(e.observer().seen, e.model().seen);
+        let (model, tap) = e.into_parts();
+        assert_eq!(model.seen.len(), 2);
+        assert_eq!(tap.seen.len(), 2);
+    }
+
+    #[test]
+    fn panic_guard_reports_time_and_event_of_panicking_handler() {
+        struct Bomb;
+        impl Model for Bomb {
+            type Event = u32;
+            fn handle(&mut self, _ctx: &mut Context<'_, u32>, ev: u32) {
+                if ev == 7 {
+                    panic!("boom");
+                }
+            }
+        }
+        struct BombTap {
+            last: std::cell::Cell<u32>,
+            panicked_at: std::rc::Rc<std::cell::Cell<Option<(SimTime, u32)>>>,
+        }
+        impl EventObserver<Bomb> for BombTap {
+            const PANIC_HOOK: bool = true;
+            fn on_event(&mut self, _now: SimTime, event: &u32, _model: &Bomb) {
+                self.last.set(*event);
+            }
+            fn on_panic(&self, now: SimTime) {
+                self.panicked_at.set(Some((now, self.last.get())));
+            }
+        }
+        let report = std::rc::Rc::new(std::cell::Cell::new(None));
+        let tap = BombTap {
+            last: std::cell::Cell::new(0),
+            panicked_at: report.clone(),
+        };
+        let mut e = Engine::with_observer(Bomb, tap);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(5), 7);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.run()));
+        assert!(r.is_err());
+        // The guard fired during unwind with the offending event's context.
+        assert_eq!(report.get(), Some((SimTime::from_secs(5), 7)));
+    }
+
+    #[test]
+    fn panic_guard_does_not_fire_on_the_happy_path() {
+        let report = std::rc::Rc::new(std::cell::Cell::new(None));
+        let tap = Tap {
+            seen: Vec::new(),
+            last: std::cell::Cell::new(0),
+            panicked_at: report.clone(),
+        };
+        let mut e = Engine::with_observer(
+            Recorder {
+                seen: Vec::new(),
+                stop_at: None,
+            },
+            tap,
+        );
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.run();
+        assert_eq!(report.get(), None);
     }
 }

@@ -89,7 +89,7 @@ pub mod slot_window;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Context, Engine, Model};
+pub use engine::{Context, Engine, EventObserver, Model, NoObserver};
 pub use lazy_heap::LazyHeap;
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;

@@ -21,9 +21,11 @@ use holdcsim::experiments::{
     SCALABILITY_POLICY, SCALABILITY_PRESET, SCALABILITY_RHO,
 };
 use holdcsim::export::JsonObj;
+use holdcsim::sim::Simulation;
 use holdcsim_cluster::Federation;
 use holdcsim_des::time::SimDuration;
 use holdcsim_network::flow::FlowSolverKind;
+use holdcsim_obs::FingerprintConfig;
 use holdcsim_sched::geo::GeoPolicy;
 
 /// The default farm sizes of the recorded baseline.
@@ -76,6 +78,9 @@ pub struct BenchScaleConfig {
     /// interleaved (A/B on the same grid) and asserts they complete the
     /// same flows.
     pub flow_solvers: Vec<FlowSolverKind>,
+    /// Re-run the network grid with determinism fingerprinting on and
+    /// report the observability overhead per point.
+    pub obs_overhead: bool,
     /// Root seed.
     pub seed: u64,
     /// Repetitions per size; the *best* wall-clock time is kept, the
@@ -96,11 +101,56 @@ impl Default for BenchScaleConfig {
             cluster_servers: DEFAULT_CLUSTER_SERVERS,
             cluster_duration: DEFAULT_NET_DURATION,
             flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            obs_overhead: false,
             seed: 42,
             repeats: 3,
             out: PathBuf::from("BENCH_scalability.json"),
         }
     }
+}
+
+/// One observability-overhead measurement: a network grid point re-run
+/// with determinism fingerprinting on (the always-on-capable capability a
+/// debugging workflow would leave enabled).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverheadPoint {
+    /// Simulated servers.
+    pub servers: usize,
+    /// Communication model of this arm (`"flow"` or `"packet"`).
+    pub comm: &'static str,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+}
+
+/// Runs the network-heavy grid with fingerprinting on: the same fabric as
+/// `net_scalability` (incremental flow solver and packet arms), measured
+/// so the `obs_points` section can be compared against `network_points`
+/// for the overhead gate.
+pub fn obs_scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<ObsOverheadPoint> {
+    let packet = CommModel::Packet {
+        mtu: 1_500,
+        buffer_bytes: 1 << 20,
+    };
+    let mut points = Vec::with_capacity(sizes.len() * 2);
+    for &servers in sizes {
+        for (comm, label) in [(CommModel::Flow, "flow"), (packet, "packet")] {
+            let mut cfg = net_scalability_config(servers, comm, duration, seed);
+            cfg.obs.fingerprint = Some(FingerprintConfig::default());
+            let (report, _arts) = Simulation::new(cfg).run_with_obs();
+            points.push(ObsOverheadPoint {
+                servers,
+                comm: label,
+                events: report.events_processed,
+                wall_s: report.wall_s,
+                events_per_s: report.events_per_sec(),
+            });
+        }
+    }
+    points
 }
 
 /// One federation scalability measurement.
@@ -221,6 +271,7 @@ pub fn render_json(
     points: &[ScalabilityPoint],
     net_points: &[NetScalabilityPoint],
     fed_points: &[FedScalabilityPoint],
+    obs_points: &[ObsOverheadPoint],
 ) -> String {
     // The config block mirrors the actual Table I constants so the
     // committed baseline can never drift from what was measured.
@@ -310,12 +361,38 @@ pub fn render_json(
         let _ = write!(fed_rows, "{row}");
     }
     fed_rows.push(']');
+    let mut obs_rows = String::from("[");
+    for (i, p) in obs_points.iter().enumerate() {
+        if i > 0 {
+            obs_rows.push(',');
+        }
+        // Overhead relative to the matching obs-off network point (the
+        // incremental `flow` arm or `packet`), when that arm was run.
+        let base = net_points
+            .iter()
+            .find(|n| n.servers == p.servers && n.comm == p.comm);
+        let mut row = JsonObj::new()
+            .int("servers", p.servers as u64)
+            .str("comm", p.comm)
+            .int("events", p.events)
+            .num("wall_s", p.wall_s)
+            .num("events_per_s", p.events_per_s);
+        if let Some(b) = base {
+            row = row.num(
+                "overhead_pct",
+                (b.events_per_s / p.events_per_s.max(1e-9) - 1.0) * 100.0,
+            );
+        }
+        let _ = write!(obs_rows, "{}", row.finish());
+    }
+    obs_rows.push(']');
     let doc = JsonObj::new()
         .str("bench", "scalability")
         .raw("config", &config)
         .raw("points", &rows)
         .raw("network_points", &net_rows)
         .raw("federation_points", &fed_rows)
+        .raw("obs_points", &obs_rows)
         .finish();
     format!("{doc}\n")
 }
@@ -328,10 +405,12 @@ pub fn measure(
     Vec<ScalabilityPoint>,
     Vec<NetScalabilityPoint>,
     Vec<FedScalabilityPoint>,
+    Vec<ObsOverheadPoint>,
 ) {
     let mut best: Vec<ScalabilityPoint> = Vec::with_capacity(cfg.sizes.len());
     let mut net_best: Vec<NetScalabilityPoint> = Vec::new();
     let mut fed_best: Vec<FedScalabilityPoint> = Vec::new();
+    let mut obs_best: Vec<ObsOverheadPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
         let net_pts = net_scalability(
@@ -346,10 +425,16 @@ pub fn measure(
             cfg.cluster_duration,
             cfg.seed,
         );
+        let obs_pts = if cfg.obs_overhead {
+            obs_scalability(&cfg.net_sizes, cfg.net_duration, cfg.seed)
+        } else {
+            Vec::new()
+        };
         if rep == 0 {
             best = pts;
             net_best = net_pts;
             fed_best = fed_pts;
+            obs_best = obs_pts;
             continue;
         }
         for (b, p) in best.iter_mut().zip(pts) {
@@ -370,8 +455,14 @@ pub fn measure(
                 *b = p;
             }
         }
+        for (b, p) in obs_best.iter_mut().zip(obs_pts) {
+            debug_assert_eq!(b.events, p.events, "same seed, same event count");
+            if p.wall_s < b.wall_s {
+                *b = p;
+            }
+        }
     }
-    (best, net_best, fed_best)
+    (best, net_best, fed_best, obs_best)
 }
 
 /// Runs bench-scale and writes the baseline file; returns its path.
@@ -388,7 +479,7 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
         cfg.cluster_duration,
         cfg.repeats
     );
-    let (points, net_points, fed_points) = measure(cfg);
+    let (points, net_points, fed_points, obs_points) = measure(cfg);
     for p in &points {
         eprintln!(
             "[bench-scale] {:>6} servers: {:>9} events in {:.3} s -> {:.0} events/s",
@@ -407,7 +498,31 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
             p.sites, p.servers_per_site, p.comm, p.events, p.forwarded, p.wall_s, p.events_per_s
         );
     }
-    write_baseline(&cfg.out, cfg, &points, &net_points, &fed_points)?;
+    for p in &obs_points {
+        let base = net_points
+            .iter()
+            .find(|n| n.servers == p.servers && n.comm == p.comm);
+        let overhead = base
+            .map(|b| {
+                format!(
+                    " ({:+.1}%)",
+                    (b.events_per_s / p.events_per_s.max(1e-9) - 1.0) * 100.0
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "[bench-scale] {:>6} servers ({:>6}, +fp): {:>9} events in {:.3} s -> {:.0} events/s{overhead}",
+            p.servers, p.comm, p.events, p.wall_s, p.events_per_s
+        );
+    }
+    write_baseline(
+        &cfg.out,
+        cfg,
+        &points,
+        &net_points,
+        &fed_points,
+        &obs_points,
+    )?;
     Ok(cfg.out.clone())
 }
 
@@ -418,8 +533,12 @@ pub fn write_baseline(
     points: &[ScalabilityPoint],
     net_points: &[NetScalabilityPoint],
     fed_points: &[FedScalabilityPoint],
+    obs_points: &[ObsOverheadPoint],
 ) -> io::Result<()> {
-    std::fs::write(path, render_json(cfg, points, net_points, fed_points))
+    std::fs::write(
+        path,
+        render_json(cfg, points, net_points, fed_points, obs_points),
+    )
 }
 
 #[cfg(test)]
@@ -436,6 +555,7 @@ mod tests {
             cluster_servers: 4,
             cluster_duration: SimDuration::from_millis(20),
             flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            obs_overhead: true,
             seed: 7,
             repeats: 2,
             out: std::env::temp_dir().join(format!("BENCH_test_{}.json", std::process::id())),
@@ -445,7 +565,7 @@ mod tests {
     #[test]
     fn measure_keeps_event_counts_stable() {
         let cfg = tiny();
-        let (pts, net_pts, fed_pts) = measure(&cfg);
+        let (pts, net_pts, fed_pts, obs_pts) = measure(&cfg);
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
@@ -468,13 +588,18 @@ mod tests {
         assert_eq!(fed_pts.len(), 2);
         assert_eq!((fed_pts[0].comm, fed_pts[1].comm), ("flow", "packet"));
         assert!(fed_pts.iter().all(|p| p.events > 0 && p.sites == 2));
+        // One fingerprinting arm per network point, same event stream.
+        assert_eq!(obs_pts.len(), 2);
+        assert_eq!((obs_pts[0].comm, obs_pts[1].comm), ("flow", "packet"));
+        assert_eq!(obs_pts[0].events, net_pts[0].events);
+        assert_eq!(obs_pts[1].events, net_pts[2].events);
     }
 
     #[test]
     fn json_has_schema_fields() {
         let cfg = tiny();
-        let (pts, net_pts, fed_pts) = measure(&cfg);
-        let json = render_json(&cfg, &pts, &net_pts, &fed_pts);
+        let (pts, net_pts, fed_pts, obs_pts) = measure(&cfg);
+        let json = render_json(&cfg, &pts, &net_pts, &fed_pts, &obs_pts);
         for key in [
             "\"bench\":\"scalability\"",
             "\"config\":",
@@ -497,6 +622,8 @@ mod tests {
             "\"events\":",
             "\"events_per_s\":",
             "\"wall_s\":",
+            "\"obs_points\":",
+            "\"overhead_pct\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

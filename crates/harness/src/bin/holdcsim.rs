@@ -29,7 +29,9 @@ use holdcsim_harness::bench_scale::{self, BenchScaleConfig};
 use holdcsim_harness::exec::{default_threads, run_plan};
 use holdcsim_harness::figs::{self, FigScale};
 use holdcsim_harness::grid::SweepPlan;
+use holdcsim_harness::obs_cli::ObsCli;
 use holdcsim_network::flow::FlowSolverKind;
+use holdcsim_obs::fingerprint;
 use holdcsim_sched::geo::GeoPolicy;
 use holdcsim_workload::presets::WorkloadPreset;
 
@@ -37,22 +39,29 @@ const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
 
 USAGE:
     holdcsim run   [--servers N] [--cores C] [--rho R] [--preset P] [--tau T]
-                   [--policy POL] [--duration SECS] [--seed S] [--json]
+                   [--policy POL] [--duration SECS] [--seed S] [--json] [OBS]
     holdcsim sweep [--policies a,b,c] [--rhos 0.1,0.3] [--taus 0.4,1.6]
                    [--presets web-search,web-serving] [--servers 8,50] [--cores 4]
                    [--replications N] [--duration SECS] [--seed S]
-                   [--threads N] [--out DIR] [--name NAME]
+                   [--threads N] [--out DIR] [--name NAME] [OBS]
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
     holdcsim federate [--sites N] [--servers N] [--cores C] [--rho R] [--preset P]
                    [--affinity w1,w2,...] [--geo POL] [--spill L] [--latency-weight W]
                    [--wan-gbps G] [--wan-latency-ms L] [--wan-mode pipe|flow] [--hub]
-                   [--job-bytes B] [--net] [--duration SECS] [--seed S] [--json]
+                   [--job-bytes B] [--net] [--duration SECS] [--seed S] [--json] [OBS]
+    holdcsim trace-diff A.json B.json
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
                    [--net-sizes 16,128 | none] [--net-duration SECS]
                    [--flow-solver incremental|reference|both]
                    [--clusters 2,3 | none] [--cluster-servers N]
                    [--cluster-duration SECS]
-                   [--seed S] [--repeats N] [--out PATH]
+                   [--seed S] [--repeats N] [--out PATH] [--obs-overhead]
+
+Observability ([OBS], accepted by run, federate, and sweep):
+    --trace FILE [--trace-format jsonl|chrome] [--trace-limit N]
+    --metrics FILE [--metrics-period SECS]
+    --fingerprint FILE [--fingerprint-every K]
+    --profile [--profile-sample N]
 
 Policies:     round-robin, least-loaded, pack-first, random, network-aware.
 Presets:      web-search, web-serving, provisioning.
@@ -74,7 +83,15 @@ JSON perf baseline (default ./BENCH_scalability.json). The flow arm
 runs once per selected fair-share solver (`both` by default: the
 incremental production solver as `flow` and the global progressive-
 filling reference as `flow-ref`, interleaved A/B on the same grid with
-identical completed-flow counts asserted).
+identical completed-flow counts asserted). With --obs-overhead it also
+re-runs the network arms with fingerprinting on and reports the
+observability overhead per point.
+
+`trace-diff` compares two fingerprint files (written with --fingerprint)
+and bisects to the first divergent checkpoint, or reports `identical`.
+Federation/sweep observability files are tagged per site/trial
+(fp.json -> fp.site0.json / fp.trial0.json); the profile table prints
+one section per site/trial.
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -116,8 +133,12 @@ fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Strin
         if !allowed.contains(&key) {
             return Err(format!("unknown option `--{key}`"));
         }
-        // Flags (no value): --json, --quick, --hub, --net.
-        if matches!(key, "json" | "quick" | "hub" | "net") {
+        // Flags (no value): --json, --quick, --hub, --net, --profile,
+        // --obs-overhead.
+        if matches!(
+            key,
+            "json" | "quick" | "hub" | "net" | "profile" | "obs-overhead"
+        ) {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -133,12 +154,12 @@ fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Strin
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        &[
-            "servers", "cores", "rho", "preset", "tau", "policy", "duration", "seed", "json",
-        ],
-    )?;
+    let mut allowed = vec![
+        "servers", "cores", "rho", "preset", "tau", "policy", "duration", "seed", "json",
+    ];
+    allowed.extend_from_slice(&ObsCli::OPTS);
+    let opts = parse_opts(args, &allowed)?;
+    let obs = ObsCli::from_opts(&opts)?;
     let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
     let servers: usize = parse_num(&get("servers", "8"), "server count")?;
     let cores: u32 = parse_num(&get("cores", "4"), "core count")?;
@@ -160,38 +181,41 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             SimConfig::server_farm(servers, cores, rho, preset.template(), duration).with_seed(seed)
         }
     };
-    let cfg = match opts.get("policy") {
+    let mut cfg = match opts.get("policy") {
         Some(p) => cfg.with_policy(parse_policy(p)?),
         None => cfg,
     };
-    let report = Simulation::new(cfg).run();
+    cfg.obs = obs.cfg;
+    let (report, arts) = Simulation::new(cfg).run_with_obs();
     if opts.contains_key("json") {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.summary());
     }
+    obs.emit(&arts, None)?;
     Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        &[
-            "policies",
-            "rhos",
-            "taus",
-            "presets",
-            "servers",
-            "cores",
-            "replications",
-            "duration",
-            "seed",
-            "threads",
-            "out",
-            "name",
-        ],
-    )?;
+    let mut allowed = vec![
+        "policies",
+        "rhos",
+        "taus",
+        "presets",
+        "servers",
+        "cores",
+        "replications",
+        "duration",
+        "seed",
+        "threads",
+        "out",
+        "name",
+    ];
+    allowed.extend_from_slice(&ObsCli::OPTS);
+    let opts = parse_opts(args, &allowed)?;
+    let obs = ObsCli::from_opts(&opts)?;
     let mut plan = SweepPlan::new(opts.get("name").map_or("sweep", |s| s.as_str()));
+    plan = plan.obs(obs.cfg);
     if let Some(s) = opts.get("policies") {
         plan = plan.policies(&parse_list(s, parse_policy)?);
     }
@@ -262,6 +286,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     for p in &paths {
         eprintln!("[{}] wrote {}", result.name, p.display());
     }
+    if !obs.is_off() {
+        for (i, arts) in result.obs.iter().enumerate() {
+            obs.emit(arts, Some(&format!("trial{i}")))?;
+        }
+    }
     Ok(())
 }
 
@@ -300,29 +329,29 @@ fn cmd_fig(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_federate(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(
-        args,
-        &[
-            "sites",
-            "servers",
-            "cores",
-            "rho",
-            "preset",
-            "affinity",
-            "geo",
-            "spill",
-            "latency-weight",
-            "wan-gbps",
-            "wan-latency-ms",
-            "wan-mode",
-            "hub",
-            "job-bytes",
-            "net",
-            "duration",
-            "seed",
-            "json",
-        ],
-    )?;
+    let mut allowed = vec![
+        "sites",
+        "servers",
+        "cores",
+        "rho",
+        "preset",
+        "affinity",
+        "geo",
+        "spill",
+        "latency-weight",
+        "wan-gbps",
+        "wan-latency-ms",
+        "wan-mode",
+        "hub",
+        "job-bytes",
+        "net",
+        "duration",
+        "seed",
+        "json",
+    ];
+    allowed.extend_from_slice(&ObsCli::OPTS);
+    let opts = parse_opts(args, &allowed)?;
+    let obs = ObsCli::from_opts(&opts)?;
     let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
     let sites: usize = parse_num(&get("sites", "3"), "site count")?;
     if sites == 0 {
@@ -335,6 +364,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     let duration = SimDuration::from_secs_f64(parse_num(&get("duration", "10"), "duration")?);
     let seed: u64 = parse_num(&get("seed", "42"), "seed")?;
     let mut base = SimConfig::server_farm(servers, cores, rho, preset.template(), duration);
+    base.obs = obs.cfg;
     if opts.contains_key("net") {
         base.network = Some(NetworkConfig::fat_tree(fat_tree_k_for(servers)));
     }
@@ -384,6 +414,35 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", report.summary());
     }
+    if !obs.is_off() {
+        for arts in &report.obs {
+            let tag = arts.site.map(|s| format!("site{s}"));
+            obs.emit(arts, tag.as_deref())?;
+        }
+        if let Some(wm) = &report.wan_metrics {
+            obs.emit_extra_metrics(wm, "wan")?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("`trace-diff` needs exactly two fingerprint files".into());
+    };
+    let read = |p: &str| -> Result<(u64, Vec<fingerprint::Checkpoint>), String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        fingerprint::parse_file(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (every_a, ca) = read(a)?;
+    let (every_b, cb) = read(b)?;
+    if every_a != every_b {
+        return Err(format!(
+            "checkpoint cadences differ ({every_a} vs {every_b} events); \
+             re-run with the same --fingerprint-every"
+        ));
+    }
+    print!("{}", fingerprint::render_diff(&fingerprint::diff(&ca, &cb)));
     Ok(())
 }
 
@@ -399,6 +458,7 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             "cluster-servers",
             "cluster-duration",
             "flow-solver",
+            "obs-overhead",
             "seed",
             "repeats",
             "out",
@@ -445,6 +505,7 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flow solver `{other}`")),
         };
     }
+    cfg.obs_overhead = opts.contains_key("obs-overhead");
     if let Some(s) = opts.get("seed") {
         cfg.seed = parse_num(s, "seed")?;
     }
@@ -466,6 +527,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("fig") => cmd_fig(&args[1..]),
         Some("federate") => cmd_federate(&args[1..]),
+        Some("trace-diff") => cmd_trace_diff(&args[1..]),
         Some("bench-scale") => cmd_bench_scale(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use holdcsim::config::SimConfig;
 use holdcsim::report::SimReport;
 use holdcsim::sim::Simulation;
+use holdcsim_obs::ObsArtifacts;
 
 use crate::agg::{aggregate, PointSummary, TrialMetrics, TrialOutcome};
 use crate::grid::{GridError, SweepPlan, TrialPoint};
@@ -33,13 +34,28 @@ pub fn run_configs(
     threads: usize,
     progress: Option<&str>,
 ) -> Vec<SimReport> {
+    run_configs_obs(configs, threads, progress)
+        .into_iter()
+        .map(|(report, _)| report)
+        .collect()
+}
+
+/// [`run_configs`], but also returning each trial's observability
+/// artifacts (empty unless the config's [`SimConfig::obs`] turns a
+/// capability on).
+pub fn run_configs_obs(
+    configs: Vec<SimConfig>,
+    threads: usize,
+    progress: Option<&str>,
+) -> Vec<(SimReport, ObsArtifacts)> {
     let n = configs.len();
     if n == 0 {
         return Vec::new();
     }
     let jobs: Vec<Mutex<Option<SimConfig>>> =
         configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(SimReport, ObsArtifacts)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let workers = threads.clamp(1, n);
@@ -55,8 +71,8 @@ pub fn run_configs(
                     .expect("job lock")
                     .take()
                     .expect("job taken once");
-                let report = Simulation::new(cfg).run();
-                *slots[i].lock().expect("slot lock") = Some(report);
+                let outcome = Simulation::new(cfg).run_with_obs();
+                *slots[i].lock().expect("slot lock") = Some(outcome);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(label) = progress {
                     eprintln!("[{label}] trial {finished}/{n} done");
@@ -88,6 +104,9 @@ pub struct SweepResult {
     pub trials: Vec<TrialOutcome>,
     /// One aggregate per grid point.
     pub summaries: Vec<PointSummary>,
+    /// Per-trial observability artifacts, in expansion order (all empty
+    /// when the plan's [`SweepPlan::obs`] is off).
+    pub obs: Vec<ObsArtifacts>,
 }
 
 /// Expands `plan` and runs all its trials on `threads` workers.
@@ -102,9 +121,22 @@ pub fn run_plan(
 ) -> Result<SweepResult, GridError> {
     let trials = plan.trials()?;
     let points = plan.points()?;
-    let configs: Vec<SimConfig> = trials.iter().map(|t| t.config()).collect();
+    let configs: Vec<SimConfig> = trials
+        .iter()
+        .map(|t| {
+            let mut cfg = t.config();
+            cfg.obs = plan.obs;
+            cfg
+        })
+        .collect();
     let label = progress.then(|| plan.name.clone());
-    let reports = run_configs(configs, threads, label.as_deref());
+    let results = run_configs_obs(configs, threads, label.as_deref());
+    let mut reports = Vec::with_capacity(results.len());
+    let mut obs = Vec::with_capacity(results.len());
+    for (report, arts) in results {
+        reports.push(report);
+        obs.push(arts);
+    }
     let outcomes: Vec<TrialOutcome> = trials
         .into_iter()
         .zip(reports.iter())
@@ -120,6 +152,7 @@ pub fn run_plan(
         points,
         trials: outcomes,
         summaries,
+        obs,
     })
 }
 

@@ -13,6 +13,7 @@ use holdcsim::config::{PolicyKind, SimConfig};
 use holdcsim::experiments::delay_timer_farm;
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::SimDuration;
+use holdcsim_obs::ObsConfig;
 use holdcsim_workload::presets::WorkloadPreset;
 
 /// Hard cap on the number of trials one plan may expand to.
@@ -159,6 +160,8 @@ pub struct SweepPlan {
     pub utilizations: Vec<f64>,
     /// Delay-timer axis (`None` entries are Active-Idle arms).
     pub taus: Vec<Option<f64>>,
+    /// Observability applied to every trial (default: everything off).
+    pub obs: ObsConfig,
 }
 
 impl SweepPlan {
@@ -176,7 +179,14 @@ impl SweepPlan {
             cores: vec![4],
             utilizations: vec![0.3],
             taus: vec![None],
+            obs: ObsConfig::default(),
         }
+    }
+
+    /// Sets the observability configuration applied to every trial.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the root seed.

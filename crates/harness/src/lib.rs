@@ -24,6 +24,8 @@
 //! * [`bench_scale`] — the Table I scalability sweep as a perf baseline:
 //!   events/second per farm size, written to `BENCH_scalability.json` so
 //!   hot-path regressions are visible PR over PR.
+//! * [`obs_cli`] — shared parsing/output plumbing for the observability
+//!   flags (`--trace`, `--metrics`, `--fingerprint`, `--profile`).
 //!
 //! The `holdcsim` binary (`src/bin/holdcsim.rs`) exposes `run`, `sweep`,
 //! `fig`, and `bench-scale` subcommands over all of this.
@@ -56,6 +58,7 @@ pub mod bench_scale;
 pub mod exec;
 pub mod figs;
 pub mod grid;
+pub mod obs_cli;
 
 pub use agg::{MetricSummary, PointSummary, TrialMetrics, TrialOutcome, METRIC_NAMES};
 pub use exec::{run_configs, run_plan, SweepResult};

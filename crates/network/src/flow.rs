@@ -709,6 +709,9 @@ pub struct FlowNet {
     reserved_units: Vec<u64>,
     /// Flows the current solve touched (diff-pass input).
     scratch_touched: Vec<u64>,
+    /// Size of the most recent solve's touched (dirty) flow set — an
+    /// observability stat for the incremental solver's locality.
+    last_solve_touched: usize,
     /// Flows detected complete during the diff pass.
     scratch_done: Vec<u64>,
     /// Projected completions: a position-indexed min-heap over `(due,
@@ -757,6 +760,7 @@ impl FlowNet {
             pending_since: SimTime::ZERO,
             reserved_units: vec![0; n],
             scratch_touched: Vec::new(),
+            last_solve_touched: 0,
             scratch_done: Vec::new(),
             due_heap: Vec::new(),
         }
@@ -1093,6 +1097,7 @@ impl FlowNet {
                 );
             }
             self.seed_flows.clear();
+            self.last_solve_touched = touched.len();
             // Diff order does not matter: reserved-sum updates commute,
             // the indexed due-heap pops by `(due, key)` regardless of
             // update order, and the completion batch is sorted below —
@@ -1186,6 +1191,14 @@ impl FlowNet {
     /// Total flows ever admitted.
     pub fn total_admitted(&self) -> u64 {
         self.total_admitted
+    }
+
+    /// Size of the most recent re-solve's dirty flow set (the flows whose
+    /// rate the solver recomputed) — 0 before any solve. A locality
+    /// observable for the incremental solver, sampled by the metrics
+    /// probes.
+    pub fn last_solve_touched(&self) -> usize {
+        self.last_solve_touched
     }
 
     /// The current fair rate of `id` in bits/second, if active (a linear

@@ -6,6 +6,7 @@ pub use holdcsim;
 pub use holdcsim_cluster as cluster;
 pub use holdcsim_des as des;
 pub use holdcsim_network as network;
+pub use holdcsim_obs as obs;
 pub use holdcsim_power as power;
 pub use holdcsim_sched as sched;
 pub use holdcsim_server as server;

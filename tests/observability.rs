@@ -1,0 +1,225 @@
+//! Cross-crate observability tests: determinism fingerprints, trace
+//! export, metrics probes, profiling, and the trace-diff bisector, all
+//! exercised through the public API end to end.
+
+use holdcsim::config::{ClusterConfig, SimConfig, WanConfig};
+use holdcsim::sim::Simulation;
+use holdcsim_cluster::run_federations;
+use holdcsim_des::time::SimDuration;
+use holdcsim_obs::{
+    fingerprint, DiffOutcome, FingerprintConfig, MetricsConfig, ObsConfig, ProfileConfig,
+    TraceConfig,
+};
+use holdcsim_workload::presets::WorkloadPreset;
+
+fn observed_farm(seed: u64, obs: ObsConfig) -> SimConfig {
+    let mut cfg = SimConfig::server_farm(
+        4,
+        2,
+        0.4,
+        WorkloadPreset::WebSearch.template(),
+        SimDuration::from_secs(5),
+    )
+    .with_seed(seed);
+    cfg.obs = obs;
+    cfg
+}
+
+fn fp_on(every: u64) -> ObsConfig {
+    ObsConfig {
+        fingerprint: Some(FingerprintConfig { every }),
+        ..ObsConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_produces_identical_fingerprint_files() {
+    let run = || {
+        let (_, arts) = Simulation::new(observed_farm(11, fp_on(256))).run_with_obs();
+        arts.fingerprint_file().expect("fingerprinting is on")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same seed, same fingerprint file");
+
+    // And the diff of the parsed files reports identical.
+    let (_, ca) = fingerprint::parse_file(&a).unwrap();
+    let (_, cb) = fingerprint::parse_file(&b).unwrap();
+    assert!(
+        ca.len() > 3,
+        "enough checkpoints to make the test meaningful"
+    );
+    match fingerprint::diff(&ca, &cb) {
+        DiffOutcome::Identical { checkpoints, .. } => assert_eq!(checkpoints, ca.len()),
+        other => panic!("same-seed runs must be identical, got {other:?}"),
+    }
+}
+
+#[test]
+fn different_seeds_diverge_and_the_diff_pinpoints_a_checkpoint() {
+    let run = |seed| {
+        let (_, arts) = Simulation::new(observed_farm(seed, fp_on(256))).run_with_obs();
+        arts.fingerprint.expect("fingerprinting is on").checkpoints
+    };
+    let (ca, cb) = (run(1), run(2));
+    match fingerprint::diff(&ca, &cb) {
+        DiffOutcome::Diverged {
+            index,
+            last_common,
+            a,
+            b,
+        } => {
+            assert_ne!(a.hash, b.hash, "the divergent checkpoint really differs");
+            // Everything before the pinpointed index matches.
+            assert!(ca[..index].iter().eq(cb[..index].iter()));
+            if let Some(c) = last_common {
+                assert_eq!(c, ca[index - 1]);
+            } else {
+                assert_eq!(index, 0);
+            }
+        }
+        // Different seeds make different workloads, so even the event
+        // counts usually differ; both outcomes pinpoint real divergence,
+        // but a seed pair landing on identical streams would be a bug.
+        DiffOutcome::LengthMismatch { a_events, b_events } => {
+            assert_ne!(a_events, b_events);
+        }
+        DiffOutcome::Identical { .. } => panic!("different seeds cannot be identical"),
+    }
+}
+
+#[test]
+fn federation_fingerprints_are_identical_at_any_worker_count() {
+    let cluster = || {
+        let base = SimConfig::server_farm(
+            4,
+            2,
+            0.4,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(2),
+        );
+        let mut base = base;
+        base.obs = fp_on(128);
+        let wan = WanConfig::full_mesh(2, 10_000_000_000, SimDuration::from_millis(5));
+        ClusterConfig::uniform(base, 2, wan)
+    };
+    // The same pair of federations, serial vs four workers.
+    let serial = run_federations(vec![cluster(), cluster()], 1);
+    let parallel = run_federations(vec![cluster(), cluster()], 4);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.obs.len(), 2);
+        for (so, po) in s.obs.iter().zip(&p.obs) {
+            let (sf, pf) = (so.fingerprint_file(), po.fingerprint_file());
+            assert!(sf.is_some(), "fingerprinting is on per site");
+            assert_eq!(
+                sf, pf,
+                "site {:?} fingerprints differ by worker count",
+                so.site
+            );
+        }
+        // Site ids label the artifacts in site order.
+        assert_eq!(s.obs[0].site, Some(0));
+        assert_eq!(s.obs[1].site, Some(1));
+        assert_eq!(s.to_json(), p.to_json());
+    }
+}
+
+#[test]
+fn trace_exports_are_structured_and_capped() {
+    let obs = ObsConfig {
+        trace: Some(TraceConfig {
+            limit: 100,
+            ..TraceConfig::default()
+        }),
+        ..ObsConfig::default()
+    };
+    let (report, arts) = Simulation::new(observed_farm(5, obs)).run_with_obs();
+    let trace = arts.trace.as_ref().expect("tracing is on");
+    assert_eq!(trace.records.len(), 100, "the --trace-limit cap holds");
+    assert!(trace.dropped > 0, "a 5 s run overflows a 100-record cap");
+    assert_eq!(trace.seen, report.events_processed);
+
+    let jsonl = arts.trace_jsonl().unwrap();
+    assert_eq!(jsonl.lines().count(), 100);
+    assert!(jsonl.lines().all(|l| l.starts_with("{\"n\":")
+        && l.contains("\"t_ns\":")
+        && l.contains("\"kind\":\"")
+        && l.ends_with('}')));
+
+    let chrome = arts.trace_chrome().unwrap();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    assert!(chrome.contains("\"ph\":\"i\""));
+    assert!(chrome.contains("\"ts\":"));
+}
+
+#[test]
+fn metrics_probes_sample_the_declared_gauges() {
+    let obs = ObsConfig {
+        metrics: Some(MetricsConfig {
+            period: SimDuration::from_millis(50),
+        }),
+        ..ObsConfig::default()
+    };
+    let (_, arts) = Simulation::new(observed_farm(5, obs)).run_with_obs();
+    let metrics = arts.metrics.as_ref().expect("metrics are on");
+    for probe in [
+        "global_queue_depth",
+        "busy_cores",
+        "awake_servers",
+        "sleeping_servers",
+        "jobs_in_flight",
+    ] {
+        assert!(metrics.names.contains(&probe), "missing probe {probe}");
+    }
+    let jsonl = arts.metrics_jsonl().unwrap();
+    assert!(
+        jsonl.lines().count() > 50,
+        "5 s at 50 ms yields many samples"
+    );
+    assert!(jsonl.contains("{\"probe\":\"busy_cores\",\"t_s\":"));
+}
+
+#[test]
+fn profiler_counts_every_event() {
+    let obs = ObsConfig {
+        profile: Some(ProfileConfig { sample: 8 }),
+        ..ObsConfig::default()
+    };
+    let (report, arts) = Simulation::new(observed_farm(5, obs)).run_with_obs();
+    let profile = arts.profile.as_ref().expect("profiling is on");
+    assert_eq!(profile.total_events(), report.events_processed);
+    let table = arts.profile_table().unwrap();
+    assert!(
+        table.contains("JobArrival"),
+        "hot kinds appear in the table"
+    );
+    assert!(table.contains("events/s"));
+}
+
+#[test]
+fn wall_clock_lands_in_summary_but_not_in_json() {
+    let (report, _) = Simulation::new(observed_farm(5, ObsConfig::default())).run_with_obs();
+    assert!(report.wall_s > 0.0);
+    assert!(report.events_per_sec() > 0.0);
+    assert!(report.summary().contains("events/s"));
+    // Exported artifacts must stay machine-independent.
+    assert!(!report.to_json().contains("wall"));
+
+    // `run()` reports the same wall-clock accounting.
+    let report = Simulation::new(observed_farm(5, ObsConfig::default())).run();
+    assert!(report.wall_s > 0.0);
+}
+
+#[test]
+fn observability_does_not_perturb_the_simulation() {
+    let on = ObsConfig {
+        trace: Some(TraceConfig::default()),
+        fingerprint: Some(FingerprintConfig::default()),
+        metrics: Some(MetricsConfig::default()),
+        profile: Some(ProfileConfig::default()),
+    };
+    let (observed, arts) = Simulation::new(observed_farm(9, on)).run_with_obs();
+    let baseline = Simulation::new(observed_farm(9, ObsConfig::default())).run();
+    assert_eq!(observed.to_json(), baseline.to_json());
+    assert!(!arts.is_empty());
+}
