@@ -1,0 +1,85 @@
+//! `holdcsim-lint`: run the repo's determinism lints over the
+//! workspace tree.
+//!
+//! ```text
+//! holdcsim-lint [--root DIR] [--config FILE] [--deny] [--list]
+//! ```
+//!
+//! * `--root DIR`    workspace root to lint (default: `.`, walking up
+//!   to the directory that contains `Cargo.toml` + `crates/`)
+//! * `--config FILE` allowlist (default: `<root>/analysis.toml`)
+//! * `--deny`        exit non-zero on any unsuppressed finding (the CI
+//!   gate; without it findings are reported but the exit code is 0)
+//! * `--list`        print the lint ids and exit
+//!
+//! Exit codes: 0 clean (or findings without `--deny`); 1 unsuppressed
+//! findings under `--deny`; 2 allowlist error (parse failure, empty
+//! reason, stale entry) — allowlist errors fail even without `--deny`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for (id, what) in holdcsim_analysis::LINTS {
+                    println!("{id}  {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--deny" => deny = true,
+            "--root" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--config" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--config needs a file");
+                    return ExitCode::from(2);
+                };
+                config = Some(PathBuf::from(v));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --list, --deny, --root, --config)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    // Walk up from --root to the workspace root so the tool works from
+    // any crate directory.
+    let mut ws = root.clone();
+    for _ in 0..6 {
+        if ws.join("Cargo.toml").is_file() && ws.join("crates").is_dir() {
+            break;
+        }
+        ws = ws.join("..");
+    }
+    let config = config.unwrap_or_else(|| ws.join("analysis.toml"));
+    let outcome = match holdcsim_analysis::gate(&ws, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("holdcsim-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", outcome.render());
+    if outcome.config_error.is_some() || !outcome.stale.is_empty() {
+        ExitCode::from(2)
+    } else if deny && !outcome.unsuppressed.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

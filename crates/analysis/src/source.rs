@@ -1,0 +1,242 @@
+//! Per-file source model: tokens, comments, and which tokens live in
+//! test code.
+//!
+//! Most lints skip `#[cfg(test)]` modules and `#[test]` functions: a
+//! `HashMap` iterated inside a property test's *reference model* is not
+//! a determinism hazard (the test sorts before comparing), and flagging
+//! it would bury the real findings. The mask is computed once per file
+//! by brace-matching the item that follows any attribute mentioning
+//! `test`.
+
+use crate::lexer::{self, Comment, Token};
+
+/// A lexed source file plus the derived facts lints need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes,
+    /// used for allowlist matching).
+    pub rel_path: String,
+    /// Crate the file belongs to: `"des"`, `"core"`, ... for
+    /// `crates/<name>/src`, `"holdcsim-rs"` for the umbrella `src/`,
+    /// `"xtask"` for the task runner.
+    pub crate_name: String,
+    /// Token stream (comments excluded — see [`SourceFile::comments`]).
+    pub tokens: Vec<Token>,
+    /// All comments with line spans, for `// SAFETY:` detection.
+    pub comments: Vec<Comment>,
+    /// Raw source lines, for reporting the offending line text.
+    pub lines: Vec<String>,
+    /// `in_test[i]` is true when `tokens[i]` is inside a `#[cfg(test)]`
+    /// module / `#[test]` function (or any item under an attribute that
+    /// mentions `test`).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes the test mask. `rel_path` is the
+    /// workspace-relative path the findings will report.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let (tokens, comments) = lexer::lex(src);
+        let in_test = test_mask(&tokens);
+        SourceFile {
+            crate_name: crate_of(rel_path),
+            rel_path: rel_path.to_string(),
+            lines: src.lines().map(|l| l.to_string()).collect(),
+            tokens,
+            comments,
+            in_test,
+        }
+    }
+
+    /// The trimmed text of 1-based `line`, or `""` past end of file.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// True when a comment containing `needle` ends within `window`
+    /// lines before `line` (or on `line` itself, for trailing comments).
+    pub fn comment_near(&self, line: u32, window: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line <= line && c.end_line + window >= line && c.text.contains(needle))
+    }
+}
+
+/// Maps a workspace-relative path to its crate name.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        Some("xtask") => "xtask".to_string(),
+        Some("src") => "holdcsim-rs".to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`, or the last token if the
+/// file is unbalanced (a linter must not panic on odd input).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == lexer::TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn is_punct(t: &Token, c: &str) -> bool {
+    t.kind == lexer::TokKind::Punct && t.text == c
+}
+
+/// Computes the per-token test mask by scanning for attributes whose
+/// argument tokens mention `test` and masking the braced item (or the
+/// braceless item up to `;`) that follows.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // An attribute: `#` `[` ... `]` (also `#![...]`, which we treat
+        // the same — an inner `#![cfg(test)]` masks from there on).
+        if !is_punct(&tokens[i], "#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && is_punct(&tokens[j], "!");
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || !is_punct(&tokens[j], "[") {
+            i += 1;
+            continue;
+        }
+        // Find the closing `]` (attributes can nest brackets: cfg(all(..))).
+        let mut depth = 0i64;
+        let mut end = j;
+        let mut mentions_test = false;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if is_punct(t, "[") {
+                depth += 1;
+            } else if is_punct(t, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == lexer::TokKind::Ident && t.text == "test" {
+                mentions_test = true;
+            }
+            end += 1;
+        }
+        if !mentions_test {
+            i = end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: everything after is test code.
+            for m in mask.iter_mut().skip(end + 1) {
+                *m = true;
+            }
+            return mask;
+        }
+        // Mask the item following the attribute: scan past further
+        // attributes and visibility/keywords for the body `{`, tracking
+        // parens so a fn's argument list cannot fool us; a `;` at depth
+        // zero before any `{` means a braceless item.
+        let mut k = end + 1;
+        let mut paren = 0i64;
+        let mut body_open = None;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "<") {
+                paren += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, ">") {
+                paren -= 1;
+            } else if paren <= 0 && is_punct(t, "{") {
+                body_open = Some(k);
+                break;
+            } else if paren <= 0 && is_punct(t, ";") {
+                break;
+            }
+            k += 1;
+        }
+        let close = match body_open {
+            Some(open) => matching_brace(tokens, open),
+            None => k,
+        };
+        for m in mask.iter_mut().take(close + 1).skip(i) {
+            *m = true;
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn live() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let masked: Vec<_> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(masked.contains(&"b".to_string()));
+        assert!(!masked.contains(&"a".to_string()));
+        assert!(!masked.contains(&"also_live".to_string()));
+    }
+
+    #[test]
+    fn test_fn_is_masked_but_sibling_is_not() {
+        let src = "#[test]\nfn t() { x(); }\nfn live() { y(); }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let live_idx = f.tokens.iter().position(|t| t.text == "y").expect("y");
+        let test_idx = f.tokens.iter().position(|t| t.text == "x").expect("x");
+        assert!(f.in_test[test_idx]);
+        assert!(!f.in_test[live_idx]);
+    }
+
+    #[test]
+    fn cfg_all_test_and_braceless_items() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod heavy;\nfn live() {}\n#[cfg(test)]\nuse std::fmt;\nfn live2() { z(); }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let z = f.tokens.iter().position(|t| t.text == "z").expect("z");
+        assert!(!f.in_test[z]);
+        let fmt = f.tokens.iter().position(|t| t.text == "fmt").expect("fmt");
+        assert!(f.in_test[fmt]);
+    }
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_of("crates/des/src/engine.rs"), "des");
+        assert_eq!(crate_of("src/lib.rs"), "holdcsim-rs");
+        assert_eq!(crate_of("xtask/src/main.rs"), "xtask");
+    }
+
+    #[test]
+    fn comment_near_window() {
+        let src = "// SAFETY: fine\nlet a = 1;\n\n\n\nlet b = 2;\n";
+        let f = SourceFile::parse("crates/des/src/x.rs", src);
+        assert!(f.comment_near(2, 2, "SAFETY"));
+        assert!(!f.comment_near(6, 2, "SAFETY"));
+    }
+}

@@ -1,0 +1,33 @@
+//! D001 clean: same logic over a `BTreeMap`, whose iteration order is
+//! the key order — deterministic on every machine. Point lookups into
+//! a `HashMap` (no iteration) are also fine.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn drain_completions(pending: &BTreeMap<u64, f64>) -> Vec<u64> {
+    let mut done = Vec::new();
+    for (&id, &remaining) in pending.iter() {
+        if remaining <= 0.0 {
+            done.push(id);
+        }
+    }
+    done
+}
+
+pub fn lookup(index: &HashMap<u64, u32>, id: u64) -> Option<u32> {
+    index.get(&id).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test-only iteration is out of scope: a reference model may hash.
+    #[test]
+    fn model_matches() {
+        let mut reference = HashMap::new();
+        reference.insert(1u64, 2u32);
+        for (k, v) in reference.iter() {
+            assert_eq!(lookup(&reference, *k), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! D001 trigger: iterating a `HashMap` in a simulation crate. Hash
+//! order is arbitrary per process, so anything downstream of this loop
+//! inherits a nondeterministic order.
+use std::collections::HashMap;
+
+pub fn drain_completions(pending: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut done = Vec::new();
+    for (&id, &remaining) in pending.iter() {
+        if remaining <= 0.0 {
+            done.push(id);
+        }
+    }
+    done
+}
+
+pub fn first_key(index: &HashMap<u64, u32>) -> Option<u64> {
+    index.keys().next().copied()
+}

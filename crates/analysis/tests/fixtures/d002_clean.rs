@@ -1,0 +1,18 @@
+//! D002 clean: simulation logic keeps time in sim-time units passed in
+//! by the engine; no host clock anywhere.
+
+pub struct StepTimer {
+    started_sim_s: f64,
+}
+
+impl StepTimer {
+    pub fn start(now_sim_s: f64) -> Self {
+        Self {
+            started_sim_s: now_sim_s,
+        }
+    }
+
+    pub fn elapsed_sim_s(&self, now_sim_s: f64) -> f64 {
+        now_sim_s - self.started_sim_s
+    }
+}

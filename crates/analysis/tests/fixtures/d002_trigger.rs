@@ -1,0 +1,26 @@
+//! D002 trigger: wall-clock reads in a simulation crate. Anything the
+//! host clock feeds becomes machine-dependent state.
+use std::time::{Instant, SystemTime};
+
+pub struct StepTimer {
+    started: Instant,
+}
+
+impl StepTimer {
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+pub fn stamp_epoch() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

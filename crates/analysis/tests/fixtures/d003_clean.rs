@@ -1,0 +1,9 @@
+//! D003 clean: component streams are substreams of the run's root RNG,
+//! keyed by stable coordinates — independent of call order.
+
+const SERVICE_STREAM: u64 = 7;
+
+pub fn service_jitter(root: &SimRng, job: u64) -> f64 {
+    let mut rng = root.substream_path(&[SERVICE_STREAM, job]);
+    rng.next_f64()
+}

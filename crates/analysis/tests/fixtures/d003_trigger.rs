@@ -1,0 +1,12 @@
+//! D003 trigger: constructing a `SimRng` from an ad-hoc seed instead of
+//! deriving a substream. The stream now depends on call order, not on
+//! the component's coordinates.
+
+pub fn service_jitter(seed: u64, job: u64) -> f64 {
+    let mut rng = SimRng::seed_from(seed ^ job);
+    rng.next_f64()
+}
+
+pub fn fresh_stream() -> SimRng {
+    SimRng::new(42)
+}

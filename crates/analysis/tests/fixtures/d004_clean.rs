@@ -1,0 +1,17 @@
+//! D004 clean: accumulate in key order via `BTreeMap`, so every machine
+//! adds the same floats in the same order and the report is bitwise
+//! stable.
+use std::collections::BTreeMap;
+
+pub fn mean_latency(samples: &BTreeMap<u64, f64>) -> f64 {
+    let total: f64 = samples.values().sum();
+    total / samples.len().max(1) as f64
+}
+
+pub fn total_energy(per_server: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, &joules) in per_server.iter() {
+        total += joules;
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! D004 trigger: summing `f64`s out of a `HashMap` in a report path.
+//! Float addition is not associative, so hash order makes the total
+//! machine-dependent at the last few ulps — enough to break bitwise
+//! report comparison.
+use std::collections::HashMap;
+
+pub fn mean_latency(samples: &HashMap<u64, f64>) -> f64 {
+    let total: f64 = samples.values().sum();
+    total / samples.len().max(1) as f64
+}
+
+pub fn total_energy(per_server: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, &joules) in per_server.iter() {
+        total += joules;
+    }
+    total
+}

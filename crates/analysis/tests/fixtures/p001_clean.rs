@@ -1,0 +1,22 @@
+//! P001 clean: the hot path propagates absence instead of panicking;
+//! test code may still assert freely (tests are out of P001's scope).
+
+pub fn pop_front(queue: &mut Vec<u64>) -> Option<u64> {
+    queue.pop()
+}
+
+pub fn head(queue: &[u64]) -> Option<u64> {
+    queue.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_order() {
+        let mut q = vec![1u64, 2];
+        assert_eq!(pop_front(&mut q).unwrap(), 2);
+        assert_eq!(head(&q).expect("one left"), 1);
+    }
+}

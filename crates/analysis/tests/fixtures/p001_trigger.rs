@@ -1,0 +1,17 @@
+//! P001 trigger: panicking operators in what the driver treats as an
+//! engine hot-path module. One poisoned `Option` aborts a multi-hour
+//! sweep.
+
+pub fn pop_front(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}
+
+pub fn head(queue: &[u64]) -> u64 {
+    *queue.first().expect("queue is never empty")
+}
+
+pub fn check(depth: usize) {
+    if depth > 1_000_000 {
+        panic!("queue depth exploded");
+    }
+}

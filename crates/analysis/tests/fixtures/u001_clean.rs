@@ -1,0 +1,9 @@
+//! U001 clean: the same block, with the invariant that makes it sound
+//! written down where the reviewer (and the lint) can see it.
+
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    debug_assert!(!xs.is_empty());
+    // SAFETY: callers uphold `!xs.is_empty()` (debug-asserted above),
+    // so the first slot is in bounds and initialized.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! U001 trigger: an `unsafe` block with no `// SAFETY:` comment nearby.
+//! The soundness argument lives only in the author's head.
+
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -22,6 +22,7 @@ pub fn quick_mode() -> bool {
 /// Times `f` for `samples` runs after one warm-up and prints the best and
 /// mean wall-clock per run, plus throughput when `elements` is given (the
 /// number of items one run processes). Returns the best seconds/run.
+#[allow(clippy::disallowed_methods)] // wall-clock is the measurement itself
 pub fn bench<R>(name: &str, samples: u32, elements: Option<u64>, mut f: impl FnMut() -> R) -> f64 {
     std::hint::black_box(f()); // warm-up
     let mut best = f64::MAX;

@@ -191,6 +191,7 @@ impl Federation {
     }
 
     /// Runs the federation to its horizon and produces the report.
+    #[allow(clippy::disallowed_methods)] // summary-only wall_s; excluded from to_json (see analysis.toml D002 entry)
     pub fn run(mut self) -> FederationReport {
         let t0 = std::time::Instant::now();
         while self.step() {}

@@ -614,6 +614,7 @@ pub const SCALABILITY_POLICY: PolicyKind = PolicyKind::RoundRobin;
 
 /// Table I's scalability claim (>20 K servers): runs a server-only farm at
 /// the given sizes and measures event throughput.
+#[allow(clippy::disallowed_methods)] // events/s vs wall-clock is the subject (see analysis.toml D002 entry)
 pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<ScalabilityPoint> {
     sizes
         .iter()
@@ -744,6 +745,7 @@ pub fn net_scalability_config_with_solver(
 /// (a transfer-table operation per packet arrival / flow completion and a
 /// route per transfer), where the event rate is dominated by the network,
 /// not the servers.
+#[allow(clippy::disallowed_methods)] // events/s vs wall-clock is the subject (see analysis.toml D002 entry)
 pub fn net_scalability(
     sizes: &[usize],
     duration: SimDuration,

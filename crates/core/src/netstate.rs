@@ -1,6 +1,9 @@
 //! The driver's network bundle: topology + router + flow/packet models +
 //! switch power devices, with the index structures the event loop needs.
 
+// Switch/port index maps are keyed lookups only — never iterated (lint
+// D001): the event loop resolves node → device and port → link by key.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -66,6 +69,7 @@ impl IntoIterator for LinkPorts {
 
 /// Everything network-side, owned by the simulation driver.
 #[derive(Debug)]
+#[allow(clippy::disallowed_types)] // point-lookup indices; never iterated
 pub struct NetState {
     /// The graph.
     pub topology: Topology,
@@ -112,6 +116,7 @@ impl NetState {
     /// # Panics
     ///
     /// Panics if the requested topology yields fewer hosts than servers.
+    #[allow(clippy::disallowed_types)] // constructs the point-lookup indices
     pub fn build(now: SimTime, cfg: &NetworkConfig, server_count: usize) -> Self {
         let built: BuiltTopology = match cfg.topology {
             TopologySpec::FatTree { k } => fat_tree(k, cfg.link),

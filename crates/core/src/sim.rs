@@ -1599,6 +1599,7 @@ impl Simulation {
     /// Runs to the configured horizon and produces the report plus
     /// whatever the observer collected (empty artifacts when
     /// [`SimConfig::obs`] left everything off).
+    #[allow(clippy::disallowed_methods)] // summary-only wall_s; excluded from to_json (see analysis.toml D002 entry)
     pub fn run_with_obs(mut self) -> (SimReport, ObsArtifacts) {
         let end = SimTime::ZERO + self.engine.model().cfg.duration;
         let t0 = std::time::Instant::now();

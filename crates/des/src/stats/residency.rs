@@ -1,7 +1,6 @@
 //! Per-state residency tracking: how long a component spends in each state.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -15,7 +14,7 @@ use crate::time::{SimDuration, SimTime};
 /// use holdcsim_des::stats::Residency;
 /// use holdcsim_des::time::SimTime;
 ///
-/// #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 /// enum Mode { Busy, Idle }
 ///
 /// let mut r = Residency::new(SimTime::ZERO, Mode::Idle);
@@ -29,18 +28,18 @@ pub struct Residency<S> {
     current: S,
     since: SimTime,
     start: SimTime,
-    accumulated: HashMap<S, SimDuration>,
+    accumulated: BTreeMap<S, SimDuration>,
     transitions: u64,
 }
 
-impl<S: Copy + Eq + Hash> Residency<S> {
+impl<S: Copy + Ord> Residency<S> {
     /// Starts tracking at `start` in `initial` state.
     pub fn new(start: SimTime, initial: S) -> Self {
         Residency {
             current: initial,
             since: start,
             start,
-            accumulated: HashMap::new(),
+            accumulated: BTreeMap::new(),
             transitions: 0,
         }
     }
@@ -101,7 +100,8 @@ impl<S: Copy + Eq + Hash> Residency<S> {
         self.time_in_through(state, now).as_secs_f64() / elapsed.as_secs_f64()
     }
 
-    /// Iterates over `(state, closed residency)` pairs in unspecified order.
+    /// Iterates over `(state, closed residency)` pairs in ascending state
+    /// order — deterministic, so residency tables can feed reports directly.
     pub fn iter(&self) -> impl Iterator<Item = (S, SimDuration)> + '_ {
         self.accumulated.iter().map(|(s, d)| (*s, *d))
     }
@@ -111,7 +111,7 @@ impl<S: Copy + Eq + Hash> Residency<S> {
 mod tests {
     use super::*;
 
-    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
     enum St {
         A,
         B,

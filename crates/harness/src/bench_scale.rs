@@ -202,6 +202,7 @@ pub fn fed_cluster_config(
 /// The multi-datacenter companion to `net_scalability`: the same fabric
 /// federated at each site count, once per communication model, measured
 /// in federation-wide events per wall-clock second.
+#[allow(clippy::disallowed_methods)] // events/s vs wall-clock is the subject
 pub fn fed_scalability(
     site_counts: &[usize],
     servers_per_site: usize,

@@ -13,6 +13,8 @@
 //!                [--repeats N] [--out PATH]
 //! ```
 
+// CLI flag maps are `--key value` lookups, never iterated (lint D001).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -123,6 +125,7 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 }
 
 /// Splits `args` into `--key value` options; rejects unknown keys.
+#[allow(clippy::disallowed_types)] // keyed flag lookups; never iterated
 fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut i = 0;

@@ -8,6 +8,9 @@
 //! spliced into each file name before the extension, so one `--fingerprint
 //! fp.json` flag fans out to `fp.site0.json`, `fp.site1.json`, …
 
+// Flag maps are `--key value` lookups, never iterated (lint D001); the
+// harness layer also sits outside the deterministic sim state entirely.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -61,6 +64,7 @@ impl ObsCli {
     /// Builds the observability configuration from a parsed `--key value`
     /// map. Modifier flags without their base flag (e.g. `--trace-limit`
     /// without `--trace`) are rejected.
+    #[allow(clippy::disallowed_types)] // keyed flag lookups; never iterated
     pub fn from_opts(opts: &HashMap<String, String>) -> Result<Self, String> {
         fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
             s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
@@ -188,6 +192,7 @@ fn write_tagged(path: &Path, tag: Option<&str>, content: &str) -> Result<PathBuf
 mod tests {
     use super::*;
 
+    #[allow(clippy::disallowed_types)] // test helper building a flag map
     fn opts(pairs: &[(&str, &str)]) -> HashMap<String, String> {
         pairs
             .iter()

@@ -2,6 +2,10 @@
 //! distance cache (§III-B: "statically generated or dynamically computed"
 //! routes).
 
+// Router caches are keyed lookups only — never iterated, so hash order
+// cannot leak into routes (lint D001); clearing is wholesale. The local
+// waivers below are the clippy analogue of an analysis.toml entry.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -65,6 +69,7 @@ impl Route {
 /// assert_eq!(r.hops(), 2); // host -> switch -> host
 /// ```
 #[derive(Debug)]
+#[allow(clippy::disallowed_types)] // point-lookup caches; never iterated
 pub struct Router {
     /// Per-destination distance maps: `dist[dst][node]` = hops to dst.
     dist_cache: HashMap<NodeId, Vec<u32>>,
@@ -89,6 +94,7 @@ pub struct Router {
 /// Default shared-route cache capacity.
 const DEFAULT_ROUTE_CACHE_CAP: usize = 1 << 16;
 
+#[allow(clippy::disallowed_types)] // constructs the point-lookup caches
 impl Default for Router {
     fn default() -> Self {
         Router {
@@ -254,6 +260,7 @@ fn hash64(mut x: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // loop-detection / spread sets in tests
 mod tests {
     use super::*;
     use crate::topologies::{bcube, camcube, fat_tree, star, LinkSpec};

@@ -56,6 +56,7 @@ impl Profiler {
 
     /// Records one event of `kind`, closing any pending wall-clock sample.
     #[inline]
+    #[allow(clippy::disallowed_methods)] // the profiler's wall-clock sampling IS the product; obs is outside sim state
     pub fn record(&mut self, kind: u8) {
         if let Some(c) = self.counts.get_mut(kind as usize) {
             *c += 1;

@@ -16,7 +16,7 @@ use holdcsim_des::time::{SimDuration, SimTime};
 /// Transitions are first-class because the paper reports them separately
 /// (the "Wake-up" band of Fig. 8) and because components draw distinctive
 /// power while transitioning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase<S> {
     /// Settled in a state.
     Steady(S),
@@ -55,7 +55,7 @@ struct Pending<S> {
 /// use holdcsim_power::machine::{Phase, PowerStateMachine};
 /// use holdcsim_des::time::{SimDuration, SimTime};
 ///
-/// #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 /// enum S { On, Sleep }
 ///
 /// let t0 = SimTime::ZERO;
@@ -70,7 +70,7 @@ struct Pending<S> {
 /// assert_eq!(m.phase(), Phase::Steady(S::Sleep));
 /// ```
 #[derive(Debug, Clone)]
-pub struct PowerStateMachine<S: Copy + Eq + Hash> {
+pub struct PowerStateMachine<S: Copy + Ord + Hash> {
     phase: Phase<S>,
     pending: Option<Pending<S>>,
     residency: Residency<Phase<S>>,
@@ -78,7 +78,7 @@ pub struct PowerStateMachine<S: Copy + Eq + Hash> {
     transition_energy_j: f64,
 }
 
-impl<S: Copy + Eq + Hash + std::fmt::Debug> PowerStateMachine<S> {
+impl<S: Copy + Ord + Hash + std::fmt::Debug> PowerStateMachine<S> {
     /// Creates a machine settled in `initial`, drawing `power_w`.
     pub fn new(now: SimTime, initial: S, power_w: f64) -> Self {
         PowerStateMachine {
@@ -219,7 +219,7 @@ impl<S: Copy + Eq + Hash + std::fmt::Debug> PowerStateMachine<S> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
     enum S {
         Active,
         Sleep,

@@ -78,7 +78,7 @@ impl ServerMode {
 
 /// Residency bands reported by the paper's Fig. 8: Active, Wake-up
 /// (transitions), Idle, Pkg C6, and System Sleep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Band {
     /// Executing tasks.
     Active,

@@ -308,6 +308,7 @@ fn flow_completions_bitwise_deterministic_under_incremental_solver() {
 
 /// ECMP routes in a fat tree are always shortest and loop-free.
 #[test]
+#[allow(clippy::disallowed_types)] // loop-detection set; order unobserved
 fn fat_tree_routes_shortest_loop_free() {
     let mut rng = SimRng::seed_from(0xFA7);
     let built = fat_tree(4, LinkSpec::gigabit());
