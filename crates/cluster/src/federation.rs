@@ -1,6 +1,17 @@
-//! The federation coordinator: N site [`Datacenter`]s advanced in
-//! lockstep (globally earliest event first), coupled only by WAN job
-//! transfers and the geo-dispatch load snapshot.
+//! The federation coordinator: N site [`Datacenter`]s advanced through
+//! conservative lookahead windows (Chandy–Misra style), coupled only by
+//! WAN job transfers and the geo-dispatch load snapshot.
+//!
+//! Between WAN deliveries the sites are independent shards, and nothing
+//! a site does before `earliest event + WAN lookahead floor` can reach
+//! another site — so the coordinator computes that safe horizon, runs
+//! every site up to it ([`Engine::run_window`], concurrently on a pooled
+//! scoped-thread substrate or inline in the serial reference arm), then
+//! exchanges the accumulated outboxes through the WAN in global send
+//! order and refreshes the dispatch load snapshot, window after window.
+//! Both arms drive the identical coordination loop, so
+//! [`FederationReport::to_json`] is byte-identical at any worker count
+//! and to [`Federation::run_serial`].
 //!
 //! Each site is a complete, self-driven fabric built by
 //! [`Simulation::new`] from its own [`SimConfig`](holdcsim::config::SimConfig) (derived by
@@ -9,16 +20,22 @@
 //! standalone run event for event — the property the cross-site
 //! equivalence tests pin down.
 
+use std::sync::Mutex;
+
 use holdcsim::config::ClusterConfig;
 use holdcsim::export::{json_f64, JsonObj};
 use holdcsim::job::JobState;
 use holdcsim::report::SimReport;
 use holdcsim::sim::{finish_report, Datacenter, DcEvent, FedPort, Simulation};
 use holdcsim_des::engine::Engine;
-use holdcsim_des::time::SimTime;
+use holdcsim_des::time::{SimDuration, SimTime};
 use holdcsim_obs::{MetricsData, ObsArtifacts, Observer, ProbePanel};
 
+use crate::pool::run_windows;
 use crate::wan::{Wan, WanReport};
+
+/// One site fabric plus its observability tap.
+type SiteEngine = Engine<Datacenter, Observer>;
 
 /// A configured multi-datacenter federation, ready to run.
 ///
@@ -42,20 +59,8 @@ use crate::wan::{Wan, WanReport};
 /// ```
 #[derive(Debug)]
 pub struct Federation {
-    sites: Vec<Engine<Datacenter, Observer>>,
-    wan: Wan,
-    /// Coordinator-level WAN probes (in-flight bytes/transfers), present
-    /// only when the base config turns metrics on.
-    wan_panel: Option<ProbePanel>,
-    /// Per-site load snapshot (in-flight jobs per core), refreshed into a
-    /// site's [`FedPort`] before each of its steps.
-    loads: Vec<f64>,
-    /// Per-site core counts (the load denominator).
-    caps: Vec<f64>,
-    job_bytes: u64,
-    horizon: SimTime,
-    /// Reusable delivery buffer.
-    deliveries: Vec<(u32, JobState)>,
+    sites: Vec<SiteEngine>,
+    coord: Coordinator,
 }
 
 impl Federation {
@@ -91,15 +96,20 @@ impl Federation {
             });
             sites.push(engine);
         }
+        let lookahead = wan.lookahead();
         Federation {
             sites,
-            wan,
-            wan_panel,
-            loads: vec![0.0; n],
-            caps,
-            job_bytes: cfg.job_bytes,
-            horizon,
-            deliveries: Vec::new(),
+            coord: Coordinator {
+                wan,
+                wan_panel,
+                lookahead,
+                loads: vec![0.0; n],
+                caps,
+                job_bytes: cfg.job_bytes,
+                horizon,
+                deliveries: Vec::new(),
+                sendbuf: Vec::new(),
+            },
         }
     }
 
@@ -113,67 +123,261 @@ impl Federation {
         self.sites[i].model()
     }
 
-    /// Processes one federation event — the globally earliest site event
-    /// or WAN hop completion within the horizon (ties go to the WAN so a
-    /// delivery always precedes same-instant site work, and to the
-    /// lowest site index among sites). Returns `false` once nothing
-    /// remains inside the horizon.
-    fn step(&mut self) -> bool {
-        let mut next_site: Option<(SimTime, usize)> = None;
-        for (i, e) in self.sites.iter_mut().enumerate() {
-            if let Some(t) = e.peek_next_time() {
-                if t <= self.horizon && next_site.is_none_or(|(bt, _)| t < bt) {
-                    next_site = Some((t, i));
+    /// Runs the federation to its horizon with the default worker count
+    /// (the machine's available parallelism, capped at the site count)
+    /// and produces the report. Byte-identical to
+    /// [`run_serial`](Federation::run_serial) and to every other worker
+    /// count.
+    pub fn run(self) -> FederationReport {
+        let workers = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        self.run_with_workers(workers)
+    }
+
+    /// Runs the federation with exactly `workers` pooled threads burning
+    /// down site windows (clamped to `1..=site_count`; `1` runs inline
+    /// without spawning).
+    pub fn run_with_workers(self, workers: usize) -> FederationReport {
+        self.execute(workers)
+    }
+
+    /// The serial reference arm: the identical conservative-window loop,
+    /// sites advanced inline in index order. Exists so tests (and
+    /// `--fed-serial`) can pin the parallel arms against a thread-free
+    /// execution byte for byte.
+    pub fn run_serial(self) -> FederationReport {
+        self.execute(1)
+    }
+
+    /// Runs the conservative-window coordination loop to the horizon and
+    /// assembles the report.
+    #[allow(clippy::disallowed_methods)] // summary-only wall_s; excluded from to_json (see analysis.toml D002 entry)
+    fn execute(self, workers: usize) -> FederationReport {
+        let t0 = std::time::Instant::now();
+        let Federation { sites, mut coord } = self;
+        let cells: Vec<Mutex<SiteEngine>> = sites.into_iter().map(Mutex::new).collect();
+        run_windows(
+            workers,
+            &cells,
+            |engine: &mut SiteEngine, cap| {
+                engine.run_window(cap);
+            },
+            |dispatch| coord.drive(&cells, dispatch),
+        );
+        let horizon = coord.horizon;
+        let mut engines: Vec<SiteEngine> = cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("site cell poisoned"))
+            .collect();
+        for e in &mut engines {
+            // All events within the horizon are processed; this only
+            // advances the site clock to the common end instant.
+            e.run_until(horizon);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut sites = Vec::with_capacity(engines.len());
+        let mut obs = Vec::with_capacity(engines.len());
+        let mut forwarded = Vec::with_capacity(engines.len());
+        let mut events = 0;
+        for e in engines {
+            let ev = e.events_processed();
+            events += ev;
+            let (dc, observer) = e.into_parts();
+            forwarded.push(dc.jobs_forwarded());
+            sites.push(finish_report(dc, horizon, ev, wall_s));
+            obs.push(observer.finish(horizon));
+        }
+        FederationReport {
+            sites,
+            obs,
+            forwarded,
+            wan: coord.wan.report(),
+            wan_metrics: coord.wan_panel.map(|p| p.finish(horizon)),
+            events_processed: events,
+            wall_s,
+        }
+    }
+}
+
+/// What the coordination loop does next.
+enum Turn {
+    /// Advance the WAN to this instant (hop completions, deliveries).
+    Wan(SimTime),
+    /// Run every site up to this inclusive cap.
+    Window(SimTime),
+    /// Nothing remains inside the horizon.
+    Done,
+}
+
+/// Everything the window loop owns besides the site engines themselves:
+/// the WAN, the dispatch load snapshot, and the window scratch buffers.
+#[derive(Debug)]
+struct Coordinator {
+    wan: Wan,
+    /// Coordinator-level WAN probes (in-flight bytes/transfers), present
+    /// only when the base config turns metrics on. Sampled at window
+    /// boundaries and WAN turns.
+    wan_panel: Option<ProbePanel>,
+    /// The static WAN lookahead floor ([`Wan::lookahead`]); `None` means
+    /// sends are impossible and windows are bounded by the horizon only.
+    lookahead: Option<SimDuration>,
+    /// Per-site load snapshot (in-flight jobs per core), recomputed at
+    /// window boundaries and republished to every [`FedPort`] only when
+    /// it changed.
+    loads: Vec<f64>,
+    /// Per-site core counts (the load denominator).
+    caps: Vec<f64>,
+    job_bytes: u64,
+    horizon: SimTime,
+    /// Reusable delivery buffer.
+    deliveries: Vec<(u32, JobState)>,
+    /// Reusable outbox merge buffer: `(send time, src, dst, job)`.
+    sendbuf: Vec<(SimTime, u32, u32, JobState)>,
+}
+
+impl Coordinator {
+    /// Runs the window loop to the horizon. `dispatch(cap)` must run
+    /// every site engine through [`Engine::run_window`]`(cap)` before
+    /// returning — inline or on the worker pool; the trace cannot tell
+    /// the difference.
+    fn drive(&mut self, cells: &[Mutex<SiteEngine>], dispatch: &mut dyn FnMut(SimTime)) {
+        loop {
+            match self.next_turn(cells) {
+                Turn::Wan(t) => self.wan_turn(cells, t),
+                Turn::Window(cap) => {
+                    self.publish_loads(cells);
+                    dispatch(cap);
+                    self.close_window(cells, cap);
+                }
+                Turn::Done => return,
+            }
+        }
+    }
+
+    /// Picks the next turn: the WAN when it holds the earliest event
+    /// inside the horizon (ties go to the WAN so a delivery always
+    /// precedes same-instant site work), otherwise the widest safe site
+    /// window.
+    fn next_turn(&mut self, cells: &[Mutex<SiteEngine>]) -> Turn {
+        let mut earliest: Option<SimTime> = None;
+        for cell in cells {
+            if let Some(t) = cell.lock().expect("site cell").peek_next_time() {
+                if t <= self.horizon && earliest.is_none_or(|b| t < b) {
+                    earliest = Some(t);
                 }
             }
         }
         let next_wan = self.wan.next_time().filter(|&t| t <= self.horizon);
-        let wan_first = match (next_wan, next_site) {
-            (Some(w), Some((s, _))) => w <= s,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if wan_first {
-            let t = next_wan.expect("wan_first implies a WAN event");
-            let mut deliveries = std::mem::take(&mut self.deliveries);
-            deliveries.clear();
-            self.wan.advance(t, &mut deliveries);
-            for (dst, job) in deliveries.drain(..) {
-                let e = &mut self.sites[dst as usize];
-                let slot = e.model_mut().accept_remote_job(job);
-                e.schedule_at(t, DcEvent::RemoteJobArrive { slot });
+        match (next_wan, earliest) {
+            (Some(w), s) if s.is_none_or(|s| w <= s) => Turn::Wan(w),
+            (w, Some(s)) => Turn::Window(self.window_cap(w, s)),
+            // (None, None); (Some, None) is consumed by the first arm.
+            _ => Turn::Done,
+        }
+    }
+
+    /// The inclusive window cap for sites whose earliest event is at
+    /// `start`, given the next WAN event at `next_wan` (already known to
+    /// be strictly after `start`): strictly before the next WAN delivery
+    /// could land — the earlier of the next WAN event and
+    /// `start + lookahead` (sends issued inside the window deliver no
+    /// earlier; max–min fair sharing only ever postpones in-flight
+    /// completions, so both bounds stay conservative) — clamped to the
+    /// horizon. When the lookahead floor is zero the exclusive bound is
+    /// empty, so the cap degenerates to `start` itself: events *at* one
+    /// instant cannot affect other sites at that same instant (every
+    /// WAN hop takes nonzero time), and processing them guarantees
+    /// progress — no deadlock, no livelock.
+    fn window_cap(&self, next_wan: Option<SimTime>, start: SimTime) -> SimTime {
+        let mut cap = self.horizon;
+        if let Some(w) = next_wan {
+            cap = cap.min(SimTime::from_nanos(w.as_nanos() - 1));
+        }
+        if let Some(floor) = self.lookahead {
+            let exclusive = start.saturating_add(floor).as_nanos();
+            cap = cap.min(SimTime::from_nanos(exclusive.saturating_sub(1)));
+        }
+        cap.max(start)
+    }
+
+    /// Advances the WAN to `t`, scheduling completed deliveries as
+    /// first-class events on their destination sites.
+    fn wan_turn(&mut self, cells: &[Mutex<SiteEngine>], t: SimTime) {
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        deliveries.clear();
+        self.wan.advance(t, &mut deliveries);
+        for (dst, job) in deliveries.drain(..) {
+            let mut e = cells[dst as usize].lock().expect("site cell");
+            let slot = e.model_mut().accept_remote_job(job);
+            e.schedule_at(t, DcEvent::RemoteJobArrive { slot });
+        }
+        self.deliveries = deliveries;
+        self.sample_wan(t);
+    }
+
+    /// Recomputes the per-site load snapshot and republishes it into
+    /// every [`FedPort`] — only when it actually changed, and only at
+    /// window boundaries (never per event), identically in the serial
+    /// and parallel arms.
+    fn publish_loads(&mut self, cells: &[Mutex<SiteEngine>]) {
+        let mut changed = false;
+        for (i, cell) in cells.iter().enumerate() {
+            let e = cell.lock().expect("site cell");
+            let load = e.model().jobs_in_flight() as f64 / self.caps[i];
+            if load != self.loads[i] {
+                self.loads[i] = load;
+                changed = true;
             }
-            self.deliveries = deliveries;
-            self.sample_wan(t);
-            return true;
         }
-        let Some((_, i)) = next_site else {
-            return false;
-        };
-        let Federation {
-            sites,
-            wan,
-            loads,
-            caps,
-            job_bytes,
-            ..
-        } = self;
-        let e = &mut sites[i];
-        // Publish the dispatch snapshot, run the event, ship the outbox.
-        if let Some(port) = e.model_mut().fed_port_mut() {
-            port.site_loads.clone_from(loads);
+        if !changed {
+            return;
         }
-        e.step();
-        let now = e.now();
-        let dc = e.model_mut();
-        if let Some(port) = dc.fed_port_mut() {
-            for (target, job) in port.outbox.drain(..) {
-                wan.send(now, i as u32, target, *job_bytes, job);
+        for cell in cells {
+            let mut e = cell.lock().expect("site cell");
+            if let Some(port) = e.model_mut().fed_port_mut() {
+                port.site_loads.clone_from(&self.loads);
             }
         }
-        loads[i] = dc.jobs_in_flight() as f64 / caps[i];
-        self.sample_wan(now);
-        true
+    }
+
+    /// Ships every outbox accumulated during the window through the WAN
+    /// in global send order — send instant first, then site index (the
+    /// per-site drains concatenate in index order and the sort is
+    /// stable), then a site's own event order — interleaving WAN hop
+    /// completions due at or before each send exactly as the per-event
+    /// coordinator did.
+    fn close_window(&mut self, cells: &[Mutex<SiteEngine>], cap: SimTime) {
+        self.sendbuf.clear();
+        for (i, cell) in cells.iter().enumerate() {
+            let mut e = cell.lock().expect("site cell");
+            if let Some(port) = e.model_mut().fed_port_mut() {
+                for (at, target, job) in port.outbox.drain(..) {
+                    self.sendbuf.push((at, i as u32, target, job));
+                }
+            }
+        }
+        let mut sends = std::mem::take(&mut self.sendbuf);
+        sends.sort_by_key(|&(at, ..)| at);
+        for (at, src, dst, job) in sends.drain(..) {
+            while self.wan.next_time().is_some_and(|w| w <= at) {
+                let w = self.wan.next_time().expect("peeked");
+                let mut sink = std::mem::take(&mut self.deliveries);
+                self.wan.advance(w, &mut sink);
+                // The window cap sits strictly below every possible
+                // delivery instant (and a hop never takes zero time), so
+                // hops completing here are mid-path only. A delivery
+                // would mean the lookahead bound was violated.
+                assert!(
+                    sink.is_empty(),
+                    "conservative window admitted a WAN delivery at {w} (cap {cap})"
+                );
+                self.deliveries = sink;
+            }
+            self.wan.send(at, src, dst, self.job_bytes, job);
+        }
+        self.sendbuf = sends;
+        self.sample_wan(cap);
     }
 
     /// Samples the coordinator-level WAN probes when the metrics period
@@ -187,41 +391,6 @@ impl Federation {
                 ];
                 panel.record(now, &values);
             }
-        }
-    }
-
-    /// Runs the federation to its horizon and produces the report.
-    #[allow(clippy::disallowed_methods)] // summary-only wall_s; excluded from to_json (see analysis.toml D002 entry)
-    pub fn run(mut self) -> FederationReport {
-        let t0 = std::time::Instant::now();
-        while self.step() {}
-        let horizon = self.horizon;
-        for e in &mut self.sites {
-            // All events within the horizon are processed; this only
-            // advances the site clock to the common end instant.
-            e.run_until(horizon);
-        }
-        let wall_s = t0.elapsed().as_secs_f64();
-        let mut sites = Vec::with_capacity(self.sites.len());
-        let mut obs = Vec::with_capacity(self.sites.len());
-        let mut forwarded = Vec::with_capacity(self.sites.len());
-        let mut events = 0;
-        for e in self.sites {
-            let ev = e.events_processed();
-            events += ev;
-            let (dc, observer) = e.into_parts();
-            forwarded.push(dc.jobs_forwarded());
-            sites.push(finish_report(dc, horizon, ev, wall_s));
-            obs.push(observer.finish(horizon));
-        }
-        FederationReport {
-            sites,
-            obs,
-            forwarded,
-            wan: self.wan.report(),
-            wan_metrics: self.wan_panel.map(|p| p.finish(horizon)),
-            events_processed: events,
-            wall_s,
         }
     }
 }
@@ -397,6 +566,11 @@ impl FederationReport {
 /// from a shared counter by a scoped thread pool — the same
 /// slot-per-trial scheme as the harness's `run_configs`, so the output
 /// is bitwise identical at every worker count.
+///
+/// Each federation runs its sites serially here: the grid's parallelism
+/// budget is already spent across federations, and nesting a window pool
+/// per federation would only oversubscribe the machine. (The output is
+/// identical either way.)
 pub fn run_federations(configs: Vec<ClusterConfig>, threads: usize) -> Vec<FederationReport> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -421,7 +595,7 @@ pub fn run_federations(configs: Vec<ClusterConfig>, threads: usize) -> Vec<Feder
                     .expect("job lock")
                     .take()
                     .expect("job taken once");
-                let report = Federation::new(&cfg).run();
+                let report = Federation::new(&cfg).run_serial();
                 *slots[i].lock().expect("slot lock") = Some(report);
             });
         }

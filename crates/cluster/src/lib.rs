@@ -5,10 +5,13 @@
 //! power devices, and RNG substream) behind one coordinator, coupled by
 //! an inter-cluster WAN and a geo-aware dispatch policy.
 //!
-//! * [`Federation`] — the coordinator: advances sites in lockstep
-//!   (globally earliest event first) and ships forwarded jobs over the
-//!   WAN as first-class [`holdcsim::sim::DcEvent::RemoteJobArrive`]
-//!   events on the destination site's calendar.
+//! * [`Federation`] — the coordinator: advances sites through
+//!   conservative lookahead windows (each site burns down its calendar
+//!   to the next safe WAN horizon, concurrently on a pooled
+//!   scoped-thread substrate or inline in the `run_serial` reference
+//!   arm) and ships forwarded jobs over the WAN as first-class
+//!   [`holdcsim::sim::DcEvent::RemoteJobArrive`] events on the
+//!   destination site's calendar.
 //! * [`wan::Wan`] — the inter-cluster network: per-link selectable FIFO
 //!   pipes or max-min fair-shared flow links (through the kernel's
 //!   [`holdcsim_network::flow::FlowNet`] solver arms), point-to-point or
@@ -19,9 +22,9 @@
 //! Configuration lives in [`holdcsim::config::ClusterConfig`]; the geo
 //! dispatch policies in [`holdcsim_sched::geo`]. Determinism carries
 //! over from single-fabric runs: same [`ClusterConfig`] ⇒ byte-identical
-//! [`FederationReport`], at any [`run_federations`] worker count — and a
-//! federation whose jobs all stay home reproduces each site's standalone
-//! trajectory exactly.
+//! [`FederationReport`], at any federation worker count (and any
+//! [`run_federations`] worker count) — and a federation whose jobs all
+//! stay home reproduces each site's standalone trajectory exactly.
 //!
 //! [`ClusterConfig`]: holdcsim::config::ClusterConfig
 
@@ -29,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod federation;
+pub mod pool;
 pub mod wan;
 
 pub use federation::{run_federations, Federation, FederationReport};
@@ -135,6 +139,62 @@ mod tests {
             .map(|r| r.to_json())
             .collect();
         assert_eq!(serial, parallel, "reports must not depend on threads");
+    }
+
+    /// Tentpole: the window-parallel coordinator is byte-identical to
+    /// the serial reference arm — flow and packet site fabrics, pipe and
+    /// flow WAN links, 1/2/4 workers, asserted on `to_json` bytes.
+    #[test]
+    fn parallel_windows_bitwise_identical_to_serial() {
+        for comm in [CommModel::Flow, packet()] {
+            for mode in [WanLinkMode::Pipe, WanLinkMode::Flow] {
+                let mut cc = ClusterConfig::uniform(
+                    networked_base(comm, 1),
+                    2,
+                    WanConfig::full_mesh(2, 10_000_000_000, SimDuration::from_millis(5))
+                        .with_mode(mode),
+                )
+                .with_geo(GeoPolicy::LoadBalanced)
+                .with_seed(11);
+                cc.job_bytes = 256 * 1024;
+                cc.sites[0].affinity = Some(3.0);
+                let reference = Federation::new(&cc).run_serial();
+                assert!(
+                    reference.jobs_forwarded() > 0,
+                    "the A/B must exercise the WAN ({comm:?}, {mode:?})"
+                );
+                let want = reference.to_json();
+                for workers in [1usize, 2, 4] {
+                    let got = Federation::new(&cc).run_with_workers(workers).to_json();
+                    assert_eq!(
+                        got, want,
+                        "{workers} workers diverged from serial ({comm:?}, {mode:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Edge case: a zero-latency WAN collapses the lookahead floor to
+    /// zero — windows degenerate to single instants but the loop must
+    /// still terminate (no deadlock, no livelock) and stay byte-equal to
+    /// the serial arm.
+    #[test]
+    fn zero_lookahead_windows_terminate_and_match_serial() {
+        let mut cc = ClusterConfig::uniform(
+            networked_base(CommModel::Flow, 1),
+            2,
+            WanConfig::full_mesh(2, 10_000_000_000, SimDuration::ZERO),
+        )
+        .with_geo(GeoPolicy::LoadBalanced)
+        .with_seed(5);
+        cc.sites[0].affinity = Some(1.0);
+        cc.sites[1].affinity = Some(0.0);
+        cc.job_bytes = 256 * 1024;
+        let serial = Federation::new(&cc).run_serial();
+        assert!(serial.jobs_forwarded() > 0, "forced forwarding at floor 0");
+        let parallel = Federation::new(&cc).run_with_workers(2);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     /// Acceptance: cross-site transfers demonstrably traverse the WAN —

@@ -80,6 +80,10 @@ pub struct Wan {
     paths: Vec<Vec<Option<Vec<u32>>>>,
     /// Propagation latency (s) per site pair (∞ when unreachable).
     latency_s: Vec<Vec<f64>>,
+    /// The static lookahead floor: the smallest site-pair path latency
+    /// (exact nanoseconds). `None` when no site can reach another — the
+    /// lookahead is then unbounded.
+    lookahead: Option<SimDuration>,
     /// Fair-share model over the WAN topology (flow-mode hops only).
     flows: FlowNet,
     transfers: SlotWindow<Transfer>,
@@ -149,11 +153,12 @@ impl Wan {
         }
         let topo = builder.build();
         let flows = FlowNet::with_solver(&topo, cfg.flow_solver);
-        let (paths, latency_s) = shortest_paths(cfg, nodes, sites);
+        let (paths, latency_s, lookahead) = shortest_paths(cfg, nodes, sites);
         Wan {
             links,
             paths,
             latency_s,
+            lookahead,
             flows,
             transfers: SlotWindow::new(),
             heap: BinaryHeap::new(),
@@ -171,6 +176,17 @@ impl Wan {
     /// WAN path exists) — the static input of latency-aware dispatch.
     pub fn path_latency_s(&self, src: usize) -> Vec<f64> {
         self.latency_s[src].clone()
+    }
+
+    /// The static WAN lookahead floor: the minimum path latency over all
+    /// distinct site pairs, in exact nanoseconds. A job sent at `t`
+    /// cannot be delivered before `t + lookahead`, so site events
+    /// strictly before `earliest event + lookahead` are causally
+    /// independent across sites — the conservative-window bound. `None`
+    /// when no site pair is connected (sends are then impossible and the
+    /// lookahead is unbounded).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
     }
 
     /// Starts shipping `bytes` (carrying `job`) from site `src` to `dst`.
@@ -324,7 +340,11 @@ fn shortest_paths(
     cfg: &WanConfig,
     nodes: usize,
     sites: usize,
-) -> (Vec<Vec<Option<Vec<u32>>>>, Vec<Vec<f64>>) {
+) -> (
+    Vec<Vec<Option<Vec<u32>>>>,
+    Vec<Vec<f64>>,
+    Option<SimDuration>,
+) {
     // Adjacency in link-id order.
     let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nodes];
     for (i, l) in cfg.links.iter().enumerate() {
@@ -333,6 +353,9 @@ fn shortest_paths(
     }
     let mut paths = vec![vec![None; sites]; sites];
     let mut latency_s = vec![vec![f64::INFINITY; sites]; sites];
+    // Minimum over distinct reachable site pairs, exact nanos: the
+    // federation's static lookahead floor.
+    let mut min_pair: Option<u64> = None;
     for src in 0..sites {
         let mut dist = vec![u64::MAX; nodes];
         let mut via: Vec<Option<(usize, u32)>> = vec![None; nodes];
@@ -375,9 +398,10 @@ fn shortest_paths(
             hops.reverse();
             paths[src][dst] = Some(hops);
             latency_s[src][dst] = dist[dst] as f64 * 1e-9;
+            min_pair = Some(min_pair.map_or(dist[dst], |m| m.min(dist[dst])));
         }
     }
-    (paths, latency_s)
+    (paths, latency_s, min_pair.map(SimDuration::from_nanos))
 }
 
 #[cfg(test)]
@@ -454,6 +478,30 @@ mod tests {
         assert!((t - 0.026).abs() < 1e-6, "shared completion at {t}");
         // And they finish together (same fair share).
         assert!(got[1].0.saturating_duration_since(got[0].0) <= SimDuration::from_nanos(2));
+    }
+
+    #[test]
+    fn lookahead_is_the_minimum_site_pair_latency() {
+        // Hub: every pair pays two 10 ms hops.
+        let cfg = WanConfig::hub(3, 1_000_000_000, SimDuration::from_millis(10));
+        assert_eq!(
+            Wan::build(&cfg, 3).lookahead(),
+            Some(SimDuration::from_millis(20))
+        );
+        // Mesh with one fast pair: the floor is that pair.
+        let mut mesh = WanConfig::full_mesh(3, 1_000_000_000, SimDuration::from_millis(10));
+        mesh.links[0].latency = SimDuration::from_millis(3);
+        assert_eq!(
+            Wan::build(&mesh, 3).lookahead(),
+            Some(SimDuration::from_millis(3))
+        );
+        // No links: no reachable pair, unbounded lookahead.
+        let empty = WanConfig {
+            links: Vec::new(),
+            extra_nodes: 0,
+            flow_solver: Default::default(),
+        };
+        assert_eq!(Wan::build(&empty, 2).lookahead(), None);
     }
 
     #[test]

@@ -208,13 +208,17 @@ pub struct FedPort {
     /// The geo dispatch policy.
     pub geo: GeoPolicy,
     /// Per-site load snapshot (in-flight jobs per core), refreshed by the
-    /// coordinator before each step of this site.
+    /// coordinator at window boundaries (and only when it actually
+    /// changed) — identically in the serial and parallel arms, so both
+    /// trace the same dispatch decisions.
     pub site_loads: Vec<f64>,
     /// Static WAN path latency in seconds from this site to each site.
     pub wan_latency_s: Vec<f64>,
-    /// Jobs routed off-site this step: `(target site, job state)`. The
-    /// coordinator drains these into the WAN after every step.
-    pub outbox: Vec<(u32, JobState)>,
+    /// Jobs routed off-site, stamped with their send instant:
+    /// `(send time, target site, job state)`. The coordinator drains
+    /// these into the WAN at window boundaries, merging all sites'
+    /// entries back into global send order.
+    pub outbox: Vec<(SimTime, u32, JobState)>,
     /// Jobs forwarded off-site over the run.
     pub forwarded: u64,
 }
@@ -1174,7 +1178,7 @@ impl Datacenter {
                 let state = self.generate_job(now);
                 let port = self.fed.as_mut().expect("checked above");
                 port.forwarded += 1;
-                port.outbox.push((target, state));
+                port.outbox.push((now, target, state));
                 self.schedule_next_arrival(ctx);
                 return;
             }

@@ -292,12 +292,29 @@ impl<M: Model, O: EventObserver<M>> Engine<M, O> {
         }
     }
 
+    /// Processes every event at or before `cap` — including events that
+    /// handlers schedule *inside* the window — and returns how many fired.
+    ///
+    /// Unlike [`run_until`](Engine::run_until), the clock is **not**
+    /// advanced to `cap`: it stays at the last processed event, so a later
+    /// window (or a final `run_until(horizon)`) resumes seamlessly. This
+    /// is the conservative-window primitive for running several engines
+    /// concurrently: each engine burns down its calendar to a horizon that
+    /// no cross-engine message can precede, independently of the others.
+    pub fn run_window(&mut self, cap: SimTime) -> u64 {
+        let before = self.processed;
+        while !self.stopped && self.queue.peek_time().is_some_and(|t| t <= cap) {
+            self.step();
+        }
+        self.processed - before
+    }
+
     /// The instant of the next scheduled event, if any (and the engine has
     /// not been stopped).
     ///
-    /// This is the coordination primitive for running several engines in
-    /// lockstep — e.g. a multi-datacenter federation advancing the site
-    /// whose calendar holds the globally earliest event.
+    /// This is the coordination primitive for running several engines
+    /// together — e.g. a multi-datacenter federation computing the next
+    /// safe window from the globally earliest event.
     pub fn peek_next_time(&mut self) -> Option<SimTime> {
         if self.stopped {
             return None;
@@ -423,6 +440,48 @@ mod tests {
         let mut e = Engine::new(Bad);
         e.schedule_at(SimTime::from_secs(1), ());
         e.run();
+    }
+
+    #[test]
+    fn run_window_processes_inclusive_cap_without_advancing_clock() {
+        let mut e = recorder();
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(3), 3);
+        e.schedule_at(SimTime::from_secs(5), 5);
+        assert_eq!(e.run_window(SimTime::from_secs(3)), 2);
+        assert_eq!(
+            e.model().seen,
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(3), 3)]
+        );
+        // The clock parks at the last event, not the cap.
+        assert_eq!(e.now(), SimTime::from_secs(3));
+        assert_eq!(e.peek_next_time(), Some(SimTime::from_secs(5)));
+        // An empty window fires nothing and moves nothing.
+        assert_eq!(e.run_window(SimTime::from_secs(4)), 0);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+        assert_eq!(e.run_window(SimTime::from_secs(5)), 1);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_window_follows_handler_scheduled_events() {
+        struct Chain {
+            hops: u32,
+        }
+        impl Model for Chain {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                self.hops += 1;
+                ctx.schedule_in(SimDuration::from_secs(1), ());
+            }
+        }
+        let mut e = Engine::new(Chain { hops: 0 });
+        e.schedule_at(SimTime::from_secs(1), ());
+        // Events bred inside the window run inside the window.
+        assert_eq!(e.run_window(SimTime::from_secs(4)), 4);
+        assert_eq!(e.model().hops, 4);
+        assert_eq!(e.now(), SimTime::from_secs(4));
+        assert_eq!(e.peek_next_time(), Some(SimTime::from_secs(5)));
     }
 
     #[test]

@@ -50,13 +50,14 @@ USAGE:
     holdcsim federate [--sites N] [--servers N] [--cores C] [--rho R] [--preset P]
                    [--affinity w1,w2,...] [--geo POL] [--spill L] [--latency-weight W]
                    [--wan-gbps G] [--wan-latency-ms L] [--wan-mode pipe|flow] [--hub]
-                   [--job-bytes B] [--net] [--duration SECS] [--seed S] [--json] [OBS]
+                   [--job-bytes B] [--net] [--fed-workers N | --fed-serial]
+                   [--duration SECS] [--seed S] [--json] [OBS]
     holdcsim trace-diff A.json B.json
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
                    [--net-sizes 16,128 | none] [--net-duration SECS]
                    [--flow-solver incremental|reference|both]
-                   [--clusters 2,3 | none] [--cluster-servers N]
-                   [--cluster-duration SECS]
+                   [--clusters 2,4 | none] [--cluster-servers N]
+                   [--cluster-duration SECS] [--fed-workers N]
                    [--seed S] [--repeats N] [--out PATH] [--obs-overhead]
 
 Observability ([OBS], accepted by run, federate, and sweep):
@@ -75,7 +76,10 @@ Geo policies: site-local (spill past --spill in-flight jobs/core),
 fabric and RNG substream; add a fat-tree + flow comm with --net) behind
 a full-mesh WAN (--hub for hub-and-spoke), with the aggregate arrival
 rate split by --affinity weights and jobs geo-routed per --geo; prints
-per-site and federation-wide reports.
+per-site and federation-wide reports. Sites advance concurrently
+through conservative WAN-lookahead windows on --fed-workers pooled
+threads (default: the machine's parallelism); --fed-serial runs the
+thread-free reference arm. Reports are byte-identical either way.
 
 `bench-scale` runs the Table I configuration at each farm size plus a
 network-heavy fat-tree grid (high-fan-out DAGs, flow and packet comm
@@ -137,10 +141,10 @@ fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Strin
             return Err(format!("unknown option `--{key}`"));
         }
         // Flags (no value): --json, --quick, --hub, --net, --profile,
-        // --obs-overhead.
+        // --obs-overhead, --fed-serial.
         if matches!(
             key,
-            "json" | "quick" | "hub" | "net" | "profile" | "obs-overhead"
+            "json" | "quick" | "hub" | "net" | "profile" | "obs-overhead" | "fed-serial"
         ) {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -351,6 +355,8 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         "duration",
         "seed",
         "json",
+        "fed-workers",
+        "fed-serial",
     ];
     allowed.extend_from_slice(&ObsCli::OPTS);
     let opts = parse_opts(args, &allowed)?;
@@ -411,7 +417,14 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             spec.affinity = Some(w);
         }
     }
-    let report = Federation::new(&cc).run();
+    let fed = Federation::new(&cc);
+    let report = if opts.contains_key("fed-serial") {
+        fed.run_serial()
+    } else if let Some(w) = opts.get("fed-workers") {
+        fed.run_with_workers(parse_num(w, "federation worker count")?)
+    } else {
+        fed.run()
+    };
     if opts.contains_key("json") {
         println!("{}", report.to_json());
     } else {
@@ -460,6 +473,7 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             "clusters",
             "cluster-servers",
             "cluster-duration",
+            "fed-workers",
             "flow-solver",
             "obs-overhead",
             "seed",
@@ -499,6 +513,9 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = opts.get("cluster-duration") {
         cfg.cluster_duration = SimDuration::from_secs_f64(parse_num(s, "cluster-duration")?);
+    }
+    if let Some(s) = opts.get("fed-workers") {
+        cfg.fed_workers = parse_num(s, "federation worker count")?;
     }
     if let Some(s) = opts.get("flow-solver") {
         cfg.flow_solvers = match s.as_str() {

@@ -81,7 +81,10 @@ impl<'a> ClusterView<'a> {
 /// `eligible` is the candidate set (the driver filters by server class and
 /// pool membership); policies must return a member of it, or `None` to
 /// leave the task in the global queue.
-pub trait GlobalPolicy: std::fmt::Debug {
+/// (The `Send` supertrait lets a boxed policy — and with it a whole site
+/// `Datacenter` — cross into a worker thread, which the federation's
+/// conservative-window coordinator relies on to run sites concurrently.)
+pub trait GlobalPolicy: std::fmt::Debug + Send {
     /// Chooses a server for one task.
     fn select(
         &mut self,

@@ -4,7 +4,7 @@
 
 use holdcsim::config::{ClusterConfig, SimConfig, WanConfig};
 use holdcsim::sim::Simulation;
-use holdcsim_cluster::run_federations;
+use holdcsim_cluster::{run_federations, Federation};
 use holdcsim_des::time::SimDuration;
 use holdcsim_obs::{
     fingerprint, DiffOutcome, FingerprintConfig, MetricsConfig, ObsConfig, ProfileConfig,
@@ -120,6 +120,50 @@ fn federation_fingerprints_are_identical_at_any_worker_count() {
         assert_eq!(s.obs[0].site, Some(0));
         assert_eq!(s.obs[1].site, Some(1));
         assert_eq!(s.to_json(), p.to_json());
+    }
+}
+
+/// The conservative-window parallel arms leave byte-identical per-site
+/// fingerprint files — the same check `trace-diff` runs, via the same
+/// parse/diff path — at every worker count, on a federation that really
+/// forwards jobs over the WAN.
+#[test]
+fn federation_window_fingerprints_match_serial_at_any_worker_count() {
+    let cluster = || {
+        let mut base = SimConfig::server_farm(
+            4,
+            2,
+            0.4,
+            WorkloadPreset::WebSearch.template(),
+            SimDuration::from_secs(2),
+        );
+        base.obs = fp_on(128);
+        let wan = WanConfig::full_mesh(2, 10_000_000_000, SimDuration::from_millis(5));
+        let mut cc = ClusterConfig::uniform(base, 2, wan)
+            .with_geo(holdcsim_sched::geo::GeoPolicy::LoadBalanced);
+        // All home traffic lands at site 0 so dispatch must forward.
+        cc.sites[0].affinity = Some(1.0);
+        cc.sites[1].affinity = Some(0.0);
+        cc
+    };
+    let reference = Federation::new(&cluster()).run_serial();
+    assert!(reference.jobs_forwarded() > 0, "the WAN must be exercised");
+    for workers in [1usize, 2, 4] {
+        let parallel = Federation::new(&cluster()).run_with_workers(workers);
+        assert_eq!(reference.to_json(), parallel.to_json());
+        for (site, (so, po)) in reference.obs.iter().zip(&parallel.obs).enumerate() {
+            let sf = so.fingerprint_file().expect("fingerprinting is on");
+            let pf = po.fingerprint_file().expect("fingerprinting is on");
+            let (_, ca) = fingerprint::parse_file(&sf).unwrap();
+            let (_, cb) = fingerprint::parse_file(&pf).unwrap();
+            match fingerprint::diff(&ca, &cb) {
+                DiffOutcome::Identical { checkpoints, .. } => {
+                    assert_eq!(checkpoints, ca.len());
+                }
+                other => panic!("site {site} fingerprints diverge at {workers} workers: {other:?}"),
+            }
+            assert_eq!(sf, pf, "site {site} file bytes at {workers} workers");
+        }
     }
 }
 

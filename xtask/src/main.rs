@@ -143,8 +143,9 @@ fn miri(root: &Path, require: bool) -> ExitCode {
 
 /// `cargo xtask tsan`: build std + the scoped-thread tests with
 /// ThreadSanitizer and run the worker-count determinism suites (the
-/// harness executor and the federation coordinator are the two places
-/// real threads touch shared state).
+/// harness executor, the federation grid runner, and the federation's
+/// conservative-window pool — `parallel_windows_bitwise_identical_to_serial`
+/// matches the filter — are the places real threads touch shared state).
 fn tsan(root: &Path, require: bool) -> ExitCode {
     if !nightly_has("rust-src") {
         return skip_or_fail(
@@ -174,7 +175,9 @@ fn tsan(root: &Path, require: bool) -> ExitCode {
         .status();
     match status {
         Ok(s) if s.success() => {
-            println!("xtask tsan: PASS (harness executor + federation grid under TSan)");
+            println!(
+                "xtask tsan: PASS (harness executor + federation grid + window pool under TSan)"
+            );
             ExitCode::SUCCESS
         }
         Ok(_) => ExitCode::from(1),
@@ -198,10 +201,12 @@ fn host_triple() -> String {
 }
 
 /// `cargo xtask determinism`: the dynamic closing of the loop — run the
-/// same seed twice through `holdcsim run --fingerprint` with the binary
-/// the static gate just blessed, and require `trace-diff` to report
-/// identical. A hazard the lints missed that reaches the event stream
-/// shows up here as a bisected divergence.
+/// same seed twice through `holdcsim run --fingerprint`, and twice
+/// through the federation's 4-worker conservative-window arm
+/// (`holdcsim federate --fed-workers 4`), with the binary the static
+/// gate just blessed, and require `trace-diff` to report identical
+/// (per site, for the federated pair). A hazard the lints missed that
+/// reaches the event stream shows up here as a bisected divergence.
 fn determinism(root: &Path, release: bool) -> ExitCode {
     let mut build = vec!["build", "--bin", "holdcsim"];
     if release {
@@ -224,49 +229,98 @@ fn determinism(root: &Path, release: bool) -> ExitCode {
         eprintln!("xtask determinism: cannot create {}: {e}", tmp.display());
         return ExitCode::from(1);
     }
-    let fp_a = tmp.join("fp_a.json");
-    let fp_b = tmp.join("fp_b.json");
-    for fp in [&fp_a, &fp_b] {
-        let status = Command::new(&bin)
+    let diff_identical = |a: &Path, b: &Path| -> Result<(), String> {
+        let out = Command::new(&bin)
             .current_dir(root)
-            .args([
-                "run",
-                "--servers",
-                "8",
-                "--duration",
-                "2",
-                "--seed",
-                "1234",
-                "--fingerprint",
-            ])
-            .arg(fp)
-            .stdout(std::process::Stdio::null())
-            .status();
-        if !matches!(status, Ok(s) if s.success()) {
-            eprintln!("xtask determinism: `holdcsim run --fingerprint` failed");
-            return ExitCode::from(1);
+            .arg("trace-diff")
+            .arg(a)
+            .arg(b)
+            .output()
+            .map_err(|e| format!("failed to spawn trace-diff: {e}"))?;
+        let text = String::from_utf8_lossy(&out.stdout);
+        if out.status.success() && text.starts_with("identical") {
+            Ok(())
+        } else {
+            Err(format!("double-run fingerprints differ:\n{text}"))
         }
-    }
-    let out = Command::new(&bin)
-        .current_dir(root)
-        .arg("trace-diff")
-        .arg(&fp_a)
-        .arg(&fp_b)
-        .output();
-    let _ = std::fs::remove_dir_all(&tmp);
-    match out {
-        Ok(o) => {
-            let text = String::from_utf8_lossy(&o.stdout);
-            if o.status.success() && text.starts_with("identical") {
-                println!("xtask determinism: PASS (same seed twice ⇒ trace-diff identical)");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("xtask determinism: FAILED — double-run fingerprints differ:\n{text}");
-                ExitCode::from(1)
+    };
+    let check = || -> Result<(), String> {
+        // Arm 1: a standalone farm, same seed twice.
+        let fp_a = tmp.join("fp_a.json");
+        let fp_b = tmp.join("fp_b.json");
+        for fp in [&fp_a, &fp_b] {
+            let status = Command::new(&bin)
+                .current_dir(root)
+                .args([
+                    "run",
+                    "--servers",
+                    "8",
+                    "--duration",
+                    "2",
+                    "--seed",
+                    "1234",
+                    "--fingerprint",
+                ])
+                .arg(fp)
+                .stdout(std::process::Stdio::null())
+                .status();
+            if !matches!(status, Ok(s) if s.success()) {
+                return Err("`holdcsim run --fingerprint` failed".into());
             }
         }
+        diff_identical(&fp_a, &fp_b)?;
+        // Arm 2: a forwarding federation on the 4-worker window pool,
+        // same seed twice; per-site fingerprints are written as
+        // fed_X.site0.json / fed_X.site1.json.
+        for name in ["fed_a.json", "fed_b.json"] {
+            let status = Command::new(&bin)
+                .current_dir(root)
+                .args([
+                    "federate",
+                    "--sites",
+                    "2",
+                    "--servers",
+                    "4",
+                    "--duration",
+                    "1",
+                    "--seed",
+                    "77",
+                    "--geo",
+                    "load-balanced",
+                    "--affinity",
+                    "2,1",
+                    "--fed-workers",
+                    "4",
+                    "--fingerprint",
+                ])
+                .arg(tmp.join(name))
+                .stdout(std::process::Stdio::null())
+                .status();
+            if !matches!(status, Ok(s) if s.success()) {
+                return Err("`holdcsim federate --fed-workers 4 --fingerprint` failed".into());
+            }
+        }
+        for site in ["site0", "site1"] {
+            diff_identical(
+                &tmp.join(format!("fed_a.{site}.json")),
+                &tmp.join(format!("fed_b.{site}.json")),
+            )
+            .map_err(|e| format!("federate {site}: {e}"))?;
+        }
+        Ok(())
+    };
+    let outcome = check();
+    let _ = std::fs::remove_dir_all(&tmp);
+    match outcome {
+        Ok(()) => {
+            println!(
+                "xtask determinism: PASS (same seed twice ⇒ trace-diff identical, \
+                 run + federate --fed-workers 4)"
+            );
+            ExitCode::SUCCESS
+        }
         Err(e) => {
-            eprintln!("xtask determinism: failed to spawn trace-diff: {e}");
+            eprintln!("xtask determinism: FAILED — {e}");
             ExitCode::from(1)
         }
     }
