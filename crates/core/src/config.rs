@@ -102,8 +102,10 @@ pub struct NetworkConfig {
     pub comm: CommModel,
     /// Fair-share solver of the flow comm model (`Incremental` is the
     /// production arm; `Reference` re-runs global progressive filling on
-    /// every change, kept selectable for A/B validation). Ignored in
-    /// packet mode.
+    /// every change, kept selectable for A/B validation; `Cohort` tracks
+    /// whole bottleneck cohorts as virtual-time rate cells — the fast
+    /// arm under overload/incast). All three retrace byte-identical
+    /// trajectories on the same seed. Ignored in packet mode.
     pub flow_solver: FlowSolverKind,
     /// Port LPI hold time: a port enters Low Power Idle after being idle
     /// this long (`None` disables idle power management entirely).

@@ -647,9 +647,11 @@ pub fn scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec<Sca
 pub struct NetScalabilityPoint {
     /// Simulated servers.
     pub servers: usize,
-    /// Communication model of this arm (`"flow"` = flow model with the
-    /// incremental fair-share solver, `"flow-ref"` = flow model with the
-    /// reference solver, `"packet"` = packetized).
+    /// Communication model of this arm: `"flow"` = flow model with the
+    /// incremental fair-share solver, `"flow-ref"` = reference solver,
+    /// `"flow-cohort"` = cohort-cell solver, `"packet"` = packetized.
+    /// The incast stress grid reuses this shape with `"incast"` /
+    /// `"incast-ref"` / `"incast-cohort"` labels.
     pub comm: &'static str,
     /// Engine events processed.
     pub events: u64,
@@ -763,15 +765,28 @@ pub fn net_scalability(
             let label = match solver {
                 FlowSolverKind::Incremental => "flow",
                 FlowSolverKind::Reference => "flow-ref",
+                FlowSolverKind::Cohort => "flow-cohort",
             };
             arms.push((crate::config::CommModel::Flow, solver, label));
         }
         arms.push((packet, FlowSolverKind::default(), "packet"));
+        let mut flow_json: Option<String> = None;
         for (comm, solver, label) in arms {
             let cfg = net_scalability_config_with_solver(n, comm, duration, seed, solver);
             let t0 = Instant::now();
             let report = Simulation::new(cfg).run();
             let wall = t0.elapsed().as_secs_f64();
+            // The solver arms simulate the same physics: every flow
+            // arm's full report must be byte-identical to the first's.
+            if label.starts_with("flow") {
+                let json = report.to_json();
+                match &flow_json {
+                    None => flow_json = Some(json),
+                    Some(first) => {
+                        assert_eq!(first, &json, "solver arm {label} diverged at {n} servers")
+                    }
+                }
+            }
             points.push(NetScalabilityPoint {
                 servers: n,
                 comm: label,
@@ -782,18 +797,107 @@ pub fn net_scalability(
                 flows: report.network.as_ref().map_or(0, |net| net.flows),
             });
         }
-        // The solver arms simulate the same physics: their trajectories
-        // (and so their completed-flow and job counts) must agree.
-        let flow_arms: Vec<&NetScalabilityPoint> = points
-            .iter()
-            .filter(|p| p.servers == n && p.comm.starts_with("flow"))
-            .collect();
-        for pair in flow_arms.windows(2) {
-            assert_eq!(
-                (pair[0].flows, pair[0].jobs, pair[0].events),
-                (pair[1].flows, pair[1].jobs, pair[1].events),
-                "solver arms diverged at {n} servers"
-            );
+    }
+    points
+}
+
+/// Fan-in width of the incast stress point: every job gathers this many
+/// leaf results at one aggregator, so its server downlink carries the
+/// whole wave as one bottleneck cohort.
+pub const NET_INCAST_FANOUT: u32 = 32;
+/// Bytes per incast DAG edge (larger than the scatter-gather grid so the
+/// hot set stays concurrent).
+pub const NET_INCAST_BYTES: u64 = 256 * 1024;
+/// Utilization of the incast stress point — deliberately overloaded so
+/// rate cells stay saturated with members.
+pub const NET_INCAST_RHO: f64 = 0.7;
+
+/// The job template of the incast stress point: a wide gather whose
+/// fan-in edges converge on one host's downlink.
+pub fn net_incast_template() -> JobTemplate {
+    JobTemplate::FanOutFanIn {
+        root: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(1),
+        },
+        leaf: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(2),
+        },
+        agg: ServiceDist::Exponential {
+            mean: SimDuration::from_millis(1),
+        },
+        width: NET_INCAST_FANOUT,
+        transfer_bytes: NET_INCAST_BYTES,
+    }
+}
+
+/// The configuration of one incast stress arm with an explicit
+/// fair-share solver.
+pub fn net_incast_config_with_solver(
+    servers: usize,
+    duration: SimDuration,
+    seed: u64,
+    solver: FlowSolverKind,
+) -> SimConfig {
+    let mut cfg = SimConfig::server_farm(
+        servers,
+        SCALABILITY_CORES,
+        NET_INCAST_RHO,
+        net_incast_template(),
+        duration,
+    )
+    .with_seed(seed)
+    .with_policy(SCALABILITY_POLICY);
+    let mut net = NetworkConfig::fat_tree(fat_tree_k_for(servers));
+    net.comm = crate::config::CommModel::Flow;
+    net.flow_solver = solver;
+    cfg.network = Some(net);
+    cfg
+}
+
+/// The high-contention companion grid to [`net_scalability`]: the same
+/// fat-tree farm under wide-gather incast at overload, flow mode only.
+/// This is the regime where bottleneck cohorts dominate — each hot
+/// downlink carries a whole job's fan-in — so it isolates the cohort
+/// solver's O(links) update cost from the per-flow arms' O(flows).
+#[allow(clippy::disallowed_methods)] // events/s vs wall-clock is the subject (see analysis.toml D002 entry)
+pub fn net_incast(
+    sizes: &[usize],
+    duration: SimDuration,
+    seed: u64,
+    flow_solvers: &[FlowSolverKind],
+) -> Vec<NetScalabilityPoint> {
+    let mut points = Vec::with_capacity(sizes.len() * flow_solvers.len());
+    for &n in sizes {
+        let mut arm_json: Option<String> = None;
+        for &solver in flow_solvers {
+            let label = match solver {
+                FlowSolverKind::Incremental => "incast",
+                FlowSolverKind::Reference => "incast-ref",
+                FlowSolverKind::Cohort => "incast-cohort",
+            };
+            let cfg = net_incast_config_with_solver(n, duration, seed, solver);
+            let t0 = Instant::now();
+            let report = Simulation::new(cfg).run();
+            let wall = t0.elapsed().as_secs_f64();
+            // Every solver arm's full report must be byte-identical to
+            // the first's — same physics, same trajectory.
+            let json = report.to_json();
+            match &arm_json {
+                None => arm_json = Some(json),
+                Some(first) => assert_eq!(
+                    first, &json,
+                    "solver arm {label} diverged at {n} servers (incast)"
+                ),
+            }
+            points.push(NetScalabilityPoint {
+                servers: n,
+                comm: label,
+                events: report.events_processed,
+                wall_s: wall,
+                events_per_s: report.events_processed as f64 / wall.max(1e-9),
+                jobs: report.jobs_completed,
+                flows: report.network.as_ref().map_or(0, |net| net.flows),
+            });
         }
     }
     points

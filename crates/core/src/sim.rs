@@ -1800,8 +1800,9 @@ mod tests {
         assert!(net.flows > 1_000, "transfers really flowed");
     }
 
-    /// The incremental fair-share solver must retrace the reference
-    /// arm's whole trajectory: fixed-point integer shares keep the two
+    /// The incremental and cohort fair-share solvers must retrace the
+    /// reference arm's whole trajectory: fixed-point integer shares (and
+    /// the cohort arm's exact virtual-time clocks) keep all three
     /// solvers' rates equal far below the nanosecond event resolution,
     /// so the full reports (jobs, latencies, energies, event counts)
     /// come out byte-identical.
@@ -1815,17 +1816,25 @@ mod tests {
             .expect("network configured")
             .flow_solver = FlowSolverKind::Reference;
         let reference = Simulation::new(ref_cfg).run();
-        let incremental = Simulation::new(slot_indexed_cfg(CommModel::Flow)).run();
-        assert_eq!(
-            reference.to_json(),
-            incremental.to_json(),
-            "solver arms must agree byte-for-byte"
-        );
-        let (a, b) = (
-            reference.network.as_ref().expect("network report"),
-            incremental.network.as_ref().expect("network report"),
-        );
-        assert_eq!(a.flows, b.flows, "identical completed-flow counts");
+        for kind in [FlowSolverKind::Incremental, FlowSolverKind::Cohort] {
+            let mut cfg = slot_indexed_cfg(CommModel::Flow);
+            cfg.network
+                .as_mut()
+                .expect("network configured")
+                .flow_solver = kind;
+            let other = Simulation::new(cfg).run();
+            assert_eq!(
+                reference.to_json(),
+                other.to_json(),
+                "{} arm must agree with reference byte-for-byte",
+                kind.label()
+            );
+            let (a, b) = (
+                reference.network.as_ref().expect("network report"),
+                other.network.as_ref().expect("network report"),
+            );
+            assert_eq!(a.flows, b.flows, "identical completed-flow counts");
+        }
     }
 
     #[test]

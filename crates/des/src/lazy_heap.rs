@@ -112,6 +112,25 @@ impl<P: PartialOrd + Copy> LazyHeap<P> {
         }
     }
 
+    /// Returns the live entry with the smallest `(priority, item)`
+    /// without consuming it: the item stays in the heap and will be
+    /// returned again by the next [`peek`](Self::peek) or
+    /// [`pop`](Self::pop) unless superseded. Stale entries surfacing at
+    /// the root are garbage-collected on the way (hence `&mut self`).
+    ///
+    /// This is the "what fires next?" query for schedulers that must
+    /// report the next deadline exactly without committing to it — e.g.
+    /// a due-time heap asked for `next_due` between mutations.
+    pub fn peek(&mut self) -> Option<(usize, P)> {
+        loop {
+            let e = *self.entries.first()?;
+            if self.gens[e.item as usize] == e.gen {
+                return Some((e.item as usize, e.pri));
+            }
+            self.pop_root();
+        }
+    }
+
     /// `true` if no live entries remain (stale entries may still occupy
     /// storage until popped or cleared).
     pub fn is_empty(&mut self) -> bool {
@@ -244,6 +263,22 @@ mod tests {
         // No duplicate delivery from any stale path.
         assert_eq!(h.pop(), None);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_is_non_consuming_and_tracks_updates() {
+        let mut h: LazyHeap<u64> = LazyHeap::new();
+        assert_eq!(h.peek(), None);
+        h.update(3, 20);
+        h.update(5, 10);
+        assert_eq!(h.peek(), Some((5, 10)));
+        assert_eq!(h.peek(), Some((5, 10)), "peek must not consume");
+        h.update(5, 30); // head re-prioritized: stale root pruned by peek
+        assert_eq!(h.peek(), Some((3, 20)));
+        h.remove(3);
+        assert_eq!(h.peek(), Some((5, 30)));
+        assert_eq!(h.pop(), Some((5, 30)));
+        assert_eq!(h.peek(), None);
     }
 
     #[test]

@@ -16,9 +16,9 @@ use std::time::Instant;
 
 use holdcsim::config::{ClusterConfig, CommModel, WanConfig};
 use holdcsim::experiments::{
-    net_scalability, net_scalability_config, scalability, NetScalabilityPoint, ScalabilityPoint,
-    NET_SCALABILITY_BYTES, NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO, SCALABILITY_CORES,
-    SCALABILITY_POLICY, SCALABILITY_PRESET, SCALABILITY_RHO,
+    net_incast, net_scalability, net_scalability_config, scalability, NetScalabilityPoint,
+    ScalabilityPoint, NET_SCALABILITY_BYTES, NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO,
+    SCALABILITY_CORES, SCALABILITY_POLICY, SCALABILITY_PRESET, SCALABILITY_RHO,
 };
 use holdcsim::export::JsonObj;
 use holdcsim::sim::Simulation;
@@ -81,9 +81,10 @@ pub struct BenchScaleConfig {
     /// serial reference arm always runs alongside it, interleaved A/B).
     pub fed_workers: usize,
     /// Fair-share solver arms of the flow comm model: the default runs
-    /// the incremental production solver and the reference solver
-    /// interleaved (A/B on the same grid) and asserts they complete the
-    /// same flows.
+    /// the incremental production solver, the reference solver, and the
+    /// cohort-cell solver interleaved (A/B/C on the same grid) and
+    /// asserts they complete the same flows. The same arms drive the
+    /// incast stress grid.
     pub flow_solvers: Vec<FlowSolverKind>,
     /// Re-run the network grid with determinism fingerprinting on and
     /// report the observability overhead per point.
@@ -108,7 +109,11 @@ impl Default for BenchScaleConfig {
             cluster_servers: DEFAULT_CLUSTER_SERVERS,
             cluster_duration: DEFAULT_NET_DURATION,
             fed_workers: DEFAULT_FED_WORKERS,
-            flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            flow_solvers: vec![
+                FlowSolverKind::Incremental,
+                FlowSolverKind::Reference,
+                FlowSolverKind::Cohort,
+            ],
             obs_overhead: false,
             seed: 42,
             repeats: 3,
@@ -456,12 +461,18 @@ pub fn measure(
     let mut obs_best: Vec<ObsOverheadPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
-        let net_pts = net_scalability(
+        let mut net_pts = net_scalability(
             &cfg.net_sizes,
             cfg.net_duration,
             cfg.seed,
             &cfg.flow_solvers,
         );
+        net_pts.extend(net_incast(
+            &cfg.net_sizes,
+            cfg.net_duration,
+            cfg.seed,
+            &cfg.flow_solvers,
+        ));
         let fed_pts = fed_scalability(
             &cfg.clusters,
             cfg.cluster_servers,
@@ -616,7 +627,11 @@ mod tests {
             cluster_servers: 4,
             cluster_duration: SimDuration::from_millis(20),
             fed_workers: 2,
-            flow_solvers: vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            flow_solvers: vec![
+                FlowSolverKind::Incremental,
+                FlowSolverKind::Reference,
+                FlowSolverKind::Cohort,
+            ],
             obs_overhead: true,
             seed: 7,
             repeats: 2,
@@ -631,19 +646,31 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
-        // Two flow solver arms and one packet arm per network size.
-        assert_eq!(net_pts.len(), 3);
+        // Three flow solver arms and one packet arm per network size,
+        // plus the three-arm incast stress grid.
+        assert_eq!(net_pts.len(), 7);
         assert_eq!(
-            (net_pts[0].comm, net_pts[1].comm, net_pts[2].comm),
-            ("flow", "flow-ref", "packet")
+            net_pts.iter().map(|p| p.comm).collect::<Vec<_>>(),
+            [
+                "flow",
+                "flow-ref",
+                "flow-cohort",
+                "packet",
+                "incast",
+                "incast-ref",
+                "incast-cohort"
+            ]
         );
         assert!(net_pts.iter().all(|p| p.events > 0));
-        // The A/B arms completed the very same flows (also asserted
+        // The A/B/C arms completed the very same flows (also asserted
         // inside `net_scalability`, which would have panicked).
         assert_eq!(net_pts[0].flows, net_pts[1].flows);
+        assert_eq!(net_pts[0].flows, net_pts[2].flows);
+        assert_eq!(net_pts[4].flows, net_pts[6].flows);
         assert!(net_pts[0].flows > 0, "transfers really flowed");
+        assert!(net_pts[4].flows > 0, "incast transfers really flowed");
         assert!(
-            net_pts[2].events > net_pts[0].events,
+            net_pts[3].events > net_pts[0].events,
             "packetized transfers generate more events than flows"
         );
         // One flow and one packet federation arm per site count, each an
@@ -659,7 +686,7 @@ mod tests {
         assert_eq!(obs_pts.len(), 2);
         assert_eq!((obs_pts[0].comm, obs_pts[1].comm), ("flow", "packet"));
         assert_eq!(obs_pts[0].events, net_pts[0].events);
-        assert_eq!(obs_pts[1].events, net_pts[2].events);
+        assert_eq!(obs_pts[1].events, net_pts[3].events);
     }
 
     #[test]

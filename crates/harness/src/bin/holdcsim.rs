@@ -41,7 +41,8 @@ const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
 
 USAGE:
     holdcsim run   [--servers N] [--cores C] [--rho R] [--preset P] [--tau T]
-                   [--policy POL] [--duration SECS] [--seed S] [--json] [OBS]
+                   [--policy POL] [--duration SECS] [--seed S] [--json]
+                   [--net [--flow-solver incremental|reference|cohort]] [OBS]
     holdcsim sweep [--policies a,b,c] [--rhos 0.1,0.3] [--taus 0.4,1.6]
                    [--presets web-search,web-serving] [--servers 8,50] [--cores 4]
                    [--replications N] [--duration SECS] [--seed S]
@@ -55,7 +56,7 @@ USAGE:
     holdcsim trace-diff A.json B.json
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
                    [--net-sizes 16,128 | none] [--net-duration SECS]
-                   [--flow-solver incremental|reference|both]
+                   [--flow-solver incremental|reference|cohort|both|all]
                    [--clusters 2,4 | none] [--cluster-servers N]
                    [--cluster-duration SECS] [--fed-workers N]
                    [--seed S] [--repeats N] [--out PATH] [--obs-overhead]
@@ -86,10 +87,12 @@ network-heavy fat-tree grid (high-fan-out DAGs, flow and packet comm
 models) at each --net-sizes size (`none` skips the network arms),
 measures wall-clock events/second (best of --repeats), and writes the
 JSON perf baseline (default ./BENCH_scalability.json). The flow arm
-runs once per selected fair-share solver (`both` by default: the
-incremental production solver as `flow` and the global progressive-
-filling reference as `flow-ref`, interleaved A/B on the same grid with
-identical completed-flow counts asserted). With --obs-overhead it also
+runs once per selected fair-share solver (`all` by default: the
+incremental production solver as `flow`, the global progressive-
+filling reference as `flow-ref`, and the cohort-cell solver as
+`flow-cohort`, interleaved on the same grid with identical
+completed-flow counts asserted); the same arms drive a wide-gather
+incast stress grid (`incast*` points). With --obs-overhead it also
 re-runs the network arms with fingerprinting on and reports the
 observability overhead per point.
 
@@ -162,7 +165,17 @@ fn parse_opts(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Strin
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut allowed = vec![
-        "servers", "cores", "rho", "preset", "tau", "policy", "duration", "seed", "json",
+        "servers",
+        "cores",
+        "rho",
+        "preset",
+        "tau",
+        "policy",
+        "duration",
+        "seed",
+        "json",
+        "net",
+        "flow-solver",
     ];
     allowed.extend_from_slice(&ObsCli::OPTS);
     let opts = parse_opts(args, &allowed)?;
@@ -192,6 +205,26 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(p) => cfg.with_policy(parse_policy(p)?),
         None => cfg,
     };
+    // --net attaches a fat-tree fabric with flow-model comm and swaps
+    // in the fan-out/fan-in communicating workload (the presets are
+    // compute-only, so the fabric would otherwise carry zero flows);
+    // the solver arm is selectable so the CI smoke can A/B all three
+    // on one seed.
+    if opts.contains_key("net") {
+        let solver = match opts.get("flow-solver").map(String::as_str) {
+            None | Some("incremental") => FlowSolverKind::Incremental,
+            Some("reference") => FlowSolverKind::Reference,
+            Some("cohort") => FlowSolverKind::Cohort,
+            Some(other) => return Err(format!("unknown flow solver `{other}`")),
+        };
+        cfg.template = holdcsim::experiments::net_scalability_template();
+        let mut net = NetworkConfig::fat_tree(fat_tree_k_for(servers));
+        net.comm = holdcsim::config::CommModel::Flow;
+        net.flow_solver = solver;
+        cfg.network = Some(net);
+    } else if opts.contains_key("flow-solver") {
+        return Err("--flow-solver requires --net".to_string());
+    }
     cfg.obs = obs.cfg;
     let (report, arts) = Simulation::new(cfg).run_with_obs();
     if opts.contains_key("json") {
@@ -521,7 +554,13 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
         cfg.flow_solvers = match s.as_str() {
             "incremental" => vec![FlowSolverKind::Incremental],
             "reference" => vec![FlowSolverKind::Reference],
+            "cohort" => vec![FlowSolverKind::Cohort],
             "both" => vec![FlowSolverKind::Incremental, FlowSolverKind::Reference],
+            "all" => vec![
+                FlowSolverKind::Incremental,
+                FlowSolverKind::Reference,
+                FlowSolverKind::Cohort,
+            ],
             other => return Err(format!("unknown flow solver `{other}`")),
         };
     }

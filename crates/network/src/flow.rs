@@ -56,16 +56,13 @@ use holdcsim_des::lazy_heap::LazyHeap;
 use holdcsim_des::slot_window::SlotWindow;
 use holdcsim_des::time::{SimDuration, SimTime};
 
+use crate::flow_cohort::CohortNet;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::topology::Topology;
 
-/// Remaining-bits threshold under which a settled flow counts as done
-/// (absorbs float rounding in rate × time arithmetic).
-const DONE_BITS: f64 = 0.5;
-
 /// Sentinel bottleneck index for flows not currently fixed by any link
 /// (just admitted, or fixed at rate 0 by the route-less fallback).
-const NO_BOTTLENECK: u32 = u32::MAX;
+pub(crate) const NO_BOTTLENECK: u32 = u32::MAX;
 
 /// Fair-share fixed-point scale: rates and link budgets are integers in
 /// units of 2⁻²⁰ bits/second. Integer arithmetic keeps capacity
@@ -76,7 +73,42 @@ const NO_BOTTLENECK: u32 = u32::MAX;
 const RATE_FRAC_BITS: u32 = 20;
 
 /// One bit/second in rate units.
-const RATE_UNIT_PER_BPS: u64 = 1 << RATE_FRAC_BITS;
+pub(crate) const RATE_UNIT_PER_BPS: u64 = 1 << RATE_FRAC_BITS;
+
+/// One byte of payload in *progress units*: the exact-integer scale on
+/// which flow progress is tracked. A flow at `r` rate units drains
+/// exactly `r` progress units per nanosecond (rate units × ns), so a
+/// payload of `bytes` spans `bytes · 8 · 2²⁰ · 10⁹` progress units.
+/// Settling is an exact integer multiply-subtract, completion instants
+/// are exact ceiling divisions, and — because integer sums are
+/// associative — *any* schedule of partial settles lands on the same
+/// remainder bitwise. That associativity is what lets the cohort arm
+/// account progress on a shared per-cell virtual clock and still
+/// reproduce the per-flow arms' completion instants exactly.
+pub(crate) const PROGRESS_PER_BYTE: u128 = 8 * RATE_UNIT_PER_BPS as u128 * 1_000_000_000;
+
+/// `bytes` of payload in progress units.
+#[inline]
+pub(crate) fn progress_units(bytes: u64) -> u128 {
+    bytes as u128 * PROGRESS_PER_BYTE
+}
+
+/// Exact progress drained over `dt_ns` at `rate_units`.
+#[inline]
+pub(crate) fn drained_units(rate_units: u64, dt_ns: u64) -> u128 {
+    rate_units as u128 * dt_ns as u128
+}
+
+/// The exact time to drain `remaining` progress units at `rate_units`:
+/// ceil(remaining / rate), saturating at the far end of sim time for
+/// degenerate rates (a sub-bps trickle on a huge payload never fires
+/// within any horizon).
+#[inline]
+pub(crate) fn due_after(remaining: u128, rate_units: u64) -> SimDuration {
+    debug_assert!(rate_units > 0);
+    let ns = remaining.div_ceil(rate_units as u128);
+    SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+}
 
 /// Route links stored inline in a [`FlowState`] (covers every fat-tree
 /// route; longer routes spill to the heap).
@@ -87,7 +119,7 @@ const INLINE_LINKS: usize = 8;
 /// keeping them in the flow's own cache lines avoids a pointer chase per
 /// touch.
 #[derive(Debug, Clone)]
-struct RouteLinks {
+pub(crate) struct RouteLinks {
     inline: [LinkId; INLINE_LINKS],
     len: u8,
     spill: Vec<LinkId>,
@@ -104,7 +136,7 @@ impl Default for RouteLinks {
 }
 
 impl RouteLinks {
-    fn set(&mut self, links: &[LinkId]) {
+    pub(crate) fn set(&mut self, links: &[LinkId]) {
         self.spill.clear();
         if links.len() <= INLINE_LINKS {
             self.inline[..links.len()].copy_from_slice(links);
@@ -116,7 +148,7 @@ impl RouteLinks {
     }
 
     #[inline]
-    fn as_slice(&self) -> &[LinkId] {
+    pub(crate) fn as_slice(&self) -> &[LinkId] {
         if self.spill.is_empty() {
             &self.inline[..self.len as usize]
         } else {
@@ -131,7 +163,9 @@ struct FlowState {
     /// The caller's flow id, echoed back in [`CompletedFlow`].
     id: FlowId,
     links: RouteLinks,
-    remaining_bits: f64,
+    /// Undelivered payload in exact progress units (see
+    /// [`PROGRESS_PER_BYTE`]); `0` ⇔ the flow is done.
+    remaining: u128,
     /// The current fair rate in fixed-point units of 2⁻²⁰ bits/second
     /// (fair shares are computed with exact integer arithmetic).
     rate_units: u64,
@@ -145,14 +179,14 @@ struct FlowState {
     /// The bottleneck the in-progress solve assigned (promoted by the
     /// post-solve diff pass alongside `new_rate`).
     new_bottleneck: u32,
-    /// When `remaining_bits` was last settled. Only flows whose rate
+    /// When `remaining` was last settled. Only flows whose rate
     /// changes are settled; an untouched flow's progress is implied by
-    /// `(last_update, rate_bps)`.
+    /// `(last_update, rate_units)`.
     last_update: SimTime,
     src: NodeId,
     dst: NodeId,
     started: SimTime,
-    total_bits: f64,
+    total: u128,
     /// Position of this flow's entry in the due-heap (`NO_HEAP` when the
     /// flow has no projected completion, i.e. rate 0).
     heap_pos: u32,
@@ -167,25 +201,26 @@ impl FlowState {
         self.rate_units as f64 / RATE_UNIT_PER_BPS as f64
     }
 
-    /// Advances progress to `now` at the current rate.
+    /// Advances progress to `now` at the current rate — an exact
+    /// integer multiply-subtract, so any settle schedule yields the
+    /// same remainder.
     fn settle(&mut self, now: SimTime) {
-        let dt = now
-            .saturating_duration_since(self.last_update)
-            .as_secs_f64();
-        if dt > 0.0 {
-            self.remaining_bits = (self.remaining_bits - self.rate_bps() * dt).max(0.0);
+        let dt = now.saturating_duration_since(self.last_update).as_nanos();
+        if dt > 0 {
+            self.remaining = self
+                .remaining
+                .saturating_sub(drained_units(self.rate_units, dt));
         }
         self.last_update = now;
     }
 
-    /// The instant this flow's completion event should fire: projected
-    /// completion plus a one-nanosecond guard so the event lands at or
-    /// after the true completion.
+    /// The exact instant this flow's completion event should fire: the
+    /// ceiling of remaining/rate lands the event on the first whole
+    /// nanosecond at which the payload has fully drained.
     fn due(&self, now: SimTime) -> SimTime {
         debug_assert!(self.rate_units > 0);
         debug_assert_eq!(self.last_update, now);
-        now + SimDuration::from_secs_f64(self.remaining_bits / self.rate_bps())
-            + SimDuration::from_nanos(1)
+        now.saturating_add(due_after(self.remaining, self.rate_units))
     }
 }
 
@@ -212,9 +247,17 @@ pub enum FlowSolverKind {
     /// every change (the reference arm).
     Reference,
     /// Bottleneck-aware dirty-set re-solve with heap-driven bottleneck
-    /// selection (the production arm).
+    /// selection (the per-flow production arm).
     #[default]
     Incremental,
+    /// Cohort-level rate cells with per-cell virtual-time clocks: every
+    /// bottleneck cohort (the flows fixed at one link's fair share) is
+    /// one cell, so a rate-level shift is O(1) per affected *link*
+    /// instead of per flow, and completion instants are read off
+    /// accumulated virtual time instead of being retimed per flow. The
+    /// fastest arm on overloaded/incast fabrics; byte-identical
+    /// trajectories to the other two arms.
+    Cohort,
 }
 
 impl FlowSolverKind {
@@ -223,6 +266,7 @@ impl FlowSolverKind {
         match self {
             FlowSolverKind::Reference => "reference",
             FlowSolverKind::Incremental => "incremental",
+            FlowSolverKind::Cohort => "cohort",
         }
     }
 }
@@ -654,34 +698,18 @@ impl FlowSolver for IncrementalSolver {
     }
 }
 
-/// Max-min fair flow-level network model with incremental re-solve and
-/// delta-driven completion retiming.
+/// The per-flow backend shared by the [`Reference`] and [`Incremental`]
+/// arms: every flow carries its own rate, progress remainder, and
+/// position-indexed due-heap entry; a [`FlowSolver`] recomputes rates
+/// and the diff pass settles/retimes exactly the flows whose rate
+/// changed. (The [`Cohort`] arm replaces this whole engine with
+/// cell-level accounting — see the `flow_cohort` module.)
 ///
-/// # Examples
-///
-/// ```
-/// use holdcsim_network::flow::FlowNet;
-/// use holdcsim_network::ids::FlowId;
-/// use holdcsim_network::routing::Router;
-/// use holdcsim_network::topologies::{star, LinkSpec};
-/// use holdcsim_des::time::SimTime;
-///
-/// let built = star(4, LinkSpec::gigabit());
-/// let mut router = Router::new();
-/// let mut net = FlowNet::new(&built.topology);
-/// let route = router
-///     .route(&built.topology, built.hosts[0], built.hosts[1], 0)
-///     .unwrap();
-/// let t0 = SimTime::ZERO;
-/// net.add_flow(t0, FlowId(1), built.hosts[0], built.hosts[1], &route.links, 125_000_000);
-/// // Alone on 1 GbE: 1 Gbit = 125 MB takes 1 s (+1 ns scheduling guard).
-/// let due = net.next_due().unwrap();
-/// assert!((due.as_secs_f64() - 1.0).abs() < 1e-6);
-/// net.advance_due(due);
-/// assert_eq!(net.take_completed().len(), 1);
-/// ```
+/// [`Reference`]: FlowSolverKind::Reference
+/// [`Incremental`]: FlowSolverKind::Incremental
+/// [`Cohort`]: FlowSolverKind::Cohort
 #[derive(Debug)]
-pub struct FlowNet {
+pub(crate) struct PerFlowNet {
     capacity_bps: Vec<u64>,
     /// Active flows, keyed by admission order (internal keys — callers
     /// address flows by their [`FlowId`], carried inside the state).
@@ -721,31 +749,30 @@ pub struct FlowNet {
     due_heap: Vec<(SimTime, u64)>,
 }
 
-impl FlowNet {
-    /// Creates a flow network over `topo`'s links with the default
-    /// (incremental) solver.
-    pub fn new(topo: &Topology) -> Self {
-        Self::with_solver(topo, FlowSolverKind::default())
-    }
+/// `topo`'s link capacities in rate units (2⁻²⁰ bps).
+pub(crate) fn link_capacities(topo: &Topology) -> Vec<u64> {
+    topo.links()
+        .iter()
+        .map(|l| {
+            l.rate_bps
+                .checked_mul(RATE_UNIT_PER_BPS)
+                .expect("link rate fits the fixed-point range (< ~17 Tb/s)")
+        })
+        .collect()
+}
 
-    /// Creates a flow network over `topo`'s links with the given solver
-    /// arm.
-    pub fn with_solver(topo: &Topology, kind: FlowSolverKind) -> Self {
-        let capacity_bps = topo
-            .links()
-            .iter()
-            .map(|l| {
-                l.rate_bps
-                    .checked_mul(RATE_UNIT_PER_BPS)
-                    .expect("link rate fits the fixed-point range (< ~17 Tb/s)")
-            })
-            .collect::<Vec<_>>();
+impl PerFlowNet {
+    /// Creates a per-flow network over `topo`'s links with the given
+    /// (per-flow) solver arm.
+    fn with_solver(topo: &Topology, kind: FlowSolverKind) -> Self {
+        let capacity_bps = link_capacities(topo);
         let n = capacity_bps.len();
         let solver: Box<dyn FlowSolver> = match kind {
             FlowSolverKind::Reference => Box::new(ReferenceSolver::new(n)),
             FlowSolverKind::Incremental => Box::new(IncrementalSolver::new(n)),
+            FlowSolverKind::Cohort => unreachable!("cohort uses the cell backend"),
         };
-        FlowNet {
+        PerFlowNet {
             capacity_bps,
             flows: SlotWindow::new(),
             flows_per_link: vec![Vec::new(); n],
@@ -817,7 +844,7 @@ impl FlowNet {
         let mut st = self.pool.pop().unwrap_or_else(|| FlowState {
             id,
             links: RouteLinks::default(),
-            remaining_bits: 0.0,
+            remaining: 0,
             rate_units: 0,
             new_rate: 0,
             bottleneck: NO_BOTTLENECK,
@@ -826,13 +853,13 @@ impl FlowNet {
             src,
             dst,
             started: now,
-            total_bits: 0.0,
+            total: 0,
             heap_pos: NO_HEAP,
             fixed: true,
         });
         st.id = id;
         st.links.set(links);
-        st.remaining_bits = bytes as f64 * 8.0;
+        st.remaining = progress_units(bytes);
         st.rate_units = 0;
         st.new_rate = 0;
         st.bottleneck = NO_BOTTLENECK;
@@ -840,7 +867,7 @@ impl FlowNet {
         st.src = src;
         st.dst = dst;
         st.started = now;
-        st.total_bits = bytes as f64 * 8.0;
+        st.total = st.remaining;
         debug_assert_eq!(st.heap_pos, NO_HEAP, "recycled state left in heap");
         st.fixed = true;
         st.new_bottleneck = NO_BOTTLENECK;
@@ -999,13 +1026,14 @@ impl FlowNet {
             }
             let f = self.flows.get_mut(key).expect("heap entry is live");
             f.settle(now);
-            if f.remaining_bits > DONE_BITS {
-                // Numerical drift between the projected and settled
-                // progress: push the entry out to the corrected
-                // projection (strictly later than `now`, so the loop
-                // advances).
+            if f.remaining > 0 {
+                // Unreachable under exact progress accounting (an
+                // entry's due *is* the first instant the payload has
+                // drained); kept as a defensive re-push so a projection
+                // bug degrades to a late completion, not a stuck loop.
+                debug_assert!(false, "flow past due with progress left");
                 let corrected = f.due(now);
-                let FlowNet {
+                let PerFlowNet {
                     flows, due_heap, ..
                 } = self;
                 Self::due_update(flows, due_heap, key, corrected);
@@ -1037,7 +1065,7 @@ impl FlowNet {
     /// links and optionally reporting it completed.
     fn unlink(&mut self, flow: u64, completed: bool) {
         {
-            let FlowNet {
+            let PerFlowNet {
                 flows, due_heap, ..
             } = self;
             Self::due_remove(flows, due_heap, flow);
@@ -1070,7 +1098,7 @@ impl FlowNet {
             touched.clear();
             done.clear();
             {
-                let FlowNet {
+                let PerFlowNet {
                     capacity_bps,
                     flows,
                     flows_per_link,
@@ -1103,7 +1131,7 @@ impl FlowNet {
             // update order, and the completion batch is sorted below —
             // every observable is canonical without sorting `touched`.
             {
-                let FlowNet {
+                let PerFlowNet {
                     flows,
                     reserved_units,
                     due_heap,
@@ -1119,7 +1147,7 @@ impl FlowNet {
                         continue;
                     }
                     f.settle(now);
-                    if f.remaining_bits <= DONE_BITS {
+                    if f.remaining == 0 {
                         // Already finished under its old rate: complete
                         // it now instead of retiming (its own event may
                         // be stale).
@@ -1178,8 +1206,7 @@ impl FlowNet {
         }
         Some(
             f.last_update
-                + SimDuration::from_secs_f64(f.remaining_bits / f.rate_bps())
-                + SimDuration::from_nanos(1),
+                .saturating_add(due_after(f.remaining, f.rate_units)),
         )
     }
 
@@ -1211,9 +1238,9 @@ impl FlowNet {
     /// active (a linear scan — an observer, not the event hot path).
     pub fn flow_progress(&self, id: FlowId, now: SimTime) -> Option<f64> {
         self.find(id).map(|f| {
-            let dt = now.saturating_duration_since(f.last_update).as_secs_f64();
-            let rem = (f.remaining_bits - f.rate_bps() * dt).max(0.0);
-            1.0 - (rem / f.total_bits).clamp(0.0, 1.0)
+            let dt = now.saturating_duration_since(f.last_update).as_nanos();
+            let rem = f.remaining.saturating_sub(drained_units(f.rate_units, dt));
+            1.0 - (rem as f64 / f.total as f64).clamp(0.0, 1.0)
         })
     }
 
@@ -1261,6 +1288,222 @@ impl FlowNet {
     }
 }
 
+/// Max-min fair flow-level network model with incremental re-solve and
+/// delta-driven completion retiming, behind one of three solver arms
+/// (see [`FlowSolverKind`]): the per-flow `reference` and `incremental`
+/// oracle arms, and the cohort-cell `cohort` arm for overloaded
+/// fabrics. All three retrace byte-identical trajectories on the same
+/// admission sequence.
+///
+/// # Examples
+///
+/// ```
+/// use holdcsim_network::flow::FlowNet;
+/// use holdcsim_network::ids::FlowId;
+/// use holdcsim_network::routing::Router;
+/// use holdcsim_network::topologies::{star, LinkSpec};
+/// use holdcsim_des::time::SimTime;
+///
+/// let built = star(4, LinkSpec::gigabit());
+/// let mut router = Router::new();
+/// let mut net = FlowNet::new(&built.topology);
+/// let route = router
+///     .route(&built.topology, built.hosts[0], built.hosts[1], 0)
+///     .unwrap();
+/// let t0 = SimTime::ZERO;
+/// net.add_flow(t0, FlowId(1), built.hosts[0], built.hosts[1], &route.links, 125_000_000);
+/// // Alone on 1 GbE: 1 Gbit = 125 MB takes exactly 1 s.
+/// let due = net.next_due().unwrap();
+/// assert!((due.as_secs_f64() - 1.0).abs() < 1e-6);
+/// net.advance_due(due);
+/// assert_eq!(net.take_completed().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FlowNet {
+    inner: NetImpl,
+}
+
+/// The backend selected by [`FlowNet::with_solver`]: the per-flow
+/// engine (reference/incremental solvers) or the cohort-cell engine.
+// One instance lives per simulation (inside NetState), so the variant
+// size gap costs nothing; boxing would add a pointer chase to every
+// solver call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum NetImpl {
+    PerFlow(PerFlowNet),
+    Cohort(CohortNet),
+}
+
+/// Forwards a method through both backends.
+macro_rules! forward {
+    ($self:ident, $net:ident => $body:expr) => {
+        match &$self.inner {
+            NetImpl::PerFlow($net) => $body,
+            NetImpl::Cohort($net) => $body,
+        }
+    };
+    (mut $self:ident, $net:ident => $body:expr) => {
+        match &mut $self.inner {
+            NetImpl::PerFlow($net) => $body,
+            NetImpl::Cohort($net) => $body,
+        }
+    };
+}
+
+impl FlowNet {
+    /// Creates a flow network over `topo`'s links with the default
+    /// (incremental) solver.
+    pub fn new(topo: &Topology) -> Self {
+        Self::with_solver(topo, FlowSolverKind::default())
+    }
+
+    /// Creates a flow network over `topo`'s links with the given solver
+    /// arm.
+    pub fn with_solver(topo: &Topology, kind: FlowSolverKind) -> Self {
+        let inner = match kind {
+            FlowSolverKind::Cohort => NetImpl::Cohort(CohortNet::new(topo)),
+            _ => NetImpl::PerFlow(PerFlowNet::with_solver(topo, kind)),
+        };
+        FlowNet { inner }
+    }
+
+    /// Admits a flow of `bytes` over `links` at `now`, re-solves the
+    /// affected component, and returns the flow's key. Reschedule the
+    /// completion check if [`next_due`](Self::next_due) moved earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow id is already active, the route is empty (same-
+    /// host transfers never reach the network), or `bytes == 0`.
+    pub fn add_flow(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        links: &[LinkId],
+        bytes: u64,
+    ) -> u64 {
+        forward!(mut self, n => n.add_flow(now, id, src, dst, links, bytes))
+    }
+
+    /// Like [`add_flow`](Self::add_flow) but defers the re-solve,
+    /// accumulating seeds until [`flush`](Self::flush) (or any reading
+    /// call that flushes) runs. Admissions that land in the same event —
+    /// a task's inbound transfer fan-in — share one re-solve this way;
+    /// with max-min fairness the final rates only depend on the final
+    /// flow set, so batching at one instant is exact.
+    ///
+    /// # Panics
+    ///
+    /// As [`add_flow`](Self::add_flow); additionally (debug) if a batch
+    /// spans two distinct sim times without an intervening flush.
+    pub fn add_flow_batched(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        links: &[LinkId],
+        bytes: u64,
+    ) -> u64 {
+        forward!(mut self, n => n.add_flow_batched(now, id, src, dst, links, bytes))
+    }
+
+    /// Re-solves any batched admissions. A no-op when none are pending.
+    pub fn flush(&mut self, now: SimTime) {
+        forward!(mut self, n => n.flush(now))
+    }
+
+    /// The earliest projected completion among active flows (exact in
+    /// both backends — no stale entries are ever reported). Arm one
+    /// calendar event at this instant. Batched admissions must be
+    /// flushed first.
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        forward!(mut self, n => n.next_due())
+    }
+
+    /// Completes every flow whose projection is due at or before `now`
+    /// (they land in [`take_completed`](Self::take_completed) in
+    /// deterministic `(due, key)` order), then re-solves the freed
+    /// component(s) in one batch, retiming neighbors whose rate changed.
+    /// A no-op when nothing is due.
+    pub fn advance_due(&mut self, now: SimTime) {
+        forward!(mut self, n => n.advance_due(now))
+    }
+
+    /// Cancels a live flow (no completion is reported), re-solving the
+    /// freed component. Returns `false` if the key is not live.
+    pub fn remove_flow(&mut self, now: SimTime, flow: u64) -> bool {
+        forward!(mut self, n => n.remove_flow(now, flow))
+    }
+
+    /// Drains the flows that have completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<CompletedFlow> {
+        forward!(mut self, n => n.take_completed())
+    }
+
+    /// Drains the completed flows without surrendering the buffer
+    /// (allocation-free on the driving simulation's hot path).
+    pub fn drain_completed(&mut self) -> std::vec::Drain<'_, CompletedFlow> {
+        forward!(mut self, n => n.drain_completed())
+    }
+
+    /// The projected completion of a live flow with a positive rate (an
+    /// observer for tests and tools — the driving simulation arms a
+    /// single event at [`next_due`](Self::next_due) instead).
+    pub fn completion_of(&self, flow: u64) -> Option<SimTime> {
+        forward!(self, n => n.completion_of(flow))
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        forward!(self, n => n.active_flows())
+    }
+
+    /// Total flows ever admitted.
+    pub fn total_admitted(&self) -> u64 {
+        forward!(self, n => n.total_admitted())
+    }
+
+    /// Size of the most recent re-solve's dirty set, in flows (the flows
+    /// whose rate the solver recomputed) — 0 before any solve. A
+    /// locality observable sampled by the metrics probes.
+    pub fn last_solve_touched(&self) -> usize {
+        forward!(self, n => n.last_solve_touched())
+    }
+
+    /// The current fair rate of `id` in bits/second, if active (a linear
+    /// scan — an observer for tests and reports, not the event hot path).
+    pub fn flow_rate_bps(&self, id: FlowId) -> Option<f64> {
+        forward!(self, n => n.flow_rate_bps(id))
+    }
+
+    /// Fraction of `id`'s bytes delivered by `now` (in `[0, 1]`), if
+    /// active (a linear scan — an observer, not the event hot path).
+    pub fn flow_progress(&self, id: FlowId, now: SimTime) -> Option<f64> {
+        forward!(self, n => n.flow_progress(id, now))
+    }
+
+    /// Fraction of `link`'s capacity currently allocated.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        forward!(self, n => n.link_utilization(link))
+    }
+
+    /// Number of active flows crossing `link`.
+    pub fn flows_on_link(&self, link: LinkId) -> usize {
+        forward!(self, n => n.flows_on_link(link))
+    }
+
+    /// Test-only state dump: `(id, rate, bottleneck link, route)` per
+    /// live flow, sorted by id.
+    #[cfg(test)]
+    pub(crate) fn dump(&self) -> Vec<(u64, u64, u32, Vec<u32>)> {
+        forward!(self, n => n.dump())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1294,8 +1537,12 @@ mod tests {
         Some(due)
     }
 
-    fn solver_kinds() -> [FlowSolverKind; 2] {
-        [FlowSolverKind::Reference, FlowSolverKind::Incremental]
+    fn solver_kinds() -> [FlowSolverKind; 3] {
+        [
+            FlowSolverKind::Reference,
+            FlowSolverKind::Incremental,
+            FlowSolverKind::Cohort,
+        ]
     }
 
     #[test]
@@ -1606,9 +1853,11 @@ mod tests {
             let topo = built.topology;
             let hosts = built.hosts.clone();
             let mut router = Router::new();
-            let mut a = FlowNet::with_solver(&topo, FlowSolverKind::Reference);
-            let mut b = FlowNet::with_solver(&topo, FlowSolverKind::Incremental);
-            let mut live: Vec<(u64, u64, FlowId)> = Vec::new(); // (key_a, key_b, id)
+            let mut nets: Vec<FlowNet> = solver_kinds()
+                .iter()
+                .map(|&k| FlowNet::with_solver(&topo, k))
+                .collect();
+            let mut live: Vec<(Vec<u64>, FlowId)> = Vec::new(); // (key per net, id)
             let mut next_id = 0u64;
             let mut now = SimTime::ZERO;
             for step in 0..400u64 {
@@ -1622,49 +1871,63 @@ mod tests {
                     let bytes = 1_000 + rng.below(5_000_000);
                     let id = FlowId(next_id);
                     next_id += 1;
-                    let ka = a.add_flow(now, id, hosts[i], hosts[j], &links, bytes);
-                    let kb = b.add_flow(now, id, hosts[i], hosts[j], &links, bytes);
-                    live.push((ka, kb, id));
+                    let keys = nets
+                        .iter_mut()
+                        .map(|n| n.add_flow(now, id, hosts[i], hosts[j], &links, bytes))
+                        .collect();
+                    live.push((keys, id));
                 } else if op < 8 {
                     // Cancel a random live flow.
                     let i = rng.below(live.len() as u64) as usize;
-                    let (ka, kb, _) = live.swap_remove(i);
-                    assert!(a.remove_flow(now, ka));
-                    assert!(b.remove_flow(now, kb));
+                    let (keys, _) = live.swap_remove(i);
+                    for (n, &k) in nets.iter_mut().zip(&keys) {
+                        assert!(n.remove_flow(now, k));
+                    }
                 } else {
-                    // Run both nets to their next completion, if any
+                    // Run every net to its next completion, if any
                     // (each at its own due instant; the heads agree to
                     // well below the nanosecond event resolution).
-                    let (da, db) = (a.next_due(), b.next_due());
-                    assert_eq!(da.is_some(), db.is_some(), "trial {trial} step {step}");
-                    if let (Some(da), Some(db)) = (da, db) {
-                        let gap = da.max(db).saturating_duration_since(da.min(db));
+                    let dues: Vec<_> = nets.iter_mut().map(|n| n.next_due()).collect();
+                    for d in &dues[1..] {
+                        assert_eq!(dues[0].is_some(), d.is_some(), "trial {trial} step {step}");
+                    }
+                    if dues[0].is_some() {
+                        let dues: Vec<SimTime> = dues.into_iter().flatten().collect();
+                        let (lo, hi) = (*dues.iter().min().unwrap(), *dues.iter().max().unwrap());
+                        let gap = hi.saturating_duration_since(lo);
                         assert!(
                             gap <= SimDuration::from_nanos(1),
-                            "trial {trial} step {step}: due heads {da} vs {db}"
+                            "trial {trial} step {step}: due heads {lo} vs {hi}"
                         );
-                        now = now.max(da).max(db);
-                        a.advance_due(da);
-                        b.advance_due(db);
+                        now = now.max(hi);
+                        for (n, d) in nets.iter_mut().zip(dues) {
+                            n.advance_due(d);
+                        }
                     }
                 }
                 // Any op can complete flows (a rate change may settle a
                 // flow to zero remaining): reconcile after every step.
-                let done_a = a.take_completed();
-                let done_b = b.take_completed();
-                assert_eq!(done_a, done_b, "trial {trial} step {step}");
-                live.retain(|(_, _, id)| !done_a.iter().any(|c| c.id == *id));
-                // Every live flow's rate must match within tolerance.
-                for &(_, _, id) in &live {
-                    let (ra, rb) = (a.flow_rate_bps(id).unwrap(), b.flow_rate_bps(id).unwrap());
-                    assert!(
-                        rates_close(ra, rb),
-                        "trial {trial} step {step} flow {id}: {ra} vs {rb}\nref: {:?}\ninc: {:?}",
-                        a.dump(),
-                        b.dump()
-                    );
+                let done: Vec<_> = nets.iter_mut().map(|n| n.take_completed()).collect();
+                for d in &done[1..] {
+                    assert_eq!(&done[0], d, "trial {trial} step {step}");
                 }
-                assert_eq!(a.active_flows(), b.active_flows());
+                live.retain(|(_, id)| !done[0].iter().any(|c| c.id == *id));
+                // Every live flow's rate must match within tolerance.
+                for &(_, id) in &live {
+                    let ra = nets[0].flow_rate_bps(id).unwrap();
+                    for n in &nets[1..] {
+                        let rb = n.flow_rate_bps(id).unwrap();
+                        assert!(
+                            rates_close(ra, rb),
+                            "trial {trial} step {step} flow {id}: {ra} vs {rb}\nref: {:?}\nother: {:?}",
+                            nets[0].dump(),
+                            n.dump()
+                        );
+                    }
+                }
+                for n in &nets[1..] {
+                    assert_eq!(nets[0].active_flows(), n.active_flows());
+                }
             }
         }
     }
@@ -1678,8 +1941,10 @@ mod tests {
         let topo = built.topology;
         let h = built.hosts.clone();
         let mut router = Router::new();
-        let mut a = FlowNet::with_solver(&topo, FlowSolverKind::Reference);
-        let mut b = FlowNet::with_solver(&topo, FlowSolverKind::Incremental);
+        let mut nets: Vec<FlowNet> = solver_kinds()
+            .iter()
+            .map(|&k| FlowNet::with_solver(&topo, k))
+            .collect();
         let mut id = 0u64;
         for i in 0..6 {
             for j in 0..6 {
@@ -1687,18 +1952,22 @@ mod tests {
                     continue;
                 }
                 let links = route_links(&topo, &mut router, h[i], h[j], id);
-                a.add_flow(SimTime::ZERO, FlowId(id), h[i], h[j], &links, 3_000_000);
-                b.add_flow(SimTime::ZERO, FlowId(id), h[i], h[j], &links, 3_000_000);
+                for n in nets.iter_mut() {
+                    n.add_flow(SimTime::ZERO, FlowId(id), h[i], h[j], &links, 3_000_000);
+                }
                 id += 1;
             }
         }
         for k in 0..id {
-            let (ra, rb) = (a.flow_rate_bps(FlowId(k)), b.flow_rate_bps(FlowId(k)));
-            assert_eq!(
-                ra.map(f64::to_bits),
-                rb.map(f64::to_bits),
-                "flow {k}: {ra:?} vs {rb:?}"
-            );
+            let ra = nets[0].flow_rate_bps(FlowId(k));
+            for n in &nets[1..] {
+                let rb = n.flow_rate_bps(FlowId(k));
+                assert_eq!(
+                    ra.map(f64::to_bits),
+                    rb.map(f64::to_bits),
+                    "flow {k}: {ra:?} vs {rb:?}"
+                );
+            }
         }
     }
 }

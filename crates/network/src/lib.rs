@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod flow;
+mod flow_cohort;
 pub mod ids;
 pub mod packet;
 pub mod routing;

@@ -283,6 +283,134 @@ fn incremental_flow_solver_matches_reference_on_fat_trees() {
     }
 }
 
+/// One randomized batched-churn pass: admissions arrive in bursts via
+/// `add_flow_batched` + `flush` (half biased into an incast on host 0),
+/// interleaved with cancellations and completion advances. Returns the
+/// full rate trajectory and every completion with the instant it was
+/// harvested at (the due for advances, the op time otherwise).
+/// `(step, flow id, rate bps)` samples plus `(flow, harvest instant)`
+/// completions from one churn pass.
+type ChurnTrace = (Vec<(u64, u64, f64)>, Vec<(FlowId, SimTime)>);
+
+fn drive_batched_churn(net: &mut FlowNet, trial: u64) -> ChurnTrace {
+    let built = fat_tree(4, LinkSpec::gigabit());
+    let topo = built.topology;
+    let hosts = built.hosts;
+    let mut router = Router::new();
+    let mut rng = SimRng::seed_from(0xBA7C4).substream(trial);
+    let mut live: Vec<(u64, FlowId)> = Vec::new();
+    let mut rates: Vec<(u64, u64, f64)> = Vec::new();
+    let mut done: Vec<(FlowId, SimTime)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut now = SimTime::ZERO;
+    for step in 0..200u64 {
+        now += SimDuration::from_micros(1 + rng.below(40));
+        let mut instant = now;
+        match rng.below(10) {
+            0..=4 => {
+                // An admission wave: one flush-time solve covers it all.
+                let burst = 1 + rng.below(6);
+                for _ in 0..burst {
+                    let i = 1 + rng.below(15) as usize;
+                    let j = if rng.below(2) == 0 {
+                        0 // incast: converge on host 0's downlink
+                    } else {
+                        (i + 1 + rng.below(14) as usize) % 16
+                    };
+                    if i == j {
+                        continue;
+                    }
+                    let links = router.route(&topo, hosts[i], hosts[j], next_id).unwrap();
+                    let id = FlowId(next_id);
+                    next_id += 1;
+                    let key = net.add_flow_batched(
+                        now,
+                        id,
+                        hosts[i],
+                        hosts[j],
+                        &links.links,
+                        1 + rng.below(2_000_000),
+                    );
+                    live.push((key, id));
+                }
+                net.flush(now);
+            }
+            5..=6 if !live.is_empty() => {
+                let i = rng.below(live.len() as u64) as usize;
+                let (key, _) = live.swap_remove(i);
+                assert!(net.remove_flow(now, key));
+            }
+            _ => {
+                if let Some(due) = net.next_due() {
+                    now = now.max(due);
+                    instant = due;
+                    net.advance_due(due);
+                }
+            }
+        }
+        let batch: Vec<(FlowId, SimTime)> = net
+            .take_completed()
+            .into_iter()
+            .map(|c| (c.id, instant))
+            .collect();
+        live.retain(|(_, id)| !batch.iter().any(|(d, _)| d == id));
+        done.extend(batch);
+        for &(_, id) in &live {
+            rates.push((
+                step,
+                id.0,
+                net.flow_rate_bps(id).expect("live flow is rated"),
+            ));
+        }
+    }
+    (rates, done)
+}
+
+/// Tentpole equivalence property: arbitrary batched-admission /
+/// cancellation / completion sequences produce identical rate
+/// trajectories and completion instants across all three solver arms.
+/// Rates match to fixed-point quanta; completion instants to the 1 ns
+/// ceil-guard the due computation carries.
+#[test]
+fn flow_solver_arms_agree_on_batched_incast_churn() {
+    let kinds = [
+        FlowSolverKind::Reference,
+        FlowSolverKind::Incremental,
+        FlowSolverKind::Cohort,
+    ];
+    for trial in 0..4u64 {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let runs: Vec<ChurnTrace> = kinds
+            .iter()
+            .map(|&kind| {
+                let mut net = FlowNet::with_solver(&built.topology, kind);
+                drive_batched_churn(&mut net, trial)
+            })
+            .collect();
+        let (ref_rates, ref_done) = &runs[0];
+        let quantum = 1.0 / (1u64 << 20) as f64;
+        for (run, kind) in runs[1..].iter().zip(&kinds[1..]) {
+            let (rates, done) = run;
+            assert_eq!(ref_rates.len(), rates.len(), "trial {trial} vs {kind:?}");
+            for (&(s, id, ra), &(_, _, rb)) in ref_rates.iter().zip(rates) {
+                assert!(
+                    (ra - rb).abs() <= (1e-9 * ra.max(rb)).max(4.0 * quantum),
+                    "trial {trial} step {s} flow {id}: {ra} vs {rb} ({kind:?})"
+                );
+            }
+            assert_eq!(ref_done.len(), done.len(), "trial {trial} vs {kind:?}");
+            for (&(ida, ta), &(idb, tb)) in ref_done.iter().zip(done) {
+                assert_eq!(ida, idb, "trial {trial}: completion order ({kind:?})");
+                let gap = ta.max(tb).saturating_duration_since(ta.min(tb));
+                assert!(
+                    gap <= SimDuration::from_nanos(1),
+                    "trial {trial} flow {ida}: completion {ta} vs {tb} ({kind:?})"
+                );
+            }
+        }
+    }
+}
+
 /// Satellite check: flow completions under the incremental solver are
 /// bitwise deterministic — two runs of the same fixed-seed churn produce
 /// identical completion sequences, rates, and instants.
