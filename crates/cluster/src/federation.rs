@@ -29,6 +29,7 @@ use holdcsim::report::SimReport;
 use holdcsim::sim::{finish_report, Datacenter, DcEvent, FedPort, Simulation};
 use holdcsim_des::engine::Engine;
 use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_faults::{FaultEvent, FaultKind};
 use holdcsim_obs::{MetricsData, ObsArtifacts, Observer, ProbePanel};
 
 use crate::pool::run_windows;
@@ -74,7 +75,20 @@ impl Federation {
         assert!(cfg.job_bytes > 0, "forwarded jobs carry payload");
         let site_cfgs = cfg.site_configs();
         let n = site_cfgs.len();
-        let wan = Wan::build(&cfg.wan, n);
+        let mut wan = Wan::build(&cfg.wan, n);
+        let wan_faults: Vec<FaultEvent> = cfg
+            .faults
+            .as_ref()
+            .map(|p| {
+                p.wan_events()
+                    .into_iter()
+                    .filter(|e| e.at <= cfg.base.duration)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !wan_faults.is_empty() {
+            wan.arm_faults();
+        }
         let horizon = SimTime::ZERO + cfg.base.duration;
         let wan_panel =
             cfg.base.obs.metrics.map(|mc| {
@@ -103,6 +117,8 @@ impl Federation {
                 wan,
                 wan_panel,
                 lookahead,
+                wan_faults,
+                wan_fault_idx: 0,
                 loads: vec![0.0; n],
                 caps,
                 job_bytes: cfg.job_bytes,
@@ -188,15 +204,117 @@ impl Federation {
             sites.push(finish_report(dc, horizon, ev, wall_s));
             obs.push(observer.finish(horizon));
         }
+        let wan = coord.wan.report(horizon);
+        let resilience = fed_resilience(&sites, &wan);
         FederationReport {
             sites,
             obs,
             forwarded,
-            wan: coord.wan.report(),
+            wan,
             wan_metrics: coord.wan_panel.map(|p| p.finish(horizon)),
+            resilience,
             events_processed: events,
             wall_s,
         }
+    }
+}
+
+/// Aggregates the per-site resilience sections plus the WAN fault stats
+/// into the federation-wide section — `None` when no site and no WAN
+/// fault schedule was armed, keeping fault-free report bytes unchanged.
+fn fed_resilience(sites: &[SimReport], wan: &WanReport) -> Option<FederationResilience> {
+    if sites.iter().all(|s| s.resilience.is_none()) && wan.faults.is_none() {
+        return None;
+    }
+    // Jobs mid-WAN at the horizon belong to no site's table yet; they
+    // count as unfinished here so the federation-wide ledger closes.
+    let mut r = FederationResilience {
+        faults_injected: 0,
+        server_downtime_s: 0.0,
+        availability: 1.0,
+        tasks_killed: 0,
+        jobs_retried: 0,
+        retries: 0,
+        jobs_abandoned: 0,
+        transfer_retries: 0,
+        jobs_unfinished: sites
+            .iter()
+            .map(|s| s.jobs_submitted - s.jobs_completed)
+            .sum::<u64>()
+            + (wan.transfers - wan.delivered),
+        wan_restarts: wan.faults.map_or(0, |f| f.restarts),
+        wan_parked: wan.faults.map_or(0, |f| f.parked),
+        wan_link_downtime_s: wan.faults.map_or(0.0, |f| f.link_downtime_s),
+    };
+    // Per-site availability is `1 − downtime / (servers × horizon)`; the
+    // rollup keeps the same server-second units so a one-site federation
+    // matches its site's number exactly.
+    let mut server_seconds = 0.0;
+    for s in sites {
+        server_seconds += s.servers.len() as f64 * s.duration.as_secs_f64();
+        let Some(sr) = &s.resilience else { continue };
+        r.faults_injected += sr.faults_injected;
+        r.server_downtime_s += sr.server_downtime_s;
+        r.tasks_killed += sr.tasks_killed;
+        r.jobs_retried += sr.jobs_retried;
+        r.retries += sr.retries;
+        r.jobs_abandoned += sr.jobs_abandoned;
+        r.transfer_retries += sr.transfer_retries;
+    }
+    if server_seconds > 0.0 {
+        r.availability = 1.0 - r.server_downtime_s / server_seconds;
+    }
+    Some(r)
+}
+
+/// The federation-wide resilience rollup: per-site sections summed, the
+/// availability re-weighted by each site's server-seconds, plus the
+/// coordinator-level WAN fault outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FederationResilience {
+    /// Applied (non-recovery) fault events across all sites.
+    pub faults_injected: u64,
+    /// Summed per-server down seconds across all sites.
+    pub server_downtime_s: f64,
+    /// `1 − downtime / total server-seconds` over the whole federation.
+    pub availability: f64,
+    /// Tasks killed mid-run by crashes across all sites.
+    pub tasks_killed: u64,
+    /// Distinct jobs that retried at least once.
+    pub jobs_retried: u64,
+    /// Total task retry dispatches.
+    pub retries: u64,
+    /// Jobs abandoned with the retry budget exhausted.
+    pub jobs_abandoned: u64,
+    /// Intra-site transfers severed by fabric faults.
+    pub transfer_retries: u64,
+    /// Jobs not completed by the horizon (in-site plus mid-WAN).
+    pub jobs_unfinished: u64,
+    /// WAN transfers restarted from source by link failures.
+    pub wan_restarts: u64,
+    /// WAN transfers that waited at the ingress without a path.
+    pub wan_parked: u64,
+    /// Summed WAN link down seconds.
+    pub wan_link_downtime_s: f64,
+}
+
+impl FederationResilience {
+    /// Renders the rollup as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .int("faults_injected", self.faults_injected)
+            .num("server_downtime_s", self.server_downtime_s)
+            .raw("availability", &json_f64(self.availability))
+            .int("tasks_killed", self.tasks_killed)
+            .int("jobs_retried", self.jobs_retried)
+            .int("retries", self.retries)
+            .int("jobs_abandoned", self.jobs_abandoned)
+            .int("transfer_retries", self.transfer_retries)
+            .int("jobs_unfinished", self.jobs_unfinished)
+            .int("wan_restarts", self.wan_restarts)
+            .int("wan_parked", self.wan_parked)
+            .num("wan_link_downtime_s", self.wan_link_downtime_s)
+            .finish()
     }
 }
 
@@ -204,6 +322,10 @@ impl Federation {
 enum Turn {
     /// Advance the WAN to this instant (hop completions, deliveries).
     Wan(SimTime),
+    /// Apply the scripted WAN fault(s) at this instant: links flip,
+    /// paths and the lookahead floor recompute, sites learn the new
+    /// latencies.
+    Fault(SimTime),
     /// Run every site up to this inclusive cap.
     Window(SimTime),
     /// Nothing remains inside the horizon.
@@ -219,9 +341,15 @@ struct Coordinator {
     /// only when the base config turns metrics on. Sampled at window
     /// boundaries and WAN turns.
     wan_panel: Option<ProbePanel>,
-    /// The static WAN lookahead floor ([`Wan::lookahead`]); `None` means
+    /// The WAN lookahead floor ([`Wan::lookahead`]) over the currently
+    /// surviving links, refreshed at every WAN fault turn; `None` means
     /// sends are impossible and windows are bounded by the horizon only.
     lookahead: Option<SimDuration>,
+    /// Scripted WAN fault events, time-sorted; applied at dedicated
+    /// coordinator turns so no committed window spans a topology change.
+    wan_faults: Vec<FaultEvent>,
+    /// Next unapplied entry in `wan_faults`.
+    wan_fault_idx: usize,
     /// Per-site load snapshot (in-flight jobs per core), recomputed at
     /// window boundaries and republished to every [`FedPort`] only when
     /// it changed.
@@ -245,6 +373,7 @@ impl Coordinator {
         loop {
             match self.next_turn(cells) {
                 Turn::Wan(t) => self.wan_turn(cells, t),
+                Turn::Fault(t) => self.fault_turn(cells, t),
                 Turn::Window(cap) => {
                     self.publish_loads(cells);
                     dispatch(cap);
@@ -257,22 +386,40 @@ impl Coordinator {
 
     /// Picks the next turn: the WAN when it holds the earliest event
     /// inside the horizon (ties go to the WAN so a delivery always
-    /// precedes same-instant site work), otherwise the widest safe site
-    /// window.
+    /// precedes same-instant site work), then a due WAN fault (applied
+    /// before any site processes events at or past its instant),
+    /// otherwise the widest safe site window.
     fn next_turn(&mut self, cells: &[Mutex<SiteEngine>]) -> Turn {
         let mut earliest: Option<SimTime> = None;
+        // The earliest pending site-local fault instant strictly after
+        // `earliest`: committed windows close at it so capacity changes
+        // reach the load snapshot within one window (see `window_cap`).
+        let mut site_fault: Option<SimTime> = None;
         for cell in cells {
-            if let Some(t) = cell.lock().expect("site cell").peek_next_time() {
+            let mut guard = cell.lock().expect("site cell");
+            if let Some(t) = guard.peek_next_time() {
                 if t <= self.horizon && earliest.is_none_or(|b| t < b) {
                     earliest = Some(t);
                 }
             }
+            if let Some(f) = guard.model().next_fault_at(guard.now()) {
+                if site_fault.is_none_or(|b| f < b) {
+                    site_fault = Some(f);
+                }
+            }
         }
         let next_wan = self.wan.next_time().filter(|&t| t <= self.horizon);
-        match (next_wan, earliest) {
-            (Some(w), s) if s.is_none_or(|s| w <= s) => Turn::Wan(w),
-            (w, Some(s)) => Turn::Window(self.window_cap(w, s)),
-            // (None, None); (Some, None) is consumed by the first arm.
+        let next_fault = self
+            .wan_faults
+            .get(self.wan_fault_idx)
+            .map(|e| SimTime::ZERO + e.at)
+            .filter(|&t| t <= self.horizon);
+        match (next_wan, next_fault, earliest) {
+            (Some(w), f, s) if f.is_none_or(|f| w <= f) && s.is_none_or(|s| w <= s) => Turn::Wan(w),
+            (_, Some(f), s) if s.is_none_or(|s| f <= s) => Turn::Fault(f),
+            (w, f, Some(s)) => Turn::Window(self.window_cap(w, f, site_fault, s)),
+            // All remaining combinations have no site event; WAN-only
+            // futures are consumed by the first two arms.
             _ => Turn::Done,
         }
     }
@@ -284,21 +431,70 @@ impl Coordinator {
     /// `start + lookahead` (sends issued inside the window deliver no
     /// earlier; max–min fair sharing only ever postpones in-flight
     /// completions, so both bounds stay conservative) — clamped to the
-    /// horizon. When the lookahead floor is zero the exclusive bound is
-    /// empty, so the cap degenerates to `start` itself: events *at* one
-    /// instant cannot affect other sites at that same instant (every
-    /// WAN hop takes nonzero time), and processing them guarantees
-    /// progress — no deadlock, no livelock.
-    fn window_cap(&self, next_wan: Option<SimTime>, start: SimTime) -> SimTime {
+    /// horizon. Two fault clamps tighten it further: the window must end
+    /// strictly before the next scripted WAN fault (`wan_fault` — sends
+    /// after a topology change must route on the post-change paths and
+    /// the lookahead floor may shrink at it), and closes *at* the next
+    /// site-local fault instant (`site_fault` — the capacity change is
+    /// then visible at the very next load publish). When the lookahead
+    /// floor is zero the exclusive bound is empty, so the cap
+    /// degenerates to `start` itself: events *at* one instant cannot
+    /// affect other sites at that same instant (every WAN hop takes
+    /// nonzero time), and processing them guarantees progress — no
+    /// deadlock, no livelock.
+    fn window_cap(
+        &self,
+        next_wan: Option<SimTime>,
+        wan_fault: Option<SimTime>,
+        site_fault: Option<SimTime>,
+        start: SimTime,
+    ) -> SimTime {
         let mut cap = self.horizon;
         if let Some(w) = next_wan {
             cap = cap.min(SimTime::from_nanos(w.as_nanos() - 1));
+        }
+        if let Some(f) = wan_fault {
+            cap = cap.min(SimTime::from_nanos(f.as_nanos() - 1));
+        }
+        if let Some(f) = site_fault {
+            cap = cap.min(f);
         }
         if let Some(floor) = self.lookahead {
             let exclusive = start.saturating_add(floor).as_nanos();
             cap = cap.min(SimTime::from_nanos(exclusive.saturating_sub(1)));
         }
         cap.max(start)
+    }
+
+    /// Applies every scripted WAN fault due at `t`: links flip (paths,
+    /// in-flight restarts, and parked relaunches happen inside the WAN),
+    /// then the lookahead floor and every site's WAN latency snapshot
+    /// refresh against the surviving topology.
+    fn fault_turn(&mut self, cells: &[Mutex<SiteEngine>], t: SimTime) {
+        while let Some(ev) = self.wan_faults.get(self.wan_fault_idx) {
+            if SimTime::ZERO + ev.at != t {
+                break;
+            }
+            self.wan_fault_idx += 1;
+            match ev.kind {
+                FaultKind::WanLinkDown { link } => {
+                    self.wan.set_link_down(t, link, true);
+                }
+                FaultKind::WanLinkUp { link } => {
+                    self.wan.set_link_down(t, link, false);
+                }
+                // `FaultPlan::wan_events` only yields WAN kinds.
+                _ => {}
+            }
+        }
+        self.lookahead = self.wan.lookahead();
+        for (i, cell) in cells.iter().enumerate() {
+            let mut e = cell.lock().expect("site cell");
+            if let Some(port) = e.model_mut().fed_port_mut() {
+                port.wan_latency_s = self.wan.path_latency_s(i);
+            }
+        }
+        self.sample_wan(t);
     }
 
     /// Advances the WAN to `t`, scheduling completed deliveries as
@@ -319,12 +515,21 @@ impl Coordinator {
     /// Recomputes the per-site load snapshot and republishes it into
     /// every [`FedPort`] — only when it actually changed, and only at
     /// window boundaries (never per event), identically in the serial
-    /// and parallel arms.
+    /// and parallel arms. The denominator is the *surviving* capacity
+    /// (cores minus fault-downed ones): a crash wave inflates the site's
+    /// apparent load so geo dispatch drains away from it within one
+    /// window, and a fully dead site reads as infinitely loaded.
     fn publish_loads(&mut self, cells: &[Mutex<SiteEngine>]) {
         let mut changed = false;
         for (i, cell) in cells.iter().enumerate() {
             let e = cell.lock().expect("site cell");
-            let load = e.model().jobs_in_flight() as f64 / self.caps[i];
+            let dc = e.model();
+            let cap = self.caps[i] - dc.down_cores() as f64;
+            let load = if cap > 0.0 {
+                dc.jobs_in_flight() as f64 / cap
+            } else {
+                f64::INFINITY
+            };
             if load != self.loads[i] {
                 self.loads[i] = load;
                 changed = true;
@@ -410,6 +615,9 @@ pub struct FederationReport {
     pub wan: WanReport,
     /// Coordinator-level WAN probe samples (present when metrics are on).
     pub wan_metrics: Option<MetricsData>,
+    /// Federation-wide resilience rollup — present only when a fault
+    /// schedule was armed somewhere (any site, or the WAN).
+    pub resilience: Option<FederationResilience>,
     /// Engine events processed across all sites.
     pub events_processed: u64,
     /// Wall-clock seconds for the whole federated run. Deliberately
@@ -514,6 +722,20 @@ impl FederationReport {
             self.total_energy_j() / 1e3,
             self.events_processed,
         ));
+        if let Some(r) = &self.resilience {
+            out.push_str(&format!(
+                "resilience: {:.4}% available | {} faults | {} killed | {} retried ({} retries, {} abandoned) | wan {} restarts {} parked {:.1} s down\n",
+                r.availability * 100.0,
+                r.faults_injected,
+                r.tasks_killed,
+                r.jobs_retried,
+                r.retries,
+                r.jobs_abandoned,
+                r.wan_restarts,
+                r.wan_parked,
+                r.wan_link_downtime_s,
+            ));
+        }
         if self.wall_s > 0.0 {
             out.push_str(&format!(
                 "engine: {} events in {:.3} s wall ({:.0} events/s)\n",
@@ -553,12 +775,15 @@ impl FederationReport {
             .raw("energy_j", &json_f64(self.total_energy_j()))
             .int("events", self.events_processed)
             .finish();
-        JsonObj::new()
+        let mut obj = JsonObj::new()
             .raw("sites", &sites)
             .raw("forwarded", &forwarded)
             .raw("wan", &self.wan.to_json())
-            .raw("aggregate", &aggregate)
-            .finish()
+            .raw("aggregate", &aggregate);
+        if let Some(r) = &self.resilience {
+            obj = obj.raw("resilience", &r.to_json());
+        }
+        obj.finish()
     }
 }
 

@@ -5,6 +5,7 @@
 
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_faults::FaultPlan;
 use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_network::topologies::LinkSpec;
 use holdcsim_obs::ObsConfig;
@@ -270,6 +271,9 @@ pub struct SimConfig {
     /// Observability: tracing, fingerprints, metrics probes, profiling.
     /// Defaults to everything off, which costs one branch per event.
     pub obs: ObsConfig,
+    /// Fault injection plan (`None` or an empty plan leave the run
+    /// bitwise-identical to a fault-free simulator).
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -312,6 +316,7 @@ impl SimConfig {
             controller_period: SimDuration::from_millis(100),
             sample_period: SimDuration::from_secs(1),
             obs: ObsConfig::default(),
+            faults: None,
         }
     }
 
@@ -503,6 +508,10 @@ pub struct ClusterConfig {
     /// Payload bytes shipped over the WAN per forwarded job (input data
     /// following the job to its execution site).
     pub job_bytes: u64,
+    /// Federation-wide fault plan: `site<k>.`-prefixed entries are routed
+    /// to site `k` by [`ClusterConfig::site_configs`], WAN-link entries
+    /// are applied by the federation driver.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -518,6 +527,7 @@ impl ClusterConfig {
             wan,
             geo: GeoPolicy::SiteLocalFirst { spill_load: 1.0 },
             job_bytes: 1 << 20,
+            faults: None,
         }
     }
 
@@ -606,6 +616,11 @@ impl ClusterConfig {
                 if let Some(sp) = spec.sleep_policy {
                     cfg.sleep_policies = vec![sp];
                 }
+                cfg.faults = self
+                    .faults
+                    .as_ref()
+                    .map(|p| p.for_site(i as u32))
+                    .filter(|p| !p.is_empty());
                 cfg
             })
             .collect()

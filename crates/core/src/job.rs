@@ -22,6 +22,14 @@ pub struct JobState {
     pending_transfers: Vec<u32>,
     /// Tasks not yet finished.
     unfinished: u32,
+    /// Fault-retry attempts per task (stays empty until the first retry;
+    /// fault-free runs never touch it).
+    retries: Vec<u32>,
+    /// `true` once any task of this job was retried after a fault.
+    fault_affected: bool,
+    /// `true` once the retry budget ran out: the job will never complete
+    /// and stays in the table as unfinished.
+    abandoned: bool,
 }
 
 impl JobState {
@@ -32,6 +40,9 @@ impl JobState {
             assigned: Vec::new(),
             pending_transfers: Vec::new(),
             unfinished: 0,
+            retries: Vec::new(),
+            fault_affected: false,
+            abandoned: false,
             dag,
             arrived,
         };
@@ -55,6 +66,9 @@ impl JobState {
         self.pending_transfers.clear();
         self.pending_transfers.resize(n, 0);
         self.unfinished = n as u32;
+        self.retries.clear();
+        self.fault_affected = false;
+        self.abandoned = false;
     }
 
     /// Task indices ready at arrival (no predecessors).
@@ -116,6 +130,45 @@ impl JobState {
     /// Outstanding inbound transfers for `task`.
     pub fn pending_transfers(&self, task: u32) -> u32 {
         self.pending_transfers[task as usize]
+    }
+
+    /// Drops any outstanding inbound-transfer barriers for `task` (fault
+    /// retry: the task is re-placed from scratch and its predecessors'
+    /// outputs re-sent, so stale in-flight barriers must not carry over).
+    pub fn clear_transfers(&mut self, task: u32) {
+        self.pending_transfers[task as usize] = 0;
+    }
+
+    /// Counts one fault-retry attempt for `task`, returning the new
+    /// attempt number (1 for the first). The counter vector materializes
+    /// lazily so fault-free jobs carry no per-task overhead.
+    pub fn note_retry(&mut self, task: u32) -> u32 {
+        if self.retries.is_empty() {
+            self.retries.resize(self.dag.len(), 0);
+        }
+        self.retries[task as usize] += 1;
+        self.retries[task as usize]
+    }
+
+    /// Marks the job fault-affected; returns `true` if it was clean
+    /// before (i.e. this is the job's first retry).
+    pub fn mark_fault_affected(&mut self) -> bool {
+        !std::mem::replace(&mut self.fault_affected, true)
+    }
+
+    /// `true` once any task of this job was retried after a fault.
+    pub fn fault_affected(&self) -> bool {
+        self.fault_affected
+    }
+
+    /// Gives up on the job: its retry budget is exhausted.
+    pub fn mark_abandoned(&mut self) {
+        self.abandoned = true;
+    }
+
+    /// `true` once the job was abandoned (it will never complete).
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned
     }
 }
 

@@ -101,6 +101,14 @@ pub struct NetState {
     /// port (packet mode coalesces per-port idle checks to at most one
     /// outstanding timer; see the driver's `schedule_lpi_check`).
     pub lpi_armed: Vec<Vec<SimTime>>,
+    /// Fault mask: `down_nodes[n]` marks node `n` (a failed switch)
+    /// unusable for routing.
+    pub down_nodes: Vec<bool>,
+    /// Fault mask: `down_links[l]` marks fabric link `l` unusable.
+    pub down_links: Vec<bool>,
+    /// Number of currently-down fabric components. Non-zero switches
+    /// [`NetState::route_between`] to the masked (uncached) router path.
+    pub fabric_down: u32,
 }
 
 impl NetState {
@@ -184,6 +192,8 @@ impl NetState {
             .iter()
             .map(|sw| vec![SimTime::ZERO; sw.port_count()])
             .collect();
+        let down_nodes = vec![false; topology.node_count()];
+        let down_links = vec![false; topology.links().len()];
         NetState {
             hosts: built.hosts,
             router,
@@ -198,6 +208,9 @@ impl NetState {
             name: built.name,
             port_link,
             lpi_armed,
+            down_nodes,
+            down_links,
+            fabric_down: 0,
             topology,
         }
     }
@@ -215,8 +228,85 @@ impl NetState {
     /// transfers without a path walk or a `Route` allocation.
     pub fn route_between(&mut self, a: ServerId, b: ServerId, seed: u64) -> Option<Arc<Route>> {
         let (ha, hb) = (self.host_of(a), self.host_of(b));
+        if self.fabric_down > 0 {
+            // Masked BFS on the surviving fabric; uncached because fault
+            // windows are transient — the caller owns the `Arc`.
+            return self
+                .router
+                .route_avoiding(
+                    &self.topology,
+                    ha,
+                    hb,
+                    ecmp_bucket(seed, Self::ECMP_WAYS),
+                    &self.down_nodes,
+                    &self.down_links,
+                )
+                .map(Arc::new);
+        }
         self.router
             .route_shared(&self.topology, ha, hb, ecmp_bucket(seed, Self::ECMP_WAYS))
+    }
+
+    /// Routes between two host NICs over the surviving fabric only (fault
+    /// reroutes re-plan from in-flight routes, whose endpoints are hosts,
+    /// not servers). Returns `None` when no surviving path exists.
+    pub fn route_hosts_avoiding(
+        &mut self,
+        hs: NodeId,
+        hd: NodeId,
+        seed: u64,
+    ) -> Option<Arc<Route>> {
+        self.router
+            .route_avoiding(
+                &self.topology,
+                hs,
+                hd,
+                ecmp_bucket(seed, Self::ECMP_WAYS),
+                &self.down_nodes,
+                &self.down_links,
+            )
+            .map(Arc::new)
+    }
+
+    /// Marks `node` down (`true`) or back up (`false`), dropping the route
+    /// caches. Returns `false` if the mask already had that state (the
+    /// transition is a no-op and should be ignored by the caller).
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) -> bool {
+        let slot = &mut self.down_nodes[node.0 as usize];
+        if *slot == down {
+            return false;
+        }
+        *slot = down;
+        self.fabric_down = if down {
+            self.fabric_down + 1
+        } else {
+            self.fabric_down - 1
+        };
+        self.router.clear_cache();
+        true
+    }
+
+    /// Marks fabric link `link` down/up; same contract as
+    /// [`NetState::set_node_down`].
+    pub fn set_link_down(&mut self, link: LinkId, down: bool) -> bool {
+        let slot = &mut self.down_links[link.0 as usize];
+        if *slot == down {
+            return false;
+        }
+        *slot = down;
+        self.fabric_down = if down {
+            self.fabric_down + 1
+        } else {
+            self.fabric_down - 1
+        };
+        self.router.clear_cache();
+        true
+    }
+
+    /// `true` if `route` traverses any currently-down node or link.
+    pub fn route_is_dead(&self, route: &Route) -> bool {
+        route.nodes.iter().any(|n| self.down_nodes[n.0 as usize])
+            || route.links.iter().any(|l| self.down_links[l.0 as usize])
     }
 
     /// Switch-side `(switch index, port)` endpoints of `link`, by value

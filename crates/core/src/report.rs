@@ -39,6 +39,75 @@ impl LatencyStats {
     }
 }
 
+/// Resilience outcome of a fault-injected run. Present on a
+/// [`SimReport`] only when the run carried a non-empty fault plan, so
+/// fault-free reports stay bitwise identical to pre-fault builds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Fault events injected (recoveries not counted).
+    pub faults_injected: u64,
+    /// Summed server crash downtime, seconds (a server down for the whole
+    /// run contributes the full horizon).
+    pub server_downtime_s: f64,
+    /// Server availability: `1 − downtime / (servers × horizon)`.
+    pub availability: f64,
+    /// Running or queued tasks killed by server crashes.
+    pub tasks_killed: u64,
+    /// Distinct jobs that saw at least one task retry.
+    pub jobs_retried: u64,
+    /// Total task retry dispatches.
+    pub retries: u64,
+    /// Jobs abandoned after exhausting the retry budget.
+    pub jobs_abandoned: u64,
+    /// Jobs admitted but not completed by the horizon (includes the
+    /// abandoned ones).
+    pub jobs_unfinished: u64,
+    /// Network transfers restarted after a fabric fault killed them.
+    pub transfer_retries: u64,
+    /// Summed fabric-switch downtime, seconds.
+    pub switch_downtime_s: f64,
+    /// Summed fabric-link downtime, seconds.
+    pub link_downtime_s: f64,
+    /// Summed WAN-link downtime, seconds (federation runs).
+    pub wan_link_downtime_s: f64,
+    /// Completed jobs per simulated second — goodput under faults.
+    pub goodput_jobs_per_s: f64,
+    /// Latency of jobs never touched by a fault retry.
+    pub clean: LatencyStats,
+    /// Latency of jobs that survived at least one retry.
+    pub affected: LatencyStats,
+}
+
+impl ResilienceReport {
+    /// Serializes as a JSON object (hand-rolled like the parent report).
+    pub fn to_json(&self) -> String {
+        let lat = |l: &LatencyStats| {
+            format!(
+                r#"{{"count":{},"mean_s":{:.6},"p50_s":{:.6},"p99_s":{:.6},"max_s":{:.6}}}"#,
+                l.count, l.mean, l.p50, l.p99, l.max
+            )
+        };
+        format!(
+            r#"{{"faults_injected":{},"server_downtime_s":{:.6},"availability":{:.6},"tasks_killed":{},"jobs_retried":{},"retries":{},"jobs_abandoned":{},"jobs_unfinished":{},"transfer_retries":{},"switch_downtime_s":{:.6},"link_downtime_s":{:.6},"wan_link_downtime_s":{:.6},"goodput_jobs_per_s":{:.6},"clean":{},"affected":{}}}"#,
+            self.faults_injected,
+            self.server_downtime_s,
+            self.availability,
+            self.tasks_killed,
+            self.jobs_retried,
+            self.retries,
+            self.jobs_abandoned,
+            self.jobs_unfinished,
+            self.transfer_retries,
+            self.switch_downtime_s,
+            self.link_downtime_s,
+            self.wan_link_downtime_s,
+            self.goodput_jobs_per_s,
+            lat(&self.clean),
+            lat(&self.affected),
+        )
+    }
+}
+
 /// Per-server outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerReport {
@@ -143,6 +212,10 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Tasks that waited in the global queue.
     pub global_queue_tasks: u64,
+    /// Resilience section — `Some` only for fault-injected runs (a run
+    /// with no fault plan, or an empty one, omits it entirely so its JSON
+    /// stays byte-identical to a fault-free build).
+    pub resilience: Option<ResilienceReport>,
     /// Wall-clock seconds the run took. Deliberately excluded from
     /// [`to_json`](SimReport::to_json): exported artifacts stay bitwise
     /// identical across machines and thread counts.
@@ -225,6 +298,12 @@ impl SimReport {
             ));
         }
         s.push('\n');
+        if let Some(r) = &self.resilience {
+            s.push_str(&format!(
+                "resilience: availability {:.4} | {} faults, {} tasks killed, {} retries, {} jobs abandoned\n",
+                r.availability, r.faults_injected, r.tasks_killed, r.retries, r.jobs_abandoned,
+            ));
+        }
         if self.wall_s > 0.0 {
             s.push_str(&format!(
                 "engine: {} events in {:.3} s wall ({:.0} events/s)\n",
@@ -251,8 +330,12 @@ impl SimReport {
             ),
             None => "null".to_string(),
         };
+        let res = match &self.resilience {
+            Some(r) => format!(r#","resilience":{}"#, r.to_json()),
+            None => String::new(),
+        };
         format!(
-            r#"{{"duration_s":{:.3},"jobs_submitted":{},"jobs_completed":{},"latency":{{"mean_s":{:.6},"p50_s":{:.6},"p90_s":{:.6},"p95_s":{:.6},"p99_s":{:.6}}},"server_energy_j":{:.3},"cpu_energy_j":{:.3},"dram_energy_j":{:.3},"platform_energy_j":{:.3},"network":{},"events":{}}}"#,
+            r#"{{"duration_s":{:.3},"jobs_submitted":{},"jobs_completed":{},"latency":{{"mean_s":{:.6},"p50_s":{:.6},"p90_s":{:.6},"p95_s":{:.6},"p99_s":{:.6}}},"server_energy_j":{:.3},"cpu_energy_j":{:.3},"dram_energy_j":{:.3},"platform_energy_j":{:.3},"network":{},"events":{}{}}}"#,
             self.duration.as_secs_f64(),
             self.jobs_submitted,
             self.jobs_completed,
@@ -267,6 +350,7 @@ impl SimReport {
             self.platform_energy_j(),
             net,
             self.events_processed,
+            res,
         )
     }
 }

@@ -8,7 +8,9 @@ use std::sync::Arc;
 use holdcsim_des::engine::{Context, Engine, Model};
 use holdcsim_des::rng::SimRng;
 use holdcsim_des::slot_window::SlotWindow;
+use holdcsim_des::stats::SampleSet;
 use holdcsim_des::time::{SimDuration, SimTime};
+use holdcsim_faults::{FaultEvent, FaultKind, RetryPolicy, FAULT_STREAM};
 use holdcsim_network::flow::CompletedFlow;
 use holdcsim_network::ids::{FlowId, LinkId, NodeId, PacketId};
 use holdcsim_network::packet::{Packet, TxOutcome};
@@ -31,7 +33,9 @@ use holdcsim_workload::ids::{JobId, TaskId};
 use crate::config::{ArrivalConfig, CommModel, ControllerConfig, PolicyKind, SimConfig};
 use crate::job::{JobState, JobTable};
 use crate::netstate::NetState;
-use crate::report::{latency_report, Metrics, NetworkReport, ServerReport, SimReport};
+use crate::report::{
+    latency_report, Metrics, NetworkReport, ResilienceReport, ServerReport, SimReport,
+};
 
 /// Packet retransmission backoff after a tail-drop.
 const RETRY_DELAY: SimDuration = SimDuration::from_millis(1);
@@ -51,6 +55,10 @@ pub enum DcEvent {
         core: u32,
         /// The task expected to be there (sanity check).
         task: TaskId,
+        /// Crash generation at scheduling time: a crash bumps the
+        /// server's generation, orphaning every in-flight completion
+        /// (always 0 when fault injection is off).
+        gen: u32,
     },
     /// A server's idle delay timer fired.
     ServerTimer {
@@ -63,6 +71,9 @@ pub enum DcEvent {
     ServerTransition {
         /// The server.
         server: ServerId,
+        /// Crash generation at scheduling time (see
+        /// [`DcEvent::TaskComplete::gen`]).
+        gen: u32,
     },
     /// The flow network's earliest projected completion is due. A single
     /// such event is kept armed at [`holdcsim_network::flow::FlowNet::
@@ -103,6 +114,21 @@ pub enum DcEvent {
         /// Slot in the remote inbox.
         slot: u64,
     },
+    /// A scheduled fault fires (index into the materialized schedule).
+    FaultInject {
+        /// Schedule index.
+        fault: u32,
+    },
+    /// A scheduled recovery fires (index into the materialized schedule).
+    FaultRecover {
+        /// Schedule index.
+        fault: u32,
+    },
+    /// A failed task's retry backoff expired; re-place it.
+    RetryDispatch {
+        /// Slot in the retry table.
+        slot: u64,
+    },
 }
 
 impl TraceEvent for DcEvent {
@@ -120,6 +146,9 @@ impl TraceEvent for DcEvent {
         "ControllerTick",
         "StatsSample",
         "RemoteJobArrive",
+        "FaultInject",
+        "FaultRecover",
+        "RetryDispatch",
     ];
 
     #[inline]
@@ -138,6 +167,9 @@ impl TraceEvent for DcEvent {
             DcEvent::ControllerTick => 10,
             DcEvent::StatsSample => 11,
             DcEvent::RemoteJobArrive { .. } => 12,
+            DcEvent::FaultInject { .. } => 13,
+            DcEvent::FaultRecover { .. } => 14,
+            DcEvent::RetryDispatch { .. } => 15,
         }
     }
 
@@ -148,16 +180,21 @@ impl TraceEvent for DcEvent {
             | DcEvent::FlowsAdvance
             | DcEvent::ControllerTick
             | DcEvent::StatsSample => (0, 0),
+            // The crash generation stays out of (a, b): faults-off traces
+            // must fingerprint identically to pre-fault builds.
             DcEvent::TaskComplete { server, task, .. } => {
                 (server.0 as u64, (task.job.0 << 16) | task.index as u64)
             }
             DcEvent::ServerTimer { server, gen } => (server.0 as u64, gen),
-            DcEvent::ServerTransition { server } => (server.0 as u64, 0),
+            DcEvent::ServerTransition { server, .. } => (server.0 as u64, 0),
             DcEvent::FlowAdmit { flow } => (flow, 0),
             DcEvent::PacketArrive { slot } => (slot as u64, 0),
             DcEvent::PacketRetry { slot } => (slot as u64, 0),
             DcEvent::LpiCheck { switch, port } => (switch as u64, port as u64),
             DcEvent::RemoteJobArrive { slot } => (slot, 0),
+            DcEvent::FaultInject { fault } => (fault as u64, 0),
+            DcEvent::FaultRecover { fault } => (fault as u64, 0),
+            DcEvent::RetryDispatch { slot } => (slot, 0),
         };
         EventInfo {
             kind: self.kind(),
@@ -184,6 +221,13 @@ struct FlowSt {
     pending: Option<(NodeId, NodeId, u64)>,
     /// Slot in `dispatch_slots` for the consumer task.
     dispatch: u64,
+    /// Original transfer size: a fabric fault restarts the flow from
+    /// scratch on a surviving route (partial progress is lost).
+    bytes: u64,
+    /// The solver's own key for the admitted flow (`None` while
+    /// pending). Wake-delayed admissions make the solver's key sequence
+    /// diverge from `flow_slots`, so removals must use this key.
+    net_key: Option<u64>,
 }
 
 /// One in-flight packet-model transfer (a DAG edge's packet burst).
@@ -221,6 +265,89 @@ pub struct FedPort {
     pub outbox: Vec<(SimTime, u32, JobState)>,
     /// Jobs forwarded off-site over the run.
     pub forwarded: u64,
+}
+
+/// Fault-injection runtime state, boxed onto the driver only when the
+/// configuration carries a non-empty [`holdcsim_faults::FaultPlan`] —
+/// fault-free runs keep the exact pre-fault layout and trajectory.
+#[derive(Debug)]
+struct FaultState {
+    /// The materialized schedule, ascending by time; `FaultInject` /
+    /// `FaultRecover` events carry indexes into it.
+    schedule: Vec<FaultEvent>,
+    /// Retry/re-dispatch policy for work killed by faults.
+    retry: RetryPolicy,
+    /// Per-server crash generation: bumped on crash so in-flight
+    /// completion/transition events from before the crash are dropped.
+    crash_gen: Vec<u32>,
+    /// Per-server crash stamp (`Some` while down).
+    down_since: Vec<Option<SimTime>>,
+    /// Per-switch down stamp (`Some` while down).
+    switch_down_since: Vec<Option<SimTime>>,
+    /// Per-fabric-link down stamp (`Some` while down).
+    link_down_since: Vec<Option<SimTime>>,
+    /// Accumulated server downtime (completed outages).
+    server_downtime_s: f64,
+    /// Accumulated switch downtime (completed outages).
+    switch_downtime_s: f64,
+    /// Accumulated fabric-link downtime (completed outages).
+    link_downtime_s: f64,
+    /// Non-recovery fault events that actually hit a live component.
+    faults_injected: u64,
+    /// Tasks killed by crashes (running, queued, or committed-awaiting-
+    /// transfers).
+    tasks_killed: u64,
+    /// Total task re-dispatch attempts scheduled.
+    retries_total: u64,
+    /// Distinct jobs that saw at least one retry.
+    jobs_retried: u64,
+    /// Jobs whose retry budget ran out (they never complete).
+    jobs_abandoned: u64,
+    /// Transfers restarted because a fabric fault severed their route.
+    transfer_retries: u64,
+    /// Retries currently waiting out their backoff.
+    retries_in_flight: u64,
+    /// Backoff-parked retries; `RetryDispatch` events carry the slot.
+    retry_slots: SlotWindow<(JobId, u32)>,
+    /// Completion latencies of jobs untouched by any fault.
+    clean_lat: SampleSet,
+    /// Completion latencies of jobs that needed at least one retry.
+    affected_lat: SampleSet,
+    /// Scratch for task handles killed by a crash (reused across faults).
+    scratch_killed: Vec<TaskHandle>,
+}
+
+impl FaultState {
+    fn new(
+        schedule: Vec<FaultEvent>,
+        retry: RetryPolicy,
+        servers: usize,
+        switches: usize,
+        links: usize,
+    ) -> Self {
+        FaultState {
+            schedule,
+            retry,
+            crash_gen: vec![0; servers],
+            down_since: vec![None; servers],
+            switch_down_since: vec![None; switches],
+            link_down_since: vec![None; links],
+            server_downtime_s: 0.0,
+            switch_downtime_s: 0.0,
+            link_downtime_s: 0.0,
+            faults_injected: 0,
+            tasks_killed: 0,
+            retries_total: 0,
+            jobs_retried: 0,
+            jobs_abandoned: 0,
+            transfer_retries: 0,
+            retries_in_flight: 0,
+            retry_slots: SlotWindow::new(),
+            clean_lat: SampleSet::with_capacity(65_536),
+            affected_lat: SampleSet::with_capacity(65_536),
+            scratch_killed: Vec::new(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -294,6 +421,9 @@ pub struct Datacenter {
     /// Jobs delivered by the WAN but not yet admitted (slot keys ride in
     /// [`DcEvent::RemoteJobArrive`]).
     remote_inbox: SlotWindow<JobState>,
+    /// Fault-injection state (only when the config carries a non-empty
+    /// plan; `None` keeps fault-free runs bitwise identical).
+    faults: Option<Box<FaultState>>,
     metrics: Metrics,
 }
 
@@ -388,6 +518,23 @@ impl Datacenter {
             }
         });
         let metrics = Metrics::new(cfg.sample_period);
+        // Fault state only materializes for non-empty plans, and draws
+        // from a dedicated substream — the workload RNG trajectory (and
+        // with it the fault-free run) is untouched either way.
+        let faults = cfg.faults.as_ref().filter(|p| !p.is_empty()).map(|p| {
+            let frng = root_rng.substream_path(&[FAULT_STREAM]);
+            let schedule = p.materialize(cfg.duration, &frng);
+            let (switches, links) = net
+                .as_ref()
+                .map_or((0, 0), |n| (n.switches.len(), n.topology.links().len()));
+            Box::new(FaultState::new(
+                schedule,
+                p.retry,
+                cfg.server_count,
+                switches,
+                links,
+            ))
+        });
         let mut dc = Datacenter {
             rng_workload,
             arrivals,
@@ -417,6 +564,7 @@ impl Datacenter {
             committed: vec![0; cfg.server_count],
             fed: None,
             remote_inbox: SlotWindow::new(),
+            faults,
             metrics,
             cfg,
         };
@@ -484,6 +632,26 @@ impl Datacenter {
     /// Network state, if simulated.
     pub fn net(&self) -> Option<&NetState> {
         self.net.as_ref()
+    }
+
+    /// Cores currently lost to server crashes (the federation
+    /// effective-capacity signal; 0 when fault injection is off).
+    pub fn down_cores(&self) -> u32 {
+        self.faults.as_ref().map_or(0, |f| {
+            f.down_since.iter().filter(|d| d.is_some()).count() as u32 * self.cfg.cores_per_server
+        })
+    }
+
+    /// The next scheduled fault/recovery instant strictly after `now`
+    /// (federation coordinators clamp their conservative windows so no
+    /// fault lands inside a committed window).
+    pub fn next_fault_at(&self, now: SimTime) -> Option<SimTime> {
+        let f = self.faults.as_ref()?;
+        // The materialized schedule is ascending by time.
+        f.schedule
+            .iter()
+            .map(|ev| SimTime::ZERO + ev.at)
+            .find(|&at| at > now)
     }
 
     /// Servers currently awake (not deep-sleeping or transitioning).
@@ -695,11 +863,20 @@ impl Datacenter {
         let dispatch = self.dispatch_slots.insert((sid, handle));
         self.committed[sid.0 as usize] += 1;
         for &(_, bytes, src) in &inbound {
-            self.start_transfer(ctx, dispatch, job, t, src, sid, bytes);
+            if !self.start_transfer(ctx, dispatch, job, t, src, sid, bytes) {
+                // No surviving route (mid-fault only): drop the dispatch
+                // and push the task through the retry path.
+                if let Some((j, tt)) = self.kill_dispatch(ctx, dispatch) {
+                    self.retry_task(ctx, j, tt);
+                }
+                break;
+            }
         }
         self.scratch_inbound = inbound;
     }
 
+    /// Returns `false` when no route survives between the endpoints —
+    /// only possible while a fabric fault is active.
     #[allow(clippy::too_many_arguments)]
     fn start_transfer(
         &mut self,
@@ -710,16 +887,17 @@ impl Datacenter {
         src: ServerId,
         dst: ServerId,
         bytes: u64,
-    ) {
+    ) -> bool {
         let now = ctx.now();
         let comm = self.net.as_ref().expect("transfer without network").comm;
         match comm {
             CommModel::Flow => {
                 let fid = FlowId(self.flow_slots.next_key());
                 let net = self.net.as_mut().expect("checked above");
-                let route = net
-                    .route_between(src, dst, fid.0)
-                    .expect("topology is connected");
+                let Some(route) = net.route_between(src, dst, fid.0) else {
+                    debug_assert!(net.fabric_down > 0, "topology is connected");
+                    return false;
+                };
                 // Waking LPI ports starts now; the flow may not move data
                 // until the slowest port along the route is back up, so its
                 // admission is delayed by the worst wake latency (matching
@@ -733,12 +911,15 @@ impl Datacenter {
                     // Batched: the re-solve runs once per event, when
                     // `schedule_flow_retimes` flushes — a task's whole
                     // transfer fan-in shares one fair-share solve.
-                    net.flows
+                    let nk = net
+                        .flows
                         .add_flow_batched(now, fid, hs, hd, &route.links, bytes);
                     let key = self.flow_slots.insert(FlowSt {
                         route,
                         pending: None,
                         dispatch,
+                        bytes,
+                        net_key: Some(nk),
                     });
                     debug_assert_eq!(key, fid.0);
                 } else {
@@ -746,6 +927,8 @@ impl Datacenter {
                         route,
                         pending: Some((hs, hd, bytes)),
                         dispatch,
+                        bytes,
+                        net_key: None,
                     });
                     debug_assert_eq!(key, fid.0);
                     ctx.schedule_in(wake, DcEvent::FlowAdmit { flow: fid.0 });
@@ -753,9 +936,10 @@ impl Datacenter {
             }
             CommModel::Packet { mtu, .. } => {
                 let net = self.net.as_mut().expect("checked above");
-                let route = net
-                    .route_between(src, dst, job.0 ^ u64::from(t))
-                    .expect("topology is connected");
+                let Some(route) = net.route_between(src, dst, job.0 ^ u64::from(t)) else {
+                    debug_assert!(net.fabric_down > 0, "topology is connected");
+                    return false;
+                };
                 // Packetize arithmetically (no segment vector): `full`
                 // MTU-sized packets plus a possible short tail.
                 let full = bytes / mtu;
@@ -788,6 +972,7 @@ impl Datacenter {
                 }
             }
         }
+        true
     }
 
     /// One DAG edge fully delivered: counts it against the consumer task's
@@ -807,8 +992,25 @@ impl Datacenter {
         }
     }
 
+    /// Reaps a packet whose transfer was killed by a fault (the kill
+    /// leaves the slot in place so the packet's outstanding event can
+    /// find and free it — free-list reuse makes eager freeing unsafe).
+    /// Returns `true` if the slot was reaped.
+    fn reap_orphan_packet(&mut self, slot: usize) -> bool {
+        let st = self.packet_slots[slot].as_ref().expect("live packet slot");
+        if self.transfer_slots.get(st.xfer).is_some() {
+            return false;
+        }
+        self.packet_slots[slot] = None;
+        self.free_slots.push(slot);
+        true
+    }
+
     /// Transmits the packet in `slot` over its next hop.
     fn send_packet(&mut self, ctx: &mut Context<'_, DcEvent>, slot: usize) {
+        if self.reap_orphan_packet(slot) {
+            return;
+        }
         let now = ctx.now();
         let (node, link, bytes) = {
             let st = self.packet_slots[slot].as_ref().expect("live packet slot");
@@ -849,6 +1051,9 @@ impl Datacenter {
     }
 
     fn on_packet_arrive(&mut self, ctx: &mut Context<'_, DcEvent>, slot: usize) {
+        if self.reap_orphan_packet(slot) {
+            return;
+        }
         let finished = {
             let st = self.packet_slots[slot].as_mut().expect("live packet slot");
             st.packet.hop += 1;
@@ -880,7 +1085,10 @@ impl Datacenter {
         let Datacenter {
             flow_slots, net, ..
         } = self;
-        let st = flow_slots.get_mut(flow).expect("pending flow has state");
+        // A fault may have killed the flow while it waited out the wake.
+        let Some(st) = flow_slots.get_mut(flow) else {
+            return;
+        };
         let net = net.as_mut().expect("flows without network");
         // A pending flow occupies no links yet, so an LpiCheck firing
         // inside the wake window can have re-slept a route port. Re-wake
@@ -894,8 +1102,10 @@ impl Datacenter {
             return;
         }
         let (hs, hd, bytes) = st.pending.take().expect("pending flow has admission state");
-        net.flows
+        let nk = net
+            .flows
             .add_flow_batched(now, FlowId(flow), hs, hd, &st.route.links, bytes);
+        st.net_key = Some(nk);
         self.schedule_flow_retimes(ctx);
     }
 
@@ -1011,7 +1221,7 @@ impl Datacenter {
             self.touch_access_port(ctx, sid, req);
         }
         self.servers[sid.0 as usize].submit(ctx.now(), handle, &mut self.fx);
-        Self::apply_effects(ctx, sid, &self.fx);
+        Self::apply_effects(ctx, sid, &self.fx, self.crash_gen(sid));
     }
 
     /// Marks `sid`'s access-link switch port active for a transmission of
@@ -1060,10 +1270,20 @@ impl Datacenter {
         ctx.schedule_at(at, DcEvent::LpiCheck { switch: swi, port });
     }
 
+    /// The server's current crash generation (0 whenever fault injection
+    /// is off, so `gen` fields stay 0 and guards compare 0 == 0).
+    fn crash_gen(&self, sid: ServerId) -> u32 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.crash_gen[sid.0 as usize])
+    }
+
     /// Schedules the follow-up events for the effects a server call left in
-    /// `fx`. Associated (not `&mut self`) so the reusable buffer can be
-    /// borrowed from `self` at every call site without conflict.
-    fn apply_effects(ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &EffectBuf) {
+    /// `fx`, stamping completion/transition events with the server's crash
+    /// generation `gen`. Associated (not `&mut self`) so the reusable
+    /// buffer can be borrowed from `self` at every call site without
+    /// conflict.
+    fn apply_effects(ctx: &mut Context<'_, DcEvent>, sid: ServerId, fx: &EffectBuf, gen: u32) {
         for &e in fx.as_slice() {
             match e {
                 Effect::TaskStarted {
@@ -1077,6 +1297,7 @@ impl Datacenter {
                             server: sid,
                             core,
                             task: id,
+                            gen,
                         },
                     );
                 }
@@ -1084,7 +1305,7 @@ impl Datacenter {
                     ctx.schedule_in(after, DcEvent::ServerTimer { server: sid, gen });
                 }
                 Effect::TransitionDoneIn { after } => {
-                    ctx.schedule_in(after, DcEvent::ServerTransition { server: sid });
+                    ctx.schedule_in(after, DcEvent::ServerTransition { server: sid, gen });
                 }
             }
         }
@@ -1100,7 +1321,7 @@ impl Datacenter {
         let now = ctx.now();
         let tid = self.servers[sid.0 as usize].complete(now, core, &mut self.fx);
         debug_assert_eq!(tid, expected, "completion event routed to wrong core");
-        Self::apply_effects(ctx, sid, &self.fx);
+        Self::apply_effects(ctx, sid, &self.fx, self.crash_gen(sid));
         // Response traffic back up the access link, if modeled.
         if let Some((_, resp)) = self.net.as_ref().and_then(|n| n.ingress_bytes) {
             self.touch_access_port(ctx, sid, resp);
@@ -1111,17 +1332,29 @@ impl Datacenter {
         self.jobs
             .get_mut(tid.job)
             .finish_task_into(tid.index, &mut ready);
-        for &t in &ready {
-            self.place_or_queue(ctx, tid.job, t);
+        // Abandoned jobs (retry budget exhausted) stop spawning work;
+        // their already-running tasks just drain.
+        if !self.jobs.get(tid.job).is_abandoned() {
+            for &t in &ready {
+                self.place_or_queue(ctx, tid.job, t);
+            }
         }
         self.scratch_ready = ready;
         if self.jobs.get(tid.job).is_complete() {
             let js = self.jobs.remove_completed(tid.job);
             // Steady-state statistics: skip jobs that arrived in warm-up.
             if js.arrived.saturating_duration_since(SimTime::ZERO) >= self.cfg.warmup {
-                self.metrics
-                    .latency
-                    .record(now.saturating_duration_since(js.arrived).as_secs_f64());
+                let lat = now.saturating_duration_since(js.arrived).as_secs_f64();
+                self.metrics.latency.record(lat);
+                // Resilience split: jobs that needed a fault retry vs
+                // jobs the faults never touched.
+                if let Some(f) = self.faults.as_mut() {
+                    if js.fault_affected() {
+                        f.affected_lat.record(lat);
+                    } else {
+                        f.clean_lat.record(lat);
+                    }
+                }
             }
             // Recycle the state so the next arrival reuses its allocations.
             self.job_pool.push(js);
@@ -1133,7 +1366,10 @@ impl Datacenter {
     }
 
     fn pull_global_queue(&mut self, ctx: &mut Context<'_, DcEvent>, sid: ServerId) {
-        if !self.cfg.use_global_queue || !self.is_eligible(sid) {
+        // With fault injection armed the global queue doubles as the
+        // refuge for tasks that found no eligible server mid-outage, so
+        // pulls run even in direct-dispatch mode (a no-op while empty).
+        if (!self.cfg.use_global_queue && self.faults.is_none()) || !self.is_eligible(sid) {
             return;
         }
         loop {
@@ -1340,35 +1576,44 @@ impl Datacenter {
                 // sleep policy (delay timer) decides when they descend.
                 self.set_eligible(id, false);
             }
+            // A crashed node ignores controller wake-ups/policy pokes; it
+            // rejoins the eligible set at its FaultRecover instant (the
+            // controller's own bookkeeping still advances).
             Decision::Unpark(id) => {
-                self.servers[id.0 as usize].set_policy(
-                    now,
-                    self.cfg.policy_for(id.0 as usize),
-                    &mut self.fx,
-                );
-                Self::apply_effects(ctx, id, &self.fx);
-                self.servers[id.0 as usize].request_wake(now, &mut self.fx);
-                Self::apply_effects(ctx, id, &self.fx);
-                self.set_eligible(id, true);
+                if !self.is_down(id) {
+                    self.servers[id.0 as usize].set_policy(
+                        now,
+                        self.cfg.policy_for(id.0 as usize),
+                        &mut self.fx,
+                    );
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
+                    self.servers[id.0 as usize].request_wake(now, &mut self.fx);
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
+                    self.set_eligible(id, true);
+                }
             }
             Decision::Promote(id) => {
-                let pool_policy = match &self.controller {
-                    Some(Controller::Pools { mgr }) => mgr.active_pool_policy(),
-                    _ => unreachable!("promotion without pools"),
-                };
-                self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
-                Self::apply_effects(ctx, id, &self.fx);
-                self.servers[id.0 as usize].request_wake(now, &mut self.fx);
-                Self::apply_effects(ctx, id, &self.fx);
-                self.set_eligible(id, true);
+                if !self.is_down(id) {
+                    let pool_policy = match &self.controller {
+                        Some(Controller::Pools { mgr }) => mgr.active_pool_policy(),
+                        _ => unreachable!("promotion without pools"),
+                    };
+                    self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
+                    self.servers[id.0 as usize].request_wake(now, &mut self.fx);
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
+                    self.set_eligible(id, true);
+                }
             }
             Decision::Demote(id) => {
-                let pool_policy = match &self.controller {
-                    Some(Controller::Pools { mgr }) => mgr.sleep_pool_policy(),
-                    _ => unreachable!("demotion without pools"),
-                };
-                self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
-                Self::apply_effects(ctx, id, &self.fx);
+                if !self.is_down(id) {
+                    let pool_policy = match &self.controller {
+                        Some(Controller::Pools { mgr }) => mgr.sleep_pool_policy(),
+                        _ => unreachable!("demotion without pools"),
+                    };
+                    self.servers[id.0 as usize].set_policy(now, pool_policy, &mut self.fx);
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
+                }
                 self.set_eligible(id, false);
             }
             Decision::None => return false,
@@ -1408,7 +1653,7 @@ impl Datacenter {
                 .collect();
             for (id, pol) in actions {
                 self.servers[id.0 as usize].set_policy(now, pol, &mut self.fx);
-                Self::apply_effects(ctx, id, &self.fx);
+                Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
             }
             self.rebuild_eligible();
         } else {
@@ -1419,7 +1664,8 @@ impl Datacenter {
             for (i, pol) in policies.into_iter().enumerate() {
                 if pol.deep_after.is_some() {
                     self.servers[i].set_policy(now, pol, &mut self.fx);
-                    Self::apply_effects(ctx, ServerId(i as u32), &self.fx);
+                    let id = ServerId(i as u32);
+                    Self::apply_effects(ctx, id, &self.fx, self.crash_gen(id));
                 }
             }
         }
@@ -1435,6 +1681,446 @@ impl Datacenter {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection & retry
+    // ------------------------------------------------------------------
+
+    /// `true` while `id` is crashed (fault injection only).
+    fn is_down(&self, id: ServerId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.down_since[id.0 as usize].is_some())
+    }
+
+    /// Dispatches a scheduled fault/recovery (index into the schedule).
+    fn on_fault(&mut self, ctx: &mut Context<'_, DcEvent>, fault: u32) {
+        let kind = self
+            .faults
+            .as_ref()
+            .expect("fault event without state")
+            .schedule[fault as usize]
+            .kind;
+        let applied = match kind {
+            FaultKind::ServerCrash { server } => self.on_server_crash(ctx, server),
+            FaultKind::ServerRecover { server } => self.on_server_recover(ctx, server),
+            FaultKind::ServerStraggle { server, factor } => self.on_server_straggle(server, factor),
+            FaultKind::ServerStraggleEnd { server } => self.on_server_straggle_end(server),
+            FaultKind::SwitchDown { switch } => self.on_switch_fault(ctx, switch, true),
+            FaultKind::SwitchUp { switch } => self.on_switch_fault(ctx, switch, false),
+            FaultKind::LinkDown { link } => self.on_link_fault(ctx, link, true),
+            FaultKind::LinkUp { link } => self.on_link_fault(ctx, link, false),
+            // WAN faults are the federation coordinator's concern; site
+            // schedules never carry them (`materialize` filters them out).
+            FaultKind::WanLinkDown { .. } | FaultKind::WanLinkUp { .. } => false,
+        };
+        // Only fault firings that hit a live component count as injected
+        // (duplicate crash events and out-of-range targets are no-ops).
+        if applied && !kind.is_recovery() {
+            self.faults.as_mut().expect("state").faults_injected += 1;
+        }
+    }
+
+    /// Fail-stop crash: kills running/queued/committed work, bumps the
+    /// crash generation (orphaning in-flight completion events), and
+    /// powers the server off until its recovery event.
+    fn on_server_crash(&mut self, ctx: &mut Context<'_, DcEvent>, server: u32) -> bool {
+        let now = ctx.now();
+        let idx = server as usize;
+        if idx >= self.servers.len() {
+            return false;
+        }
+        {
+            let f = self.faults.as_mut().expect("fault event without state");
+            if f.down_since[idx].is_some() {
+                return false;
+            }
+            f.crash_gen[idx] += 1;
+            f.down_since[idx] = Some(now);
+        }
+        let sid = ServerId(server);
+        self.set_eligible(sid, false);
+        let mut killed = std::mem::take(&mut self.faults.as_mut().expect("state").scratch_killed);
+        killed.clear();
+        self.servers[idx].fail(now, &mut killed);
+        // Tasks committed to this server but still awaiting inbound
+        // transfers die with it (slot-key order keeps this deterministic).
+        let doomed: Vec<u64> = self
+            .dispatch_slots
+            .iter()
+            .filter(|(_, st)| st.0 == sid)
+            .map(|(k, _)| k)
+            .collect();
+        self.faults.as_mut().expect("state").tasks_killed += (killed.len() + doomed.len()) as u64;
+        for h in &killed {
+            self.retry_task(ctx, h.id.job, h.id.index);
+        }
+        for slot in doomed {
+            if let Some((job, t)) = self.kill_dispatch(ctx, slot) {
+                self.retry_task(ctx, job, t);
+            }
+        }
+        killed.clear();
+        self.faults.as_mut().expect("state").scratch_killed = killed;
+        // Flow removals above were batched; solve once.
+        self.schedule_flow_retimes(ctx);
+        true
+    }
+
+    /// Reboot: the server rejoins the eligible set (overriding any
+    /// controller parking — the controller re-parks on a later tick) and
+    /// wakes from its powered-off state.
+    fn on_server_recover(&mut self, ctx: &mut Context<'_, DcEvent>, server: u32) -> bool {
+        let now = ctx.now();
+        let idx = server as usize;
+        if idx >= self.servers.len() {
+            return false;
+        }
+        {
+            let f = self.faults.as_mut().expect("fault event without state");
+            let Some(down_at) = f.down_since[idx].take() else {
+                return false;
+            };
+            f.server_downtime_s += now.saturating_duration_since(down_at).as_secs_f64();
+        }
+        let sid = ServerId(server);
+        self.set_eligible(sid, true);
+        self.servers[idx].request_wake(now, &mut self.fx);
+        Self::apply_effects(ctx, sid, &self.fx, self.crash_gen(sid));
+        true
+    }
+
+    /// Performance fault: new tasks on the server run `factor`× slower
+    /// (already-running tasks keep their completion instants) and the
+    /// degraded node leaves the placement set until the fault ends.
+    fn on_server_straggle(&mut self, server: u32, factor: f64) -> bool {
+        let idx = server as usize;
+        let usable = factor.is_finite() && factor > 0.0;
+        if idx >= self.servers.len() || !usable {
+            return false;
+        }
+        self.servers[idx].set_fault_speed(factor);
+        self.set_eligible(ServerId(server), false);
+        true
+    }
+
+    fn on_server_straggle_end(&mut self, server: u32) -> bool {
+        let idx = server as usize;
+        if idx >= self.servers.len() {
+            return false;
+        }
+        self.servers[idx].set_fault_speed(1.0);
+        // Do not resurrect a server that crashed mid-straggle.
+        if !self.is_down(ServerId(server)) {
+            self.set_eligible(ServerId(server), true);
+        }
+        true
+    }
+
+    /// Takes a fabric switch down (or back up), rerouting or killing the
+    /// traffic crossing it.
+    fn on_switch_fault(&mut self, ctx: &mut Context<'_, DcEvent>, switch: u32, down: bool) -> bool {
+        let now = ctx.now();
+        let idx = switch as usize;
+        let changed = match self.net.as_mut() {
+            Some(net) if idx < net.switches.len() => {
+                let node = net.switches[idx].node();
+                net.set_node_down(node, down)
+            }
+            _ => return false,
+        };
+        if !changed {
+            return false;
+        }
+        let f = self.faults.as_mut().expect("fault event without state");
+        if down {
+            f.switch_down_since[idx] = Some(now);
+            self.on_fabric_down(ctx);
+        } else if let Some(t) = f.switch_down_since[idx].take() {
+            // Recovery needs no in-flight fixups: the cleared mask (and
+            // dropped route cache) lets new transfers use the switch.
+            f.switch_downtime_s += now.saturating_duration_since(t).as_secs_f64();
+        }
+        true
+    }
+
+    /// Takes a fabric link down (or back up); same contract as
+    /// [`Datacenter::on_switch_fault`].
+    fn on_link_fault(&mut self, ctx: &mut Context<'_, DcEvent>, link: u32, down: bool) -> bool {
+        let now = ctx.now();
+        let idx = link as usize;
+        let changed = match self.net.as_mut() {
+            Some(net) if idx < net.topology.links().len() => net.set_link_down(LinkId(link), down),
+            _ => return false,
+        };
+        if !changed {
+            return false;
+        }
+        let f = self.faults.as_mut().expect("fault event without state");
+        if down {
+            f.link_down_since[idx] = Some(now);
+            self.on_fabric_down(ctx);
+        } else if let Some(t) = f.link_down_since[idx].take() {
+            f.link_downtime_s += now.saturating_duration_since(t).as_secs_f64();
+        }
+        true
+    }
+
+    /// A switch or link just died: every in-flight transfer whose route
+    /// crosses it restarts on a surviving route, or — when no route
+    /// survives — kills its dispatch and retries the consumer task.
+    fn on_fabric_down(&mut self, ctx: &mut Context<'_, DcEvent>) {
+        let now = ctx.now();
+        match self.net.as_ref().map(|n| n.comm) {
+            Some(CommModel::Flow) => {
+                let dead: Vec<u64> = {
+                    let net = self.net.as_ref().expect("checked above");
+                    self.flow_slots
+                        .iter()
+                        .filter(|(_, st)| net.route_is_dead(&st.route))
+                        .map(|(k, _)| k)
+                        .collect()
+                };
+                for k in dead {
+                    // An earlier kill_dispatch may have removed it already.
+                    let Some(st) = self.flow_slots.remove(k) else {
+                        continue;
+                    };
+                    let (hs, hd, bytes, was_admitted) = match st.pending {
+                        Some((hs, hd, b)) => (hs, hd, b, false),
+                        None => (
+                            st.route.nodes[0],
+                            *st.route.nodes.last().expect("route has nodes"),
+                            st.bytes,
+                            true,
+                        ),
+                    };
+                    if was_admitted {
+                        // Partial progress is lost: the flow restarts from
+                        // its full size on the surviving fabric.
+                        let net = self.net.as_mut().expect("checked above");
+                        net.flows
+                            .remove_flow(now, st.net_key.expect("admitted flow has a net key"));
+                        if let Some(hold) = net.lpi_hold {
+                            for &l in &st.route.links {
+                                if net.flows.flows_on_link(l) == 0 {
+                                    let ports = net.switch_ports_of_link(l);
+                                    for (swi, port) in ports {
+                                        Self::schedule_lpi_check(ctx, net, swi, port, now + hold);
+                                    }
+                                }
+                            }
+                        }
+                        self.faults.as_mut().expect("state").transfer_retries += 1;
+                    }
+                    let dispatch = st.dispatch;
+                    let new_key = self.flow_slots.next_key();
+                    let routed = {
+                        let net = self.net.as_mut().expect("checked above");
+                        net.route_hosts_avoiding(hs, hd, new_key).map(|route| {
+                            let mut wake = SimDuration::ZERO;
+                            for &l in &route.links {
+                                wake = wake.max(net.wake_link(now, l));
+                            }
+                            (route, wake)
+                        })
+                    };
+                    match routed {
+                        None => {
+                            // Destination unreachable: re-place the task.
+                            if let Some((job, t)) = self.kill_dispatch(ctx, dispatch) {
+                                self.retry_task(ctx, job, t);
+                            }
+                        }
+                        Some((route, wake)) => {
+                            if wake.is_zero() {
+                                let net = self.net.as_mut().expect("checked above");
+                                let nk = net.flows.add_flow_batched(
+                                    now,
+                                    FlowId(new_key),
+                                    hs,
+                                    hd,
+                                    &route.links,
+                                    bytes,
+                                );
+                                let key = self.flow_slots.insert(FlowSt {
+                                    route,
+                                    pending: None,
+                                    dispatch,
+                                    bytes,
+                                    net_key: Some(nk),
+                                });
+                                debug_assert_eq!(key, new_key);
+                            } else {
+                                let key = self.flow_slots.insert(FlowSt {
+                                    route,
+                                    pending: Some((hs, hd, bytes)),
+                                    dispatch,
+                                    bytes,
+                                    net_key: None,
+                                });
+                                debug_assert_eq!(key, new_key);
+                                ctx.schedule_in(wake, DcEvent::FlowAdmit { flow: new_key });
+                            }
+                        }
+                    }
+                }
+                self.schedule_flow_retimes(ctx);
+            }
+            Some(CommModel::Packet { .. }) => {
+                // A packet heading into the dead component dooms its whole
+                // transfer set: the consumer dispatch restarts from
+                // scratch (packet order = slot order, deterministic).
+                let mut doomed: Vec<u64> = Vec::new();
+                {
+                    let net = self.net.as_ref().expect("checked above");
+                    for st in self.packet_slots.iter().flatten() {
+                        let Some(tr) = self.transfer_slots.get(st.xfer) else {
+                            continue;
+                        };
+                        let hop = st.packet.hop;
+                        let r = &st.packet.route;
+                        let hits_dead = r.nodes[hop..].iter().any(|n| net.down_nodes[n.0 as usize])
+                            || r.links[hop..].iter().any(|l| net.down_links[l.0 as usize]);
+                        if hits_dead && !doomed.contains(&tr.dispatch) {
+                            doomed.push(tr.dispatch);
+                        }
+                    }
+                }
+                for d in doomed {
+                    self.faults.as_mut().expect("state").transfer_retries += 1;
+                    if let Some((job, t)) = self.kill_dispatch(ctx, d) {
+                        self.retry_task(ctx, job, t);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Tears down a committed-but-not-started dispatch: frees the core
+    /// reservation and drops the in-flight transfers feeding it,
+    /// returning the `(job, task)` to push through the retry path.
+    fn kill_dispatch(&mut self, ctx: &mut Context<'_, DcEvent>, slot: u64) -> Option<(JobId, u32)> {
+        let now = ctx.now();
+        let (sid, handle) = self.dispatch_slots.remove(slot)?;
+        self.committed[sid.0 as usize] -= 1;
+        match self.net.as_ref().map(|n| n.comm) {
+            Some(CommModel::Flow) => {
+                let feeding: Vec<u64> = self
+                    .flow_slots
+                    .iter()
+                    .filter(|(_, st)| st.dispatch == slot)
+                    .map(|(k, _)| k)
+                    .collect();
+                for k in feeding {
+                    let st = self.flow_slots.remove(k).expect("listed above");
+                    if st.pending.is_none() {
+                        // Admitted: pull it from the solver; freed links
+                        // may idle their ports. (A pending flow occupies
+                        // nothing — its FlowAdmit event finds no state
+                        // and is dropped.)
+                        let net = self.net.as_mut().expect("flow without network");
+                        net.flows
+                            .remove_flow(now, st.net_key.expect("admitted flow has a net key"));
+                        if let Some(hold) = net.lpi_hold {
+                            for &l in &st.route.links {
+                                if net.flows.flows_on_link(l) == 0 {
+                                    let ports = net.switch_ports_of_link(l);
+                                    for (swi, port) in ports {
+                                        Self::schedule_lpi_check(ctx, net, swi, port, now + hold);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Some(CommModel::Packet { .. }) => {
+                // Dropping the transfer slots orphans their in-flight
+                // packets; each is reaped when its next event finds the
+                // transfer gone.
+                let feeding: Vec<u64> = self
+                    .transfer_slots
+                    .iter()
+                    .filter(|(_, st)| st.dispatch == slot)
+                    .map(|(k, _)| k)
+                    .collect();
+                for k in feeding {
+                    self.transfer_slots.remove(k);
+                }
+            }
+            None => {}
+        }
+        Some((handle.id.job, handle.id.index))
+    }
+
+    /// Pushes a fault-killed task through the retry policy: bounded
+    /// attempts with exponential sim-time backoff, then abandonment.
+    fn retry_task(&mut self, ctx: &mut Context<'_, DcEvent>, job: JobId, t: u32) {
+        let max = self
+            .faults
+            .as_ref()
+            .expect("retry without fault state")
+            .retry
+            .max_retries;
+        enum Outcome {
+            Skip,
+            Abandon,
+            Retry { attempt: u32, first: bool },
+        }
+        let outcome = {
+            let js = self.jobs.get_mut(job);
+            if js.is_abandoned() {
+                Outcome::Skip
+            } else {
+                let attempt = js.note_retry(t);
+                if attempt > max {
+                    // Budget exhausted: the job stays in the table with
+                    // unfinished work and counts as unfinished forever.
+                    js.mark_abandoned();
+                    Outcome::Abandon
+                } else {
+                    let first = js.mark_fault_affected();
+                    js.clear_transfers(t);
+                    Outcome::Retry { attempt, first }
+                }
+            }
+        };
+        let f = self.faults.as_mut().expect("state");
+        match outcome {
+            Outcome::Skip => {}
+            Outcome::Abandon => f.jobs_abandoned += 1,
+            Outcome::Retry { attempt, first } => {
+                f.retries_total += 1;
+                if first {
+                    f.jobs_retried += 1;
+                }
+                f.retries_in_flight += 1;
+                let slot = f.retry_slots.insert((job, t));
+                let delay = f.retry.delay(attempt);
+                ctx.schedule_in(delay, DcEvent::RetryDispatch { slot });
+            }
+        }
+    }
+
+    /// A retry backoff expired: re-place the task (unless its job was
+    /// abandoned in the meantime).
+    fn on_retry_dispatch(&mut self, ctx: &mut Context<'_, DcEvent>, slot: u64) {
+        let (job, t) = {
+            let f = self.faults.as_mut().expect("retry without fault state");
+            f.retries_in_flight -= 1;
+            match f.retry_slots.remove(slot) {
+                Some(e) => e,
+                None => return,
+            }
+        };
+        if self.jobs.get(job).is_abandoned() {
+            return;
+        }
+        self.place_or_queue(ctx, job, t);
+        self.schedule_flow_retimes(ctx);
+    }
 }
 
 impl Model for Datacenter {
@@ -1444,16 +2130,28 @@ impl Model for Datacenter {
         match event {
             DcEvent::Init => self.on_init(ctx),
             DcEvent::JobArrival => self.on_job_arrival(ctx),
-            DcEvent::TaskComplete { server, core, task } => {
+            DcEvent::TaskComplete {
+                server,
+                core,
+                task,
+                gen,
+            } => {
+                // A crash bumped the generation: the task died with it.
+                if gen != self.crash_gen(server) {
+                    return;
+                }
                 self.on_task_complete(ctx, server, core, task)
             }
             DcEvent::ServerTimer { server, gen } => {
                 self.servers[server.0 as usize].timer_fired(ctx.now(), gen, &mut self.fx);
-                Self::apply_effects(ctx, server, &self.fx);
+                Self::apply_effects(ctx, server, &self.fx, self.crash_gen(server));
             }
-            DcEvent::ServerTransition { server } => {
+            DcEvent::ServerTransition { server, gen } => {
+                if gen != self.crash_gen(server) {
+                    return;
+                }
                 self.servers[server.0 as usize].transition_done(ctx.now(), &mut self.fx);
-                Self::apply_effects(ctx, server, &self.fx);
+                Self::apply_effects(ctx, server, &self.fx, self.crash_gen(server));
                 self.pull_global_queue(ctx, server);
                 // Transfer admissions from the pulls above are batched.
                 self.schedule_flow_retimes(ctx);
@@ -1466,6 +2164,10 @@ impl Model for Datacenter {
             DcEvent::ControllerTick => self.on_controller_tick(ctx),
             DcEvent::StatsSample => self.on_stats_sample(ctx),
             DcEvent::RemoteJobArrive { slot } => self.on_remote_job_arrive(ctx, slot),
+            DcEvent::FaultInject { fault } | DcEvent::FaultRecover { fault } => {
+                self.on_fault(ctx, fault)
+            }
+            DcEvent::RetryDispatch { slot } => self.on_retry_dispatch(ctx, slot),
         }
     }
 }
@@ -1486,6 +2188,9 @@ impl ProbeSource for Datacenter {
                 "mean_link_utilization",
                 "packets_in_flight",
             ]);
+        }
+        if self.faults.is_some() {
+            names.extend(["down_servers", "down_links", "retries_in_flight"]);
         }
         names
     }
@@ -1512,6 +2217,15 @@ impl ProbeSource for Datacenter {
             };
             out.push(mean_util);
             out.push((self.packet_slots.len() - self.free_slots.len()) as f64);
+        }
+        if let Some(f) = &self.faults {
+            out.push(f.down_since.iter().filter(|d| d.is_some()).count() as f64);
+            let down_links = self
+                .net
+                .as_ref()
+                .map_or(0, |n| n.down_links.iter().filter(|&&d| d).count());
+            out.push(down_links as f64);
+            out.push(f.retries_in_flight as f64);
         }
     }
 }
@@ -1561,6 +2275,28 @@ impl Simulation {
         engine.schedule_at(SimTime::ZERO, DcEvent::Init);
         engine.schedule_at(SimTime::ZERO, DcEvent::StatsSample);
         engine.schedule_at(SimTime::ZERO, DcEvent::ControllerTick);
+        // Scheduled faults go on the calendar up front: their instants
+        // are fixed at materialization, so federated sites see the same
+        // schedule regardless of how their windows are driven.
+        let fault_events: Vec<(SimTime, DcEvent)> =
+            engine.model().faults.as_ref().map_or_else(Vec::new, |f| {
+                f.schedule
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ev)| ev.at <= duration)
+                    .map(|(i, ev)| {
+                        let e = if ev.kind.is_recovery() {
+                            DcEvent::FaultRecover { fault: i as u32 }
+                        } else {
+                            DcEvent::FaultInject { fault: i as u32 }
+                        };
+                        (SimTime::ZERO + ev.at, e)
+                    })
+                    .collect()
+            });
+        for (at, e) in fault_events {
+            engine.schedule_at(at, e);
+        }
         // First arrival.
         let first = {
             let dc = engine.model_mut();
@@ -1636,6 +2372,42 @@ pub fn finish_report(dc: Datacenter, end: SimTime, events: u64, wall_s: f64) -> 
     let jobs_submitted = dc.jobs.submitted();
     let jobs_completed = dc.jobs.completed();
     let gq = dc.global_queue.total_enqueued();
+    let resilience = dc.faults.as_ref().map(|f| {
+        // Outages still open at the horizon count up to `end`.
+        let add_open = |acc: f64, stamps: &[Option<SimTime>]| {
+            stamps.iter().flatten().fold(acc, |a, &t| {
+                a + end.saturating_duration_since(t).as_secs_f64()
+            })
+        };
+        let horizon = dc.cfg.duration.as_secs_f64();
+        let server_downtime_s = add_open(f.server_downtime_s, &f.down_since);
+        let cap = dc.cfg.server_count as f64 * horizon;
+        ResilienceReport {
+            faults_injected: f.faults_injected,
+            server_downtime_s,
+            availability: if cap > 0.0 {
+                1.0 - server_downtime_s / cap
+            } else {
+                1.0
+            },
+            tasks_killed: f.tasks_killed,
+            jobs_retried: f.jobs_retried,
+            retries: f.retries_total,
+            jobs_abandoned: f.jobs_abandoned,
+            jobs_unfinished: dc.jobs.in_flight() as u64,
+            transfer_retries: f.transfer_retries,
+            switch_downtime_s: add_open(f.switch_downtime_s, &f.switch_down_since),
+            link_downtime_s: add_open(f.link_downtime_s, &f.link_down_since),
+            wan_link_downtime_s: 0.0,
+            goodput_jobs_per_s: if horizon > 0.0 {
+                jobs_completed as f64 / horizon
+            } else {
+                0.0
+            },
+            clean: latency_report(&f.clean_lat).0,
+            affected: latency_report(&f.affected_lat).0,
+        }
+    });
     let (latency_samples, series) = dc.metrics.finish(end);
     let (latency, latency_cdf) = latency_report(&latency_samples);
     SimReport {
@@ -1649,6 +2421,7 @@ pub fn finish_report(dc: Datacenter, end: SimTime, events: u64, wall_s: f64) -> 
         series,
         events_processed: events,
         global_queue_tasks: gq,
+        resilience,
         wall_s,
     }
 }
@@ -1835,6 +2608,101 @@ mod tests {
             );
             assert_eq!(a.flows, b.flows, "identical completed-flow counts");
         }
+    }
+
+    #[test]
+    fn crash_and_recovery_retry_work_and_report_availability() {
+        use holdcsim_faults::FaultPlan;
+        let mut cfg = quick_cfg(0.5, 10);
+        cfg.faults =
+            Some(FaultPlan::parse("crash@2s:0; recover@4s:0; crash@3s:1; recover@5s:1").unwrap());
+        let report = Simulation::new(cfg).run();
+        let res = report.resilience.as_ref().expect("resilience section");
+        assert_eq!(res.faults_injected, 2);
+        assert!(res.tasks_killed > 0, "killed {}", res.tasks_killed);
+        assert!(res.jobs_retried > 0 && res.retries >= res.jobs_retried);
+        // Two servers each down 2 s out of 4×10 server-seconds.
+        assert!(
+            (res.server_downtime_s - 4.0).abs() < 1e-9,
+            "downtime {}",
+            res.server_downtime_s
+        );
+        assert!((res.availability - 0.9).abs() < 1e-9);
+        // No job lost: everything is done or accounted unfinished.
+        assert_eq!(
+            report.jobs_submitted,
+            report.jobs_completed + res.jobs_unfinished
+        );
+        assert!(res.jobs_abandoned <= res.jobs_unfinished);
+        assert!(report.jobs_completed > 100);
+        // Both latency splits rendered (clean jobs certainly exist).
+        assert!(res.clean.count > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"resilience\""));
+        assert!(report.summary().contains("resilience:"));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_invisible() {
+        use holdcsim_faults::FaultPlan;
+        let base = Simulation::new(slot_indexed_cfg(CommModel::Flow)).run();
+        let mut cfg = slot_indexed_cfg(CommModel::Flow);
+        cfg.faults = Some(FaultPlan::default());
+        let with_empty = Simulation::new(cfg).run();
+        assert_eq!(base.to_json(), with_empty.to_json());
+    }
+
+    #[test]
+    fn switch_outage_reroutes_transfers_without_losing_jobs() {
+        use holdcsim_faults::FaultPlan;
+        for comm in [
+            CommModel::Flow,
+            CommModel::Packet {
+                mtu: 1_500,
+                buffer_bytes: 1 << 20,
+            },
+        ] {
+            let mut cfg = slot_indexed_cfg(comm);
+            cfg.faults = Some(FaultPlan::parse("switch-down@1s:0; switch-up@2s:0").unwrap());
+            let report = Simulation::new(cfg).run();
+            let res = report.resilience.as_ref().expect("resilience section");
+            assert_eq!(
+                report.jobs_submitted,
+                report.jobs_completed + res.jobs_unfinished
+            );
+            assert!(
+                (res.switch_downtime_s - 1.0).abs() < 1e-9,
+                "switch downtime {}",
+                res.switch_downtime_s
+            );
+            assert!(
+                report.jobs_completed > 100,
+                "jobs {}",
+                report.jobs_completed
+            );
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use holdcsim_faults::FaultPlan;
+        let build = || {
+            let mut cfg = slot_indexed_cfg(CommModel::Flow);
+            cfg.faults = Some(
+                FaultPlan::parse(
+                    "crash@500ms:2; recover@1500ms:2; switch-down@1s:1; switch-up@2s:1; \
+                     straggle@800ms:5,0.5,400ms; mtbf:server=7,mtbf=900ms,mttr=150ms",
+                )
+                .unwrap(),
+            );
+            cfg
+        };
+        let a = Simulation::new(build()).run();
+        let b = Simulation::new(build()).run();
+        assert_eq!(a.to_json(), b.to_json(), "fault runs must be reproducible");
+        let res = a.resilience.as_ref().expect("resilience section");
+        assert!(res.faults_injected > 0);
+        assert_eq!(a.jobs_submitted, a.jobs_completed + res.jobs_unfinished);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use holdcsim::config::{ClusterConfig, CommModel, WanConfig};
+use holdcsim::config::{ClusterConfig, CommModel, SimConfig, WanConfig};
 use holdcsim::experiments::{
     net_incast, net_scalability, net_scalability_config, scalability, NetScalabilityPoint,
     ScalabilityPoint, NET_SCALABILITY_BYTES, NET_SCALABILITY_FANOUT, NET_SCALABILITY_RHO,
@@ -24,6 +24,7 @@ use holdcsim::export::JsonObj;
 use holdcsim::sim::Simulation;
 use holdcsim_cluster::Federation;
 use holdcsim_des::time::SimDuration;
+use holdcsim_faults::FaultPlan;
 use holdcsim_network::flow::FlowSolverKind;
 use holdcsim_obs::FingerprintConfig;
 use holdcsim_sched::geo::GeoPolicy;
@@ -89,6 +90,12 @@ pub struct BenchScaleConfig {
     /// Re-run the network grid with determinism fingerprinting on and
     /// report the observability overhead per point.
     pub obs_overhead: bool,
+    /// Re-run the Table I grid under a fault plan and record
+    /// availability and clean-vs-affected tail latency per size.
+    /// `Some("default")` uses a canned crash-storm scaled to each farm;
+    /// any other value is a plan spec or file. `None` skips the arm
+    /// (`fault_points` stays an empty array).
+    pub faults: Option<String>,
     /// Root seed.
     pub seed: u64,
     /// Repetitions per size; the *best* wall-clock time is kept, the
@@ -115,6 +122,7 @@ impl Default for BenchScaleConfig {
                 FlowSolverKind::Cohort,
             ],
             obs_overhead: false,
+            faults: Some("default".to_string()),
             seed: 42,
             repeats: 3,
             out: PathBuf::from("BENCH_scalability.json"),
@@ -162,6 +170,108 @@ pub fn obs_scalability(sizes: &[usize], duration: SimDuration, seed: u64) -> Vec
                 events_per_s: report.events_per_sec(),
             });
         }
+    }
+    points
+}
+
+/// One fault-grid measurement: the Table I configuration re-run under a
+/// fault plan, so the baseline tracks both the event-rate cost of the
+/// fault machinery and the availability / tail-latency signal it reports.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScalabilityPoint {
+    /// Simulated servers.
+    pub servers: usize,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+    /// Server availability over the horizon.
+    pub availability: f64,
+    /// p99 sojourn of jobs never touched by a fault.
+    pub clean_p99_s: f64,
+    /// p99 sojourn of jobs that survived at least one retry.
+    pub affected_p99_s: f64,
+    /// Distinct jobs that saw at least one retry.
+    pub jobs_retried: u64,
+    /// Jobs abandoned after exhausting the retry budget.
+    pub jobs_abandoned: u64,
+}
+
+/// The canned `--faults default` plan for a farm of `servers`: a crash
+/// wave over the first half of the horizon (one crash per eighth of the
+/// farm, capped at 8, each down a tenth of the run) plus one MTBF arm,
+/// under the default retry policy. Pure arithmetic on (servers,
+/// duration), so the same grid point always gets the same plan.
+pub fn default_fault_spec(servers: usize, duration: SimDuration) -> String {
+    let d_ms = duration.as_secs_f64() * 1e3;
+    let crashes = (servers / 8).clamp(1, 8);
+    let step_ms = d_ms * 0.5 / crashes as f64;
+    let down_ms = d_ms * 0.1;
+    let mut spec = String::new();
+    for i in 0..crashes {
+        let sid = i * servers / crashes;
+        let at = d_ms * 0.1 + i as f64 * step_ms;
+        let _ = write!(
+            spec,
+            "crash@{at:.3}ms:{sid}; recover@{:.3}ms:{sid}; ",
+            at + down_ms
+        );
+    }
+    let _ = write!(
+        spec,
+        "mtbf:server={},mtbf={:.3}ms,mttr={:.3}ms",
+        servers / 2,
+        d_ms * 0.4,
+        d_ms * 0.05
+    );
+    spec
+}
+
+/// Runs the Table I grid under `spec` (`"default"` = [`default_fault_spec`]
+/// per size) and measures throughput plus the resilience headline numbers.
+#[allow(clippy::disallowed_methods)] // events/s vs wall-clock is the subject
+pub fn fault_scalability(
+    sizes: &[usize],
+    duration: SimDuration,
+    seed: u64,
+    spec: &str,
+) -> Vec<FaultScalabilityPoint> {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &servers in sizes {
+        let plan = if spec == "default" {
+            FaultPlan::parse(&default_fault_spec(servers, duration))
+                .expect("canned fault spec parses")
+        } else {
+            holdcsim_faults::load_plan(spec).expect("fault spec validated by the CLI")
+        };
+        let mut cfg = SimConfig::server_farm(
+            servers,
+            SCALABILITY_CORES,
+            SCALABILITY_RHO,
+            SCALABILITY_PRESET.template(),
+            duration,
+        )
+        .with_seed(seed)
+        .with_policy(SCALABILITY_POLICY);
+        cfg.faults = Some(plan);
+        let report = Simulation::new(cfg).run();
+        let r = report
+            .resilience
+            .as_ref()
+            .expect("fault runs always report resilience");
+        points.push(FaultScalabilityPoint {
+            servers,
+            events: report.events_processed,
+            wall_s: report.wall_s,
+            events_per_s: report.events_per_sec(),
+            availability: r.availability,
+            clean_p99_s: r.clean.p99,
+            affected_p99_s: r.affected.p99,
+            jobs_retried: r.jobs_retried,
+            jobs_abandoned: r.jobs_abandoned,
+        });
     }
     points
 }
@@ -302,6 +412,13 @@ pub fn fed_scalability(
 ///      "fed_workers": 4, "wall_s": 0.1, "events_per_s": 2400000.0,
 ///      "serial_wall_s": 0.3, "speedup": 3.0},
 ///     ...
+///   ],
+///   "fault_points": [
+///     {"servers": 16, "events": 15300, "wall_s": 0.005,
+///      "events_per_s": 3060000.0, "availability": 0.96,
+///      "clean_p99_s": 0.02, "affected_p99_s": 0.15,
+///      "jobs_retried": 40, "jobs_abandoned": 0},
+///     ...
 ///   ]
 /// }
 /// ```
@@ -316,6 +433,7 @@ pub fn render_json(
     net_points: &[NetScalabilityPoint],
     fed_points: &[FedScalabilityPoint],
     obs_points: &[ObsOverheadPoint],
+    fault_points: &[FaultScalabilityPoint],
 ) -> String {
     // The config block mirrors the actual Table I constants so the
     // committed baseline can never drift from what was measured.
@@ -434,6 +552,27 @@ pub fn render_json(
         let _ = write!(obs_rows, "{}", row.finish());
     }
     obs_rows.push(']');
+    // `fault_points` is always present (empty when the arm is skipped)
+    // so downstream schema greps never depend on the config.
+    let mut fault_rows = String::from("[");
+    for (i, p) in fault_points.iter().enumerate() {
+        if i > 0 {
+            fault_rows.push(',');
+        }
+        let row = JsonObj::new()
+            .int("servers", p.servers as u64)
+            .int("events", p.events)
+            .num("wall_s", p.wall_s)
+            .num("events_per_s", p.events_per_s)
+            .num("availability", p.availability)
+            .num("clean_p99_s", p.clean_p99_s)
+            .num("affected_p99_s", p.affected_p99_s)
+            .int("jobs_retried", p.jobs_retried)
+            .int("jobs_abandoned", p.jobs_abandoned)
+            .finish();
+        let _ = write!(fault_rows, "{row}");
+    }
+    fault_rows.push(']');
     let doc = JsonObj::new()
         .str("bench", "scalability")
         .raw("config", &config)
@@ -441,6 +580,7 @@ pub fn render_json(
         .raw("network_points", &net_rows)
         .raw("federation_points", &fed_rows)
         .raw("obs_points", &obs_rows)
+        .raw("fault_points", &fault_rows)
         .finish();
     format!("{doc}\n")
 }
@@ -454,11 +594,13 @@ pub fn measure(
     Vec<NetScalabilityPoint>,
     Vec<FedScalabilityPoint>,
     Vec<ObsOverheadPoint>,
+    Vec<FaultScalabilityPoint>,
 ) {
     let mut best: Vec<ScalabilityPoint> = Vec::with_capacity(cfg.sizes.len());
     let mut net_best: Vec<NetScalabilityPoint> = Vec::new();
     let mut fed_best: Vec<FedScalabilityPoint> = Vec::new();
     let mut obs_best: Vec<ObsOverheadPoint> = Vec::new();
+    let mut fault_best: Vec<FaultScalabilityPoint> = Vec::new();
     for rep in 0..cfg.repeats.max(1) {
         let pts = scalability(&cfg.sizes, cfg.duration, cfg.seed);
         let mut net_pts = net_scalability(
@@ -485,11 +627,16 @@ pub fn measure(
         } else {
             Vec::new()
         };
+        let fault_pts = match &cfg.faults {
+            Some(spec) => fault_scalability(&cfg.sizes, cfg.duration, cfg.seed, spec),
+            None => Vec::new(),
+        };
         if rep == 0 {
             best = pts;
             net_best = net_pts;
             fed_best = fed_pts;
             obs_best = obs_pts;
+            fault_best = fault_pts;
             continue;
         }
         for (b, p) in best.iter_mut().zip(pts) {
@@ -523,8 +670,14 @@ pub fn measure(
                 *b = p;
             }
         }
+        for (b, p) in fault_best.iter_mut().zip(fault_pts) {
+            debug_assert_eq!(b.events, p.events, "same seed, same event count");
+            if p.wall_s < b.wall_s {
+                *b = p;
+            }
+        }
     }
-    (best, net_best, fed_best, obs_best)
+    (best, net_best, fed_best, obs_best, fault_best)
 }
 
 /// Runs bench-scale and writes the baseline file; returns its path.
@@ -541,7 +694,7 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
         cfg.cluster_duration,
         cfg.repeats
     );
-    let (points, net_points, fed_points, obs_points) = measure(cfg);
+    let (points, net_points, fed_points, obs_points, fault_points) = measure(cfg);
     for p in &points {
         eprintln!(
             "[bench-scale] {:>6} servers: {:>9} events in {:.3} s -> {:.0} events/s",
@@ -587,6 +740,21 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
             p.servers, p.comm, p.events, p.wall_s, p.events_per_s
         );
     }
+    for p in &fault_points {
+        eprintln!(
+            "[bench-scale] {:>6} servers (faults): {:>9} events in {:.3} s -> {:.0} events/s \
+             ({:.4}% avail, clean p99 {:.1} ms, affected p99 {:.1} ms, {} retried, {} abandoned)",
+            p.servers,
+            p.events,
+            p.wall_s,
+            p.events_per_s,
+            p.availability * 100.0,
+            p.clean_p99_s * 1e3,
+            p.affected_p99_s * 1e3,
+            p.jobs_retried,
+            p.jobs_abandoned
+        );
+    }
     write_baseline(
         &cfg.out,
         cfg,
@@ -594,6 +762,7 @@ pub fn run_bench_scale(cfg: &BenchScaleConfig) -> io::Result<PathBuf> {
         &net_points,
         &fed_points,
         &obs_points,
+        &fault_points,
     )?;
     Ok(cfg.out.clone())
 }
@@ -606,10 +775,18 @@ pub fn write_baseline(
     net_points: &[NetScalabilityPoint],
     fed_points: &[FedScalabilityPoint],
     obs_points: &[ObsOverheadPoint],
+    fault_points: &[FaultScalabilityPoint],
 ) -> io::Result<()> {
     std::fs::write(
         path,
-        render_json(cfg, points, net_points, fed_points, obs_points),
+        render_json(
+            cfg,
+            points,
+            net_points,
+            fed_points,
+            obs_points,
+            fault_points,
+        ),
     )
 }
 
@@ -633,6 +810,7 @@ mod tests {
                 FlowSolverKind::Cohort,
             ],
             obs_overhead: true,
+            faults: Some("default".to_string()),
             seed: 7,
             repeats: 2,
             out: std::env::temp_dir().join(format!("BENCH_test_{}.json", std::process::id())),
@@ -642,7 +820,7 @@ mod tests {
     #[test]
     fn measure_keeps_event_counts_stable() {
         let cfg = tiny();
-        let (pts, net_pts, fed_pts, obs_pts) = measure(&cfg);
+        let (pts, net_pts, fed_pts, obs_pts, fault_pts) = measure(&cfg);
         assert_eq!(pts.len(), 1);
         assert!(pts[0].events > 0);
         assert!(pts[0].events_per_s > 0.0);
@@ -687,13 +865,30 @@ mod tests {
         assert_eq!((obs_pts[0].comm, obs_pts[1].comm), ("flow", "packet"));
         assert_eq!(obs_pts[0].events, net_pts[0].events);
         assert_eq!(obs_pts[1].events, net_pts[3].events);
+        // One fault arm per size; the canned storm really injects.
+        assert_eq!(fault_pts.len(), 1);
+        assert!(fault_pts[0].events > 0);
+        assert!(fault_pts[0].availability > 0.0 && fault_pts[0].availability < 1.0);
+    }
+
+    #[test]
+    fn faultless_config_renders_empty_fault_points() {
+        let mut cfg = tiny();
+        cfg.faults = None;
+        cfg.repeats = 1;
+        let fault_pts = match &cfg.faults {
+            Some(spec) => fault_scalability(&cfg.sizes, cfg.duration, cfg.seed, spec),
+            None => Vec::new(),
+        };
+        let json = render_json(&cfg, &[], &[], &[], &[], &fault_pts);
+        assert!(json.contains("\"fault_points\":[]"));
     }
 
     #[test]
     fn json_has_schema_fields() {
         let cfg = tiny();
-        let (pts, net_pts, fed_pts, obs_pts) = measure(&cfg);
-        let json = render_json(&cfg, &pts, &net_pts, &fed_pts, &obs_pts);
+        let (pts, net_pts, fed_pts, obs_pts, fault_pts) = measure(&cfg);
+        let json = render_json(&cfg, &pts, &net_pts, &fed_pts, &obs_pts, &fault_pts);
         for key in [
             "\"bench\":\"scalability\"",
             "\"config\":",
@@ -721,6 +916,12 @@ mod tests {
             "\"wall_s\":",
             "\"obs_points\":",
             "\"overhead_pct\":",
+            "\"fault_points\":",
+            "\"availability\":",
+            "\"clean_p99_s\":",
+            "\"affected_p99_s\":",
+            "\"jobs_retried\":",
+            "\"jobs_abandoned\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

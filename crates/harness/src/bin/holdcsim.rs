@@ -42,16 +42,19 @@ const USAGE: &str = "holdcsim — HolDCSim-RS experiment runner
 USAGE:
     holdcsim run   [--servers N] [--cores C] [--rho R] [--preset P] [--tau T]
                    [--policy POL] [--duration SECS] [--seed S] [--json]
+                   [--faults SPEC|FILE]
                    [--net [--flow-solver incremental|reference|cohort]] [OBS]
     holdcsim sweep [--policies a,b,c] [--rhos 0.1,0.3] [--taus 0.4,1.6]
                    [--presets web-search,web-serving] [--servers 8,50] [--cores 4]
                    [--replications N] [--duration SECS] [--seed S]
+                   [--faults SPEC|FILE|none, |-separated arms]
                    [--threads N] [--out DIR] [--name NAME] [OBS]
     holdcsim fig   <4|5|6|8|9|11|table1> [--quick] [--threads N] [--seed S]
     holdcsim federate [--sites N] [--servers N] [--cores C] [--rho R] [--preset P]
                    [--affinity w1,w2,...] [--geo POL] [--spill L] [--latency-weight W]
                    [--wan-gbps G] [--wan-latency-ms L] [--wan-mode pipe|flow] [--hub]
                    [--job-bytes B] [--net] [--fed-workers N | --fed-serial]
+                   [--faults SPEC|FILE]
                    [--duration SECS] [--seed S] [--json] [OBS]
     holdcsim trace-diff A.json B.json
     holdcsim bench-scale [--sizes 16,128,1024] [--duration SECS]
@@ -59,6 +62,7 @@ USAGE:
                    [--flow-solver incremental|reference|cohort|both|all]
                    [--clusters 2,4 | none] [--cluster-servers N]
                    [--cluster-duration SECS] [--fed-workers N]
+                   [--faults default|none|SPEC|FILE]
                    [--seed S] [--repeats N] [--out PATH] [--obs-overhead]
 
 Observability ([OBS], accepted by run, federate, and sweep):
@@ -95,6 +99,21 @@ completed-flow counts asserted); the same arms drive a wide-gather
 incast stress grid (`incast*` points). With --obs-overhead it also
 re-runs the network arms with fingerprinting on and reports the
 observability overhead per point.
+
+Fault plans (--faults, accepted by run, sweep, federate, bench-scale):
+an inline spec or a file of `;`/newline-separated entries (`#` comments):
+    crash@2s:0            kill server 0 at t=2s (in-flight tasks fail)
+    recover@4s:0          bring it back
+    straggle@1s:3,0.5,2s  run server 3 at 0.5x speed for 2s
+    switch-down@1s:0      fabric switch outage (switch-up@.. restores)
+    link-down@1s:4        fabric link outage (link-up@.. restores)
+    wan-down@1s:0         WAN link outage (wan-up@.. restores; federate)
+    mtbf:server=2,mtbf=5s,mttr=500ms   stochastic crash/repair cycle
+    retry:max=3,backoff=10ms,mult=2    bounded exponential re-dispatch
+Prefix an entry with `site<k>.` under federate to target one site.
+Times accept ns/us/ms/s suffixes. `sweep --faults` takes |-separated
+arms (`none` is a fault-free arm) as an extra grid axis; `bench-scale
+--faults default` runs a canned crash+switch storm scaled to each farm.
 
 `trace-diff` compares two fingerprint files (written with --fingerprint)
 and bisects to the first divergent checkpoint, or reports `identical`.
@@ -176,6 +195,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "json",
         "net",
         "flow-solver",
+        "faults",
     ];
     allowed.extend_from_slice(&ObsCli::OPTS);
     let opts = parse_opts(args, &allowed)?;
@@ -225,6 +245,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else if opts.contains_key("flow-solver") {
         return Err("--flow-solver requires --net".to_string());
     }
+    if let Some(s) = opts.get("faults") {
+        cfg.faults = Some(holdcsim_faults::load_plan(s)?);
+    }
     cfg.obs = obs.cfg;
     let (report, arts) = Simulation::new(cfg).run_with_obs();
     if opts.contains_key("json") {
@@ -247,6 +270,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         "replications",
         "duration",
         "seed",
+        "faults",
         "threads",
         "out",
         "name",
@@ -289,6 +313,22 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = opts.get("seed") {
         plan = plan.seed(parse_num(s, "seed")?);
+    }
+    if let Some(s) = opts.get("faults") {
+        // Fault specs contain `,` and `;`, so arms split on `|`;
+        // `none` is the fault-free arm. Validate each spec here so a
+        // bad plan fails before any trial runs.
+        let mut arms = Vec::new();
+        for arm in s.split('|') {
+            let arm = arm.trim();
+            if arm == "none" {
+                arms.push(None);
+            } else {
+                holdcsim_faults::load_plan(arm)?;
+                arms.push(Some(arm.to_string()));
+            }
+        }
+        plan = plan.fault_specs(&arms);
     }
     let threads: usize = match opts.get("threads") {
         Some(s) => parse_num(s, "threads")?,
@@ -390,6 +430,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         "json",
         "fed-workers",
         "fed-serial",
+        "faults",
     ];
     allowed.extend_from_slice(&ObsCli::OPTS);
     let opts = parse_opts(args, &allowed)?;
@@ -438,6 +479,9 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         .with_geo(geo)
         .with_seed(seed);
     cc.job_bytes = parse_num(&get("job-bytes", "1048576"), "job bytes")?;
+    if let Some(s) = opts.get("faults") {
+        cc.faults = Some(holdcsim_faults::load_plan(s)?);
+    }
     if let Some(s) = opts.get("affinity") {
         let weights: Vec<f64> = parse_list(s, |x| parse_num(x, "affinity weight"))?;
         if weights.len() != sites {
@@ -509,6 +553,7 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
             "fed-workers",
             "flow-solver",
             "obs-overhead",
+            "faults",
             "seed",
             "repeats",
             "out",
@@ -565,6 +610,16 @@ fn cmd_bench_scale(args: &[String]) -> Result<(), String> {
         };
     }
     cfg.obs_overhead = opts.contains_key("obs-overhead");
+    if let Some(s) = opts.get("faults") {
+        cfg.faults = match s.as_str() {
+            "none" => None,
+            "default" => Some("default".to_string()),
+            spec => {
+                holdcsim_faults::load_plan(spec)?;
+                Some(spec.to_string())
+            }
+        };
+    }
     if let Some(s) = opts.get("seed") {
         cfg.seed = parse_num(s, "seed")?;
     }

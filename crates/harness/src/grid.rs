@@ -2,10 +2,11 @@
 //! into fully-specified trials with deterministic per-trial RNG streams.
 //!
 //! The expansion order is the row-major cartesian product of the axes in
-//! declaration order (policy, preset, servers, cores, utilization, τ),
-//! with replications innermost. Trial seeds are derived from the plan
-//! seed and the trial's grid coordinates alone — never from scheduling
-//! order — so a sweep is bitwise-reproducible at any thread count.
+//! declaration order (policy, preset, servers, cores, utilization, τ,
+//! fault plan), with replications innermost. Trial seeds are derived
+//! from the plan seed and the trial's grid coordinates alone — never
+//! from scheduling order — so a sweep is bitwise-reproducible at any
+//! thread count.
 
 use std::fmt;
 
@@ -60,6 +61,9 @@ pub struct TrialPoint {
     /// Delay timer τ in seconds; `None` runs the Active-Idle farm
     /// (no sleeping, no provisioning controller).
     pub tau_s: Option<f64>,
+    /// Fault-plan spec for this arm (already validated by
+    /// [`SweepPlan::fault_specs`]); `None` runs fault-free.
+    pub faults: Option<String>,
 }
 
 impl TrialPoint {
@@ -69,10 +73,14 @@ impl TrialPoint {
             Some(t) => format!("{t}"),
             None => "active-idle".to_string(),
         };
-        format!(
+        let mut label = format!(
             "policy={:?} preset={} servers={} cores={} rho={} tau={}",
             self.policy, self.preset, self.servers, self.cores, self.rho, tau
-        )
+        );
+        if let Some(f) = &self.faults {
+            label.push_str(&format!(" faults={f}"));
+        }
+        label
     }
 }
 
@@ -97,7 +105,7 @@ impl TrialSpec {
     /// Builds the simulation configuration for this trial.
     pub fn config(&self) -> SimConfig {
         let p = &self.point;
-        match p.tau_s {
+        let mut cfg = match p.tau_s {
             Some(tau) => delay_timer_farm(
                 p.preset,
                 p.rho,
@@ -117,7 +125,11 @@ impl TrialSpec {
             )
             .with_seed(self.seed)
             .with_policy(p.policy),
+        };
+        if let Some(spec) = &p.faults {
+            cfg.faults = Some(holdcsim_faults::load_plan(spec).expect("validated fault spec"));
         }
+        cfg
     }
 }
 
@@ -160,6 +172,8 @@ pub struct SweepPlan {
     pub utilizations: Vec<f64>,
     /// Delay-timer axis (`None` entries are Active-Idle arms).
     pub taus: Vec<Option<f64>>,
+    /// Fault-plan axis (`None` entries are fault-free arms).
+    pub faults: Vec<Option<String>>,
     /// Observability applied to every trial (default: everything off).
     pub obs: ObsConfig,
 }
@@ -179,6 +193,7 @@ impl SweepPlan {
             cores: vec![4],
             utilizations: vec![0.3],
             taus: vec![None],
+            faults: vec![None],
             obs: ObsConfig::default(),
         }
     }
@@ -249,15 +264,25 @@ impl SweepPlan {
         self
     }
 
+    /// Sets the fault-plan axis. `None` entries are fault-free arms;
+    /// `Some` entries are plan specs (validate them with
+    /// `holdcsim_faults::load_plan` before building the plan — trial
+    /// expansion assumes each spec parses).
+    pub fn fault_specs(mut self, specs: &[Option<String>]) -> Self {
+        self.faults = specs.to_vec();
+        self
+    }
+
     /// The trial count this plan expands to, with an overflow guard.
     pub fn size(&self) -> Result<usize, GridError> {
-        let axes: [(&'static str, usize); 7] = [
+        let axes: [(&'static str, usize); 8] = [
             ("policies", self.policies.len()),
             ("presets", self.presets.len()),
             ("servers", self.servers.len()),
             ("cores", self.cores.len()),
             ("utilizations", self.utilizations.len()),
             ("taus", self.taus.len()),
+            ("faults", self.faults.len()),
             ("replications", self.replications as usize),
         ];
         let mut size: u128 = 1;
@@ -283,14 +308,17 @@ impl SweepPlan {
                     for &cores in &self.cores {
                         for &rho in &self.utilizations {
                             for &tau_s in &self.taus {
-                                out.push(TrialPoint {
-                                    policy,
-                                    preset,
-                                    servers,
-                                    cores,
-                                    rho,
-                                    tau_s,
-                                });
+                                for faults in &self.faults {
+                                    out.push(TrialPoint {
+                                        policy,
+                                        preset,
+                                        servers,
+                                        cores,
+                                        rho,
+                                        tau_s,
+                                        faults: faults.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -403,6 +431,26 @@ mod tests {
             .trials()
             .unwrap();
         assert_ne!(a[1].seed, c[1].seed);
+    }
+
+    #[test]
+    fn fault_axis_expands_and_reaches_config() {
+        let plan = SweepPlan::new("faulty")
+            .fault_specs(&[None, Some("crash@2s:0; recover@4s:0".to_string())]);
+        assert_eq!(plan.size().unwrap(), 2);
+        let trials = plan.trials().unwrap();
+        // Fault-free arm keeps the pre-axis label byte-for-byte.
+        assert_eq!(
+            trials[0].point.label(),
+            "policy=PackFirst preset=Web Search servers=8 cores=4 rho=0.3 tau=active-idle"
+        );
+        assert!(trials[1]
+            .point
+            .label()
+            .ends_with(" faults=crash@2s:0; recover@4s:0"));
+        assert!(trials[0].config().faults.is_none());
+        let plan = trials[1].config().faults.expect("fault arm carries a plan");
+        assert_eq!(plan.events.len(), 2);
     }
 
     #[test]

@@ -203,6 +203,79 @@ impl Router {
         route
     }
 
+    /// Computes a shortest route from `src` to `dst` on the surviving
+    /// graph: nodes with `down_nodes[n]` set and links with
+    /// `down_links[l]` set are treated as removed. Uncached — fault
+    /// windows are transient, so each call runs a fresh masked BFS and
+    /// the caller owns the result (wrapping it in an `Arc` if shared).
+    ///
+    /// Returns `None` if either endpoint is down or no surviving path
+    /// exists.
+    pub fn route_avoiding(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        ecmp_seed: u64,
+        down_nodes: &[bool],
+        down_links: &[bool],
+    ) -> Option<Route> {
+        if down_nodes[src.0 as usize] || down_nodes[dst.0 as usize] {
+            return None;
+        }
+        if src == dst {
+            return Some(Route {
+                nodes: vec![src],
+                links: Vec::new(),
+            });
+        }
+        let mut dist = vec![u32::MAX; topo.node_count()];
+        dist[dst.0 as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(dst);
+        while let Some(n) = q.pop_front() {
+            let d = dist[n.0 as usize];
+            for (next, link) in topo.neighbors(n) {
+                if down_links[link.0 as usize] || down_nodes[next.0 as usize] {
+                    continue;
+                }
+                if dist[next.0 as usize] == u32::MAX {
+                    dist[next.0 as usize] = d + 1;
+                    q.push_back(next);
+                }
+            }
+        }
+        if dist[src.0 as usize] == u32::MAX {
+            return None;
+        }
+        let mut candidates = std::mem::take(&mut self.scratch);
+        let mut nodes = vec![src];
+        let mut links = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let d = dist[cur.0 as usize];
+            candidates.clear();
+            candidates.extend(topo.neighbors(cur).filter(|(n, l)| {
+                !down_links[l.0 as usize]
+                    && !down_nodes[n.0 as usize]
+                    && dist[n.0 as usize] == d - 1
+            }));
+            debug_assert!(
+                !candidates.is_empty(),
+                "masked distance field is inconsistent"
+            );
+            candidates.sort_by_key(|(n, l)| (n.0, l.0));
+            let pick = (hash64(cur.0 as u64 ^ ecmp_seed.rotate_left(17)) % candidates.len() as u64)
+                as usize;
+            let (next, link) = candidates[pick];
+            nodes.push(next);
+            links.push(link);
+            cur = next;
+        }
+        self.scratch = candidates;
+        Some(Route { nodes, links })
+    }
+
     /// Hop distance from `src` to `dst` (`None` if unreachable).
     pub fn distance(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<u32> {
         let d = self.distances(topo, dst)[src.0 as usize];
@@ -442,6 +515,64 @@ mod tests {
         }
         assert!(seen.len() > 32, "bucketing should use most of the ways");
         assert_eq!(ecmp_bucket(7, 64), ecmp_bucket(7, 64), "deterministic");
+    }
+
+    #[test]
+    fn route_avoiding_skips_dead_components() {
+        let built = fat_tree(4, LinkSpec::gigabit());
+        let mut r = Router::new();
+        let mut down_nodes = vec![false; built.topology.node_count()];
+        let mut down_links = vec![false; built.topology.links().len()];
+        let base = r
+            .route_avoiding(
+                &built.topology,
+                built.hosts[0],
+                built.hosts[15],
+                3,
+                &down_nodes,
+                &down_links,
+            )
+            .unwrap();
+        assert_eq!(base.hops(), 6);
+        // Kill the core switch the base route used: the reroute avoids it.
+        let core = base.nodes[3];
+        down_nodes[core.0 as usize] = true;
+        let rerouted = r
+            .route_avoiding(
+                &built.topology,
+                built.hosts[0],
+                built.hosts[15],
+                3,
+                &down_nodes,
+                &down_links,
+            )
+            .unwrap();
+        assert_eq!(rerouted.hops(), 6);
+        assert!(!rerouted.nodes.contains(&core));
+        // Kill the destination's access link: now unreachable.
+        down_links[rerouted.links[5].0 as usize] = true;
+        assert!(r
+            .route_avoiding(
+                &built.topology,
+                built.hosts[0],
+                built.hosts[15],
+                3,
+                &down_nodes,
+                &down_links,
+            )
+            .is_none());
+        // A down endpoint short-circuits to None.
+        down_nodes[built.hosts[0].0 as usize] = true;
+        assert!(r
+            .route_avoiding(
+                &built.topology,
+                built.hosts[0],
+                built.hosts[1],
+                0,
+                &down_nodes,
+                &down_links,
+            )
+            .is_none());
     }
 
     #[test]

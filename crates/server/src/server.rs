@@ -365,6 +365,9 @@ pub struct Server {
     queues: LocalQueues,
     timer_gen: u64,
     wake_after_suspend: bool,
+    /// Fault-injection speed factor (straggler model): scales execution
+    /// speed of subsequently started tasks; 1.0 means nominal.
+    fault_speed: f64,
     // --- accounting ---
     residency: Residency<Band>,
     busy_cores_tw: TimeWeighted,
@@ -423,6 +426,7 @@ impl Server {
             mode,
             timer_gen: 0,
             wake_after_suspend: false,
+            fault_speed: 1.0,
             residency: Residency::new(now, mode.band()),
             busy_cores_tw: TimeWeighted::new(now, 0.0),
             queue_len_tw: TimeWeighted::new(now, 0.0),
@@ -696,12 +700,55 @@ impl Server {
         self.refresh_power(now);
     }
 
+    /// Fault injection: scales execution speed of subsequently started
+    /// tasks (the straggler model; 1.0 restores nominal). In-flight tasks
+    /// finish at their already-computed speed, and power is not rescaled —
+    /// a straggling server burns nominal busy power.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is strictly positive.
+    pub fn set_fault_speed(&mut self, factor: f64) {
+        assert!(factor > 0.0, "fault speed factor must be positive");
+        self.fault_speed = factor;
+    }
+
+    /// Fault injection: the server crashes at `now`. Every running and
+    /// queued task is appended to `killed` (running tasks in core order,
+    /// then queued tasks in queue order) for the driver to re-dispatch
+    /// elsewhere; the server lands in S5 deep sleep (powered off, drawing
+    /// S5 platform power) until an explicit recovery wake. Any in-flight
+    /// timer or transition events become stale: the driver must guard
+    /// them with its own crash generation counter, since the server
+    /// cannot cancel already-scheduled events.
+    pub fn fail(&mut self, now: SimTime, killed: &mut Vec<TaskHandle>) {
+        self.timer_gen += 1; // cancel any pending descent timer
+        self.wake_after_suspend = false;
+        for slot in self.running.iter_mut() {
+            if let Some(t) = slot.take() {
+                killed.push(t);
+            }
+        }
+        match &mut self.queues {
+            LocalQueues::Unified(q) => killed.extend(q.drain(..)),
+            LocalQueues::PerCore(qs) => {
+                for q in qs.iter_mut() {
+                    killed.extend(q.drain(..));
+                }
+            }
+        }
+        self.set_mode(now, ServerMode::DeepSleep(SystemState::S5));
+        self.note_load(now);
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
     fn speed_ratio(&self) -> f64 {
-        self.cfg.profile.speed_ratio(self.cfg.pstate)
+        // Multiplying by the nominal 1.0 fault factor is IEEE-exact, so
+        // fault-free runs stay bitwise identical.
+        self.cfg.profile.speed_ratio(self.cfg.pstate) * self.fault_speed
     }
 
     /// Heterogeneity factor of `core` (1.0 when homogeneous).
@@ -1370,5 +1417,49 @@ mod tests {
     #[should_panic(expected = "cores must split evenly")]
     fn uneven_socket_split_rejected() {
         let _ = ServerConfig::new(3).with_sockets(2);
+    }
+
+    #[test]
+    fn fail_kills_work_and_powers_off() {
+        let profile = ServerPowerProfile::xeon_e5_2680();
+        let mut s = active_idle_server(2);
+        submit(&mut s, SimTime::ZERO, th(1, 10));
+        submit(&mut s, SimTime::ZERO, th(2, 10));
+        submit(&mut s, SimTime::ZERO, th(3, 10)); // queued
+        let mut killed = Vec::new();
+        s.fail(SimTime::from_millis(1), &mut killed);
+        assert_eq!(killed.len(), 3);
+        assert_eq!(s.mode(), ServerMode::DeepSleep(SystemState::S5));
+        assert_eq!(s.busy_cores(), 0);
+        assert_eq!(s.queue_len(), 0);
+        assert!(
+            (s.power_w() - profile.platform.s5_w).abs() < 1e-9,
+            "crashed server draws S5 power, got {}",
+            s.power_w()
+        );
+        // Recovery: a wake request resumes like any deep-sleep exit.
+        let fx = request_wake(&mut s, SimTime::from_secs(1));
+        assert!(matches!(fx[..], [Effect::TransitionDoneIn { .. }]));
+    }
+
+    #[test]
+    fn fault_speed_slows_new_tasks_only() {
+        let mut s = active_idle_server(2);
+        s.set_fault_speed(0.5);
+        let fx = submit(&mut s, SimTime::ZERO, th(1, 10));
+        let [Effect::TaskStarted { completes_in, .. }] = fx[..] else {
+            panic!("{fx:?}")
+        };
+        // 10 ms at half speed = 20 ms (+ C1 wake pad on first dispatch).
+        assert_eq!(
+            completes_in,
+            SimDuration::from_millis(20) + SimDuration::from_micros(2)
+        );
+        s.set_fault_speed(1.0);
+        let fx = submit(&mut s, SimTime::ZERO, th(2, 10));
+        let [Effect::TaskStarted { completes_in, .. }] = fx[..] else {
+            panic!("{fx:?}")
+        };
+        assert_eq!(completes_in, SimDuration::from_millis(10));
     }
 }

@@ -5,6 +5,7 @@
 pub use holdcsim;
 pub use holdcsim_cluster as cluster;
 pub use holdcsim_des as des;
+pub use holdcsim_faults as faults;
 pub use holdcsim_network as network;
 pub use holdcsim_obs as obs;
 pub use holdcsim_power as power;
